@@ -1,0 +1,48 @@
+//! Criterion benches for configuration selection: bounded-slowdown and
+//! elbow-point selection over interpolated curves, and executor-size
+//! factorization — the per-query decision costs inside the optimizer rule.
+
+use ae_ppm::cores::{factorize_total_cores, FactorizationConstraints};
+use ae_ppm::curve::PerfCurve;
+use ae_ppm::model::{AmdahlPpm, Ppm, PowerLawPpm};
+use ae_ppm::selection::{elbow_point, slowdown_config};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn dense_curve() -> Vec<(usize, f64)> {
+    let ppm = Ppm::PowerLaw(PowerLawPpm::new(-0.75, 480.0, 55.0));
+    ppm.predict_curve(&(1..=48).collect::<Vec<_>>())
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let curve = dense_curve();
+    c.bench_function("selection/bounded_slowdown_h105", |b| {
+        b.iter(|| slowdown_config(black_box(&curve), 1.05))
+    });
+    c.bench_function("selection/elbow_point", |b| {
+        b.iter(|| elbow_point(black_box(&curve)))
+    });
+}
+
+fn bench_interpolation(c: &mut Criterion) {
+    let sparse: Vec<(usize, f64)> = [1usize, 3, 8, 16, 32, 48]
+        .iter()
+        .map(|&n| (n, Ppm::Amdahl(AmdahlPpm::new(30.0, 470.0)).predict(n as f64)))
+        .collect();
+    c.bench_function("selection/interpolate_sparse_to_48_points", |b| {
+        b.iter(|| {
+            let curve = PerfCurve::from_samples(black_box(&sparse));
+            curve.evaluate_integer_range(1, 48)
+        })
+    });
+}
+
+fn bench_factorization(c: &mut Criterion) {
+    let constraints = FactorizationConstraints::paper_default();
+    c.bench_function("selection/factorize_total_cores", |b| {
+        b.iter(|| factorize_total_cores(black_box(96), &constraints))
+    });
+}
+
+criterion_group!(benches, bench_selection, bench_interpolation, bench_factorization);
+criterion_main!(benches);

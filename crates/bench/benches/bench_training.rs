@@ -1,0 +1,108 @@
+//! Criterion benches for the offline training path (Section 5.6):
+//! PPM-parameter fitting per training point and random-forest training over
+//! the full workload, contrasted with a non-parametric training set.
+
+use autoexecutor::{AutoExecutorConfig, FeatureSet, ParameterModel, TrainingData};
+use ae_ppm::fit::{fit_amdahl, fit_power_law};
+use ae_ppm::model::PpmKind;
+use ae_workload::{ScaleFactor, WorkloadGenerator};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn training_inputs() -> (Vec<ae_workload::QueryInstance>, AutoExecutorConfig, TrainingData) {
+    let suite = WorkloadGenerator::new(ScaleFactor::SF10).suite();
+    let mut config = AutoExecutorConfig::default();
+    config.training_run.noise_cv = 0.0;
+    let data = TrainingData::collect(&suite, &config).expect("training data");
+    (suite, config, data)
+}
+
+fn bench_ppm_fit(c: &mut Criterion) {
+    let (_, _, data) = training_inputs();
+    let curve = data.examples[0].sparklens_curve.clone();
+    c.bench_function("ppm_fit/power_law_per_point", |b| {
+        b.iter(|| fit_power_law(black_box(&curve)).unwrap())
+    });
+    c.bench_function("ppm_fit/amdahl_per_point", |b| {
+        b.iter(|| fit_amdahl(black_box(&curve)).unwrap())
+    });
+}
+
+fn bench_forest_training(c: &mut Criterion) {
+    let (_, config, data) = training_inputs();
+    let dataset = data
+        .to_dataset(PpmKind::PowerLaw, FeatureSet::F0)
+        .expect("dataset");
+    let mut group = c.benchmark_group("parameter_model_training");
+    group.sample_size(10);
+    group.bench_function("random_forest_103_queries", |b| {
+        b.iter_batched(
+            || dataset.clone(),
+            |ds| {
+                ParameterModel::train_on_dataset(
+                    black_box(&ds),
+                    PpmKind::PowerLaw,
+                    FeatureSet::F0,
+                    config.forest,
+                )
+                .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_parametric_vs_nonparametric_dataset(c: &mut Criterion) {
+    // The paper's argument for the parametric PPM: one row per query instead
+    // of one row per (query, configuration). Compare dataset-construction
+    // plus model-training cost for both designs.
+    let (_, config, data) = training_inputs();
+    let mut group = c.benchmark_group("training_set_design");
+    group.sample_size(10);
+
+    group.bench_function("parametric_one_row_per_query", |b| {
+        b.iter(|| {
+            let dataset = data
+                .to_dataset(PpmKind::PowerLaw, FeatureSet::F0)
+                .unwrap();
+            ParameterModel::train_on_dataset(&dataset, PpmKind::PowerLaw, FeatureSet::F0, config.forest)
+                .unwrap()
+        })
+    });
+
+    group.bench_function("nonparametric_row_per_configuration", |b| {
+        b.iter(|| {
+            // Directly regress run time from (features, n) pairs: 6x the rows.
+            let mut dataset = ae_ml::dataset::Dataset::new(
+                {
+                    let mut names = autoexecutor::full_feature_names();
+                    names.push("executors".to_string());
+                    names
+                },
+                vec!["time".to_string()],
+            );
+            for example in &data.examples {
+                for &(n, t) in &example.sparklens_curve {
+                    let mut row = example.full_features.clone();
+                    row.push(n as f64);
+                    dataset
+                        .push_row(format!("{}@{n}", example.name), row, vec![t])
+                        .unwrap();
+                }
+            }
+            let mut forest = ae_ml::forest::RandomForestRegressor::new(config.forest);
+            forest.fit(&dataset).unwrap();
+            black_box(forest.num_trees())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ppm_fit,
+    bench_forest_training,
+    bench_parametric_vs_nonparametric_dataset
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p ae-bench --release --bin experiments -- all
+//! cargo run -p ae-bench --release --bin experiments -- fig9 fig13
+//! cargo run -p ae-bench --release --bin experiments -- --list
+//! ```
+
+use ae_bench::context::ExperimentContext;
+use ae_bench::experiments::{run, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in ALL_EXPERIMENTS {
+            println!("{id}");
+        }
+        return;
+    }
+
+    let requested: Vec<String> = if args.iter().any(|a| a == "all") {
+        ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+
+    let mut ctx = ExperimentContext::new();
+    let start = std::time::Instant::now();
+    for id in &requested {
+        if !run(id, &mut ctx) {
+            eprintln!("unknown experiment '{id}' — use --list to see the available ids");
+            std::process::exit(2);
+        }
+    }
+    eprintln!(
+        "\ncompleted {} experiment(s) in {:.1}s",
+        requested.len(),
+        start.elapsed().as_secs_f64()
+    );
+}
+
+fn print_usage() {
+    println!("usage: experiments [--list] <experiment-id>... | all");
+    println!("experiment ids: {}", ALL_EXPERIMENTS.join(", "));
+}

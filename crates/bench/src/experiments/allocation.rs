@@ -1,0 +1,166 @@
+//! Allocation-policy experiments: skylines (Figure 12) and the cost-saving
+//! ratios over the whole suite (Figure 13 / Section 5.4).
+
+use std::collections::BTreeMap;
+
+use autoexecutor::evaluation::{cross_validate, ratio_averages, CrossValidationConfig};
+use autoexecutor::{compare_allocations, run_with_policy};
+use ae_engine::{AllocationPolicy, RunConfig};
+use ae_ppm::curve::PerfCurve;
+use ae_ppm::model::PpmKind;
+use ae_ppm::selection::slowdown_config;
+use ae_workload::ScaleFactor;
+
+use crate::context::ExperimentContext;
+use crate::table;
+
+/// Figure 12: executor-allocation skylines for q94 under DA(1,48), SA(48),
+/// SA(25), and the AutoExecutor rule requesting 25 executors.
+pub fn fig12_skylines(ctx: &mut ExperimentContext) {
+    table::section(
+        "Figure 12",
+        "Executor allocation skylines for q94, SF=100 (DA(1,48), SA(48), SA(25), Rule(25))",
+    );
+    let query = ctx.query("q94", ScaleFactor::SF100);
+    let cluster = ctx.config.cluster;
+    let run_cfg = RunConfig::default().with_seed(94);
+
+    let policies: Vec<(&str, AllocationPolicy)> = vec![
+        ("DA(1,48)", AllocationPolicy::dynamic(1, 48)),
+        ("SA(48)", AllocationPolicy::static_allocation(48)),
+        ("SA(25)", AllocationPolicy::static_allocation(25)),
+        ("Rule(25)", AllocationPolicy::predictive(25)),
+    ];
+
+    let mut results = Vec::new();
+    for (label, policy) in policies {
+        let result =
+            run_with_policy(&cluster, policy, "q94", &query.dag, &run_cfg).expect("run succeeds");
+        results.push((label, result));
+    }
+
+    table::header(&["policy", "time (s)", "max execs", "AUC (exec-s)"]);
+    for (label, result) in &results {
+        table::row(&[
+            (*label).to_string(),
+            table::fmt(result.elapsed_secs, 1),
+            result.max_executors.to_string(),
+            table::fmt(result.auc_executor_secs, 0),
+        ]);
+    }
+
+    println!("\nskylines (executors allocated, one sample per 10 s):");
+    for (label, result) in &results {
+        let samples: Vec<String> = result
+            .skyline
+            .sample(10.0)
+            .into_iter()
+            .map(|(_, n)| format!("{n:>2}"))
+            .collect();
+        println!("  {label:<9} {}", samples.join(" "));
+    }
+    println!(
+        "paper: SA(25) vs SA(48) keeps the run time close while cutting peak executors 48 -> 25 and \
+         AUC 1904 -> 1022; Rule(25) lags ~27 s behind SA(25) due to the allocation ramp but cuts AUC \
+         vs DA(1,48) from 1250 to 729."
+    );
+}
+
+/// Figure 13: per-query ratios of DA(1,48) and SA(48) to the AutoExecutor
+/// rule for peak executors, AUC, and run time, plus the Section 5.4
+/// aggregate savings.
+pub fn fig13_allocation_ratios(ctx: &mut ExperimentContext) {
+    table::section(
+        "Figure 13",
+        "DA(1,48)/Rule and SA(48)/Rule ratios over all SF=100 queries (AE_PL, H=1.05)",
+    );
+
+    // Predicted executor counts: AE_PL cross-validation test predictions with
+    // the H=1.05 objective (one fold set, as in the paper).
+    let data = ctx.training_data(ScaleFactor::SF100);
+    let actuals = ctx.actuals(ScaleFactor::SF100);
+    let counts = ctx.config.training_counts;
+    let config = ctx.config.with_ppm_kind(PpmKind::PowerLaw);
+    let cv = CrossValidationConfig {
+        folds: 5,
+        repeats: 1,
+        seed: 42,
+    };
+    let report = cross_validate(&data, &actuals, &config, &cv, &counts).expect("cross-validation");
+    let predicted_n: BTreeMap<String, usize> = report
+        .mean_test_curves()
+        .into_iter()
+        .filter_map(|(name, curve)| {
+            let dense = PerfCurve::from_samples(&curve).evaluate_integer_range(1, 48);
+            slowdown_config(&dense, 1.05).map(|n| (name, n))
+        })
+        .collect();
+
+    let suite = ctx.suite(ScaleFactor::SF100).to_vec();
+    let run_cfg = RunConfig::default().with_seed(13);
+    let mut comparisons = Vec::new();
+    for query in &suite {
+        let Some(&predicted) = predicted_n.get(&query.name) else {
+            continue;
+        };
+        let comparison = compare_allocations(
+            &ctx.config.cluster,
+            &query.name,
+            &query.dag,
+            predicted,
+            48,
+            &run_cfg,
+        )
+        .expect("comparison succeeds");
+        comparisons.push(comparison);
+    }
+
+    println!("per-query ratios (◆ marks queries that received their full predicted allocation):");
+    table::header(&[
+        "query",
+        "pred n",
+        "n SA/Rule",
+        "n DA/Rule",
+        "AUC SA/Rule",
+        "AUC DA/Rule",
+        "speedup SA",
+        "speedup DA",
+    ]);
+    for comparison in &comparisons {
+        let marker = if comparison.fully_allocated { "◆" } else { " " };
+        table::row(&[
+            format!("{}{}", comparison.name, marker),
+            comparison.predicted_executors.to_string(),
+            table::fmt(comparison.n_ratio_static(), 2),
+            table::fmt(comparison.n_ratio_dynamic(), 2),
+            table::fmt(comparison.auc_ratio_static(), 2),
+            table::fmt(comparison.auc_ratio_dynamic(), 2),
+            table::fmt(comparison.speedup_vs_static(), 2),
+            table::fmt(comparison.speedup_vs_dynamic(), 2),
+        ]);
+    }
+
+    let averages = ratio_averages(&comparisons);
+    println!("\naggregates over {} queries:", comparisons.len());
+    println!(
+        "  mean n ratio      SA(48)/Rule = {:.1} (paper 3.5),  DA(1,48)/Rule = {:.1} (paper 2.6)",
+        averages.n_ratio_static, averages.n_ratio_dynamic
+    );
+    println!(
+        "  mean AUC ratio    SA(48)/Rule = {:.1} (paper 4.9),  DA(1,48)/Rule = {:.1} (paper 2.1)",
+        averages.auc_ratio_static, averages.auc_ratio_dynamic
+    );
+    println!(
+        "  mean speedup      vs SA(48) = {:.2} (paper ~0.84, i.e. 16% slowdown), vs DA = {:.2} (paper ~0.96)",
+        averages.speedup_vs_static, averages.speedup_vs_dynamic
+    );
+    println!(
+        "  total AUC saving  vs DA(1,48) = {:.0}% (paper 48%), vs SA(48) = {:.0}% (paper 73%)",
+        averages.auc_saving_vs_dynamic * 100.0,
+        averages.auc_saving_vs_static * 100.0
+    );
+    println!(
+        "  fully-allocated queries: {:.0}% (paper: 55 of 103)",
+        averages.fully_allocated_fraction * 100.0
+    );
+}

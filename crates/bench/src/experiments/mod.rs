@@ -1,0 +1,44 @@
+//! The per-figure/table experiment harnesses.
+//!
+//! Each function regenerates the data series behind one table or figure of
+//! the paper's evaluation and prints it in a paper-comparable form. The
+//! `experiments` binary dispatches on the experiment id; `all` runs
+//! everything in paper order.
+
+use crate::context::ExperimentContext;
+
+pub mod allocation;
+pub mod model_accuracy;
+pub mod motivation;
+pub mod selection;
+pub mod workload_characteristics;
+
+/// All experiment ids, in the order they appear in the paper.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "fig1", "fig2", "fig3", "fig4", "table1", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "fig15", "ablation", "overheads",
+];
+
+/// Runs one experiment by id. Returns `false` for an unknown id.
+pub fn run(id: &str, ctx: &mut ExperimentContext) -> bool {
+    match id {
+        "fig1" => workload_characteristics::fig1_runtime_and_auc(ctx),
+        "fig2" => motivation::fig2_production_insights(),
+        "fig3" => motivation::fig3_executor_counts(ctx),
+        "fig4" => model_accuracy::fig4_ppm_fit_errors(ctx),
+        "table1" => workload_characteristics::table1_configurations(),
+        "fig5" => workload_characteristics::fig5_total_cores(ctx),
+        "fig8" => model_accuracy::fig8_example_prediction(ctx),
+        "fig9" => model_accuracy::fig9_cross_validation_errors(ctx),
+        "fig10" => selection::fig10_bounded_slowdown(ctx),
+        "fig11" => selection::fig11_elbow_points(ctx),
+        "fig12" => allocation::fig12_skylines(ctx),
+        "fig13" => allocation::fig13_allocation_ratios(ctx),
+        "fig14" => model_accuracy::fig14_cross_scale_factor(ctx),
+        "fig15" => model_accuracy::fig15_feature_importance(ctx),
+        "ablation" => model_accuracy::ablation_feature_sets(ctx),
+        "overheads" => model_accuracy::overheads(ctx),
+        _ => return false,
+    }
+    true
+}

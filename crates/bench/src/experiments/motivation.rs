@@ -1,0 +1,88 @@
+//! Section 2 motivation figures: production-workload insights (Figure 2)
+//! and executor-count distributions (Figure 3).
+
+use ae_workload::{ProductionWorkload, ProductionWorkloadConfig, ScaleFactor};
+
+use crate::context::ExperimentContext;
+use crate::table;
+
+/// Figure 2: queries per application, per-application variation, and
+/// concurrent applications, from the synthetic production telemetry.
+pub fn fig2_production_insights() {
+    table::section(
+        "Figure 2",
+        "Insights from (synthetic) production Spark workloads",
+    );
+    let workload = ProductionWorkload::generate(&ProductionWorkloadConfig::default());
+    println!(
+        "telemetry: {} applications, {} queries",
+        workload.applications.len(),
+        workload.total_queries()
+    );
+
+    println!("\n(a) queries per application — paper: >60% of apps run more than one query");
+    let queries_per_app = workload.queries_per_application();
+    let multi = queries_per_app.iter().filter(|&&q| q > 1.0).count() as f64
+        / queries_per_app.len() as f64
+        * 100.0;
+    table::cdf_summary("queries/application", &queries_per_app, 0);
+    table::cdf_at_thresholds("queries/application", &queries_per_app, &[1.0, 10.0, 100.0, 1000.0]);
+    println!("applications with >1 query: {multi:.0}%");
+
+    println!("\n(b) coefficient of variation within applications (multi-query apps)");
+    println!("    paper medians: operator counts >=20%, rows processed >=40%, query times >=60%");
+    let (rows, times, ops) = workload.variation_cdfs();
+    table::cdf_summary("rows processed CoV (%)", &rows, 0);
+    table::cdf_summary("query times CoV (%)", &times, 0);
+    table::cdf_summary("operator counts CoV (%)", &ops, 0);
+
+    println!("\n(c) maximum concurrent applications per cluster — paper: ~70% do not share");
+    let concurrency = workload.concurrent_applications();
+    let alone = concurrency.iter().filter(|&&c| c <= 1.0).count() as f64
+        / concurrency.len() as f64
+        * 100.0;
+    table::cdf_summary("concurrent applications", &concurrency, 0);
+    println!("applications running alone on their cluster: {alone:.0}%");
+}
+
+/// Figure 3: dynamic-allocation ranges, static allocations, and optimal
+/// executor counts for the TPC-DS-like suite.
+pub fn fig3_executor_counts(ctx: &mut ExperimentContext) {
+    table::section(
+        "Figure 3",
+        "Executor counts in production workloads and optimal counts for TPC-DS",
+    );
+    let workload = ProductionWorkload::generate(&ProductionWorkloadConfig::default());
+
+    println!("(a) non-default dynamic-allocation ranges — paper: ~60% have a range of just 2");
+    println!(
+        "dynamic allocation enabled: {:.0}% of applications (paper: 59%)",
+        workload.dynamic_allocation_fraction() * 100.0
+    );
+    let ranges = workload.non_default_da_ranges();
+    table::cdf_summary("DA range width", &ranges, 0);
+    table::cdf_at_thresholds("DA range width", &ranges, &[2.0, 8.0, 32.0, 64.0]);
+
+    println!("\n(b) static allocations of apps without dynamic allocation — paper: ~80% use 2 executors");
+    let (executors, cores) = workload.static_allocations();
+    table::cdf_summary("executor instances", &executors, 0);
+    table::cdf_at_thresholds("executor instances", &executors, &[2.0, 8.0, 128.0, 2048.0]);
+    table::cdf_summary("total cores", &cores, 0);
+
+    println!("\n(c) optimal executor counts for TPC-DS queries — paper: spread from 1 to 48, SF-dependent");
+    for sf in [ScaleFactor::SF10, ScaleFactor::SF100] {
+        let actuals = ctx.actuals(sf);
+        let optima: Vec<f64> = actuals
+            .names()
+            .iter()
+            .filter_map(|name| actuals.optimal_executors(name))
+            .map(|n| n as f64)
+            .collect();
+        table::cdf_summary(&format!("optimal executors {sf}"), &optima, 0);
+        table::cdf_at_thresholds(
+            &format!("optimal executors {sf}"),
+            &optima,
+            &[1.0, 8.0, 16.0, 32.0, 48.0],
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Figure 1, Table 1 and Figure 5: price-performance behaviour of the
+//! workload on the simulated cluster, and the total-cores study.
+
+use ae_engine::{AllocationPolicy, ClusterConfig, RunConfig, Simulator};
+use ae_ml::metrics::iqr_filtered_mean;
+use ae_ppm::curve::PerfCurve;
+use ae_workload::ScaleFactor;
+
+use crate::context::ExperimentContext;
+use crate::table;
+
+/// Figure 1: average run time and executor occupancy (AUC) for q94, SF=100,
+/// across executor counts.
+pub fn fig1_runtime_and_auc(ctx: &mut ExperimentContext) {
+    table::section(
+        "Figure 1",
+        "Run time and executor-occupancy AUC vs executor count (q94, SF=100)",
+    );
+    let query = ctx.query("q94", ScaleFactor::SF100);
+    let cluster = ctx.config.cluster;
+    table::header(&["executors", "time (s)", "AUC (exec-s)"]);
+    for n in [1usize, 3, 8, 16, 24, 32, 40, 48] {
+        let simulator =
+            Simulator::new(cluster, AllocationPolicy::static_allocation(n)).expect("valid cluster");
+        let mut times = Vec::new();
+        let mut aucs = Vec::new();
+        for repeat in 0..3u64 {
+            let result = query_run(&simulator, &query.dag, "q94", repeat);
+            times.push(result.0);
+            aucs.push(result.1);
+        }
+        table::row(&[
+            n.to_string(),
+            table::fmt(iqr_filtered_mean(&times), 1),
+            table::fmt(iqr_filtered_mean(&aucs), 0),
+        ]);
+    }
+    println!("paper shape: time drops steeply then plateaus; AUC keeps rising (507 -> 2575 exec-s).");
+}
+
+fn query_run(
+    simulator: &Simulator,
+    dag: &ae_engine::StageDag,
+    name: &str,
+    seed: u64,
+) -> (f64, f64) {
+    let result = simulator.run(name, dag, &RunConfig::default().with_seed(seed));
+    (result.elapsed_secs, result.auc_executor_secs)
+}
+
+/// Table 1: the (cores/executor, executors, total cores) configuration grid.
+pub fn table1_configurations_experiment_rows() -> Vec<(usize, usize, usize)> {
+    ae_ppm::cores::table1_configurations()
+}
+
+/// Table 1 printed in paper form.
+pub fn table1_configurations() {
+    table::section("Table 1", "Configurations for the total-cores study");
+    table::header(&["cores/executor", "executors", "total cores"]);
+    for (ec, n, k) in table1_configurations_experiment_rows() {
+        table::row(&[ec.to_string(), n.to_string(), k.to_string()]);
+    }
+}
+
+/// Figure 5: run time vs total cores for q94 and q69 grouped by
+/// cores-per-executor, and the distribution of relative errors when
+/// estimating ec≠4 configurations from the ec=4 trend.
+pub fn fig5_total_cores(ctx: &mut ExperimentContext) {
+    table::section(
+        "Figure 5",
+        "Impact of total cores k = n x ec (q94, q69 detail; error CDF over all queries)",
+    );
+    let configs = table1_configurations_experiment_rows();
+
+    for name in ["q94", "q69"] {
+        let query = ctx.query(name, ScaleFactor::SF100);
+        println!("\n{name}, SF=100:");
+        table::header(&["cores/executor", "executors", "total cores", "time (s)"]);
+        for &(ec, n, k) in &configs {
+            let time = run_with_ec(&ctx.config.cluster, ec, n, &query.dag, name);
+            table::row(&[
+                ec.to_string(),
+                n.to_string(),
+                k.to_string(),
+                table::fmt(time, 1),
+            ]);
+        }
+    }
+
+    // (c) Relative estimation error of ec != 4 configurations against linear
+    // interpolation over the ec = 4 series, over the whole suite.
+    println!("\n(c) relative estimation error for ec != 4 configs (all queries, SF=100)");
+    let suite = ctx.suite(ScaleFactor::SF100).to_vec();
+    let mut errors_pct = Vec::new();
+    for query in &suite {
+        // Reference series: ec = 4 over its total-core grid.
+        let reference: Vec<(usize, f64)> = configs
+            .iter()
+            .filter(|&&(ec, _, _)| ec == 4)
+            .map(|&(ec, n, k)| (k, run_with_ec(&ctx.config.cluster, ec, n, &query.dag, &query.name)))
+            .collect();
+        let reference_curve = PerfCurve::from_samples(&reference);
+        for &(ec, n, k) in configs.iter().filter(|&&(ec, _, _)| ec != 4) {
+            let actual = run_with_ec(&ctx.config.cluster, ec, n, &query.dag, &query.name);
+            let estimated = reference_curve.evaluate(k as f64);
+            errors_pct.push((1.0 - actual / estimated) * 100.0);
+        }
+    }
+    let abs_mean =
+        errors_pct.iter().map(|e| e.abs()).sum::<f64>() / errors_pct.len().max(1) as f64;
+    let within10 = errors_pct.iter().filter(|e| e.abs() <= 10.0).count() as f64
+        / errors_pct.len().max(1) as f64
+        * 100.0;
+    let within20 = errors_pct.iter().filter(|e| e.abs() <= 20.0).count() as f64
+        / errors_pct.len().max(1) as f64
+        * 100.0;
+    table::cdf_summary("relative error (%)", &errors_pct, 1);
+    println!(
+        "mean |error| = {abs_mean:.1}% (paper: 8.8%); within +-10%: {within10:.1}% (paper: 68.4%); \
+         within +-20%: {within20:.1}% (paper: 92.9%)"
+    );
+}
+
+fn run_with_ec(
+    base_cluster: &ClusterConfig,
+    ec: usize,
+    n: usize,
+    dag: &ae_engine::StageDag,
+    name: &str,
+) -> f64 {
+    let cluster = (*base_cluster).with_cores_per_executor(ec);
+    let simulator =
+        Simulator::new(cluster, AllocationPolicy::static_allocation(n)).expect("valid cluster");
+    simulator
+        .run(name, dag, &RunConfig::deterministic())
+        .elapsed_secs
+}

@@ -1,0 +1,21 @@
+//! # ae-bench — benchmark and experiment harness
+//!
+//! Two entry points:
+//!
+//! * the `experiments` binary regenerates every table and figure of the
+//!   paper's evaluation section (`cargo run -p ae-bench --release --bin
+//!   experiments -- all`), printing the same rows/series the paper reports;
+//! * the criterion benches (`cargo bench -p ae-bench`) measure the
+//!   Section 5.6 overheads: parameter-model training, scoring, plan
+//!   featurization, simulation, and configuration selection.
+//!
+//! [`context::ExperimentContext`] caches the expensive shared inputs
+//! (training data, ground-truth runs) so `all` does not recompute them per
+//! experiment.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod context;
+pub mod experiments;
+pub mod table;

@@ -1,0 +1,86 @@
+//! Small text-formatting helpers for experiment output.
+
+use ae_ml::metrics::{empirical_cdf, percentile_sorted};
+
+/// Prints a section header for an experiment.
+pub fn section(id: &str, title: &str) {
+    println!();
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}
+
+/// Prints a table header row followed by a separator.
+pub fn header(columns: &[&str]) {
+    let row: Vec<String> = columns.iter().map(|c| format!("{c:>16}")).collect();
+    println!("{}", row.join(" "));
+    println!("{}", "-".repeat(17 * columns.len()));
+}
+
+/// Prints one row of right-aligned cells.
+pub fn row(cells: &[String]) {
+    let row: Vec<String> = cells.iter().map(|c| format!("{c:>16}")).collect();
+    println!("{}", row.join(" "));
+}
+
+/// Formats a float with the given precision.
+pub fn fmt(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Prints a cumulative distribution as the percentiles the paper's CDF
+/// figures let a reader extract (p10/p25/p50/p75/p90 plus min/max).
+pub fn cdf_summary(label: &str, values: &[f64], decimals: usize) {
+    if values.is_empty() {
+        println!("{label:<28} (no data)");
+        return;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let p = |pct: f64| fmt(percentile_sorted(&sorted, pct), decimals);
+    println!(
+        "{label:<28} min={} p10={} p25={} p50={} p75={} p90={} max={}",
+        p(0.0),
+        p(10.0),
+        p(25.0),
+        p(50.0),
+        p(75.0),
+        p(90.0),
+        p(100.0)
+    );
+}
+
+/// Prints the fraction of values at or below each of the given thresholds —
+/// the "X% of applications have ≤ Y" readings of the CDF figures.
+pub fn cdf_at_thresholds(label: &str, values: &[f64], thresholds: &[f64]) {
+    let cdf = empirical_cdf(values);
+    let at = |threshold: f64| {
+        let pct = cdf
+            .iter()
+            .filter(|&&(v, _)| v <= threshold)
+            .map(|&(_, p)| p)
+            .next_back()
+            .unwrap_or(0.0);
+        format!("P(x<={threshold:.0})={pct:.0}%")
+    };
+    let cells: Vec<String> = thresholds.iter().map(|&t| at(t)).collect();
+    println!("{label:<28} {}", cells.join("  "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_rounds_to_requested_precision() {
+        assert_eq!(fmt(2.4681, 2), "2.47");
+        assert_eq!(fmt(10.0, 0), "10");
+    }
+
+    #[test]
+    fn cdf_helpers_do_not_panic_on_edge_cases() {
+        cdf_summary("empty", &[], 2);
+        cdf_summary("single", &[5.0], 1);
+        cdf_at_thresholds("single", &[5.0], &[1.0, 10.0]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Plan featurization — Table 2 of the paper.
+//!
+//! The parameter model only consumes features available at compile /
+//! optimization time: per-operator counts, the total operator count, the
+//! maximum plan depth, the number of input sources, the estimated total
+//! input bytes, and the estimated total rows processed. No runtime
+//! statistics are used (Section 3.4), so the same featurization serves both
+//! training and in-optimizer scoring.
+//!
+//! [`FeatureSet`] additionally captures the reduced feature sets of the
+//! Section 5.7 ablation: `F0` (all features), `F1` (top six by permutation
+//! importance), `F2` (the two input-size features), and `F3 = F1 − F2`
+//! (the four plan-shape features).
+
+use ae_engine::plan::{OperatorKind, PlanStats, QueryPlan};
+use serde::{Deserialize, Serialize};
+
+/// Feature name for the estimated total input bytes.
+pub const TOTAL_INPUT_BYTES: &str = "TotalInputBytes";
+/// Feature name for the estimated total rows processed.
+pub const TOTAL_ROWS_PROCESSED: &str = "TotalRowsProcessed";
+/// Feature name for the maximum plan depth.
+pub const MAX_DEPTH: &str = "MaxDepth";
+/// Feature name for the total operator count.
+pub const NUM_OPS: &str = "NumOps";
+/// Feature name for the number of input sources.
+pub const NUM_INPUTS: &str = "NumInputs";
+
+/// The full feature-name list, in column order.
+///
+/// Order: the 14 operator-count features (in [`OperatorKind::ALL`] order),
+/// then `NumOps`, `MaxDepth`, `NumInputs`, `TotalInputBytes`,
+/// `TotalRowsProcessed`.
+pub fn full_feature_names() -> Vec<String> {
+    let mut names: Vec<String> = OperatorKind::ALL.iter().map(|k| k.name().to_string()).collect();
+    names.push(NUM_OPS.to_string());
+    names.push(MAX_DEPTH.to_string());
+    names.push(NUM_INPUTS.to_string());
+    names.push(TOTAL_INPUT_BYTES.to_string());
+    names.push(TOTAL_ROWS_PROCESSED.to_string());
+    names
+}
+
+/// Featurizes plan statistics into the full feature vector (same order as
+/// [`full_feature_names`]).
+pub fn featurize_stats(stats: &PlanStats) -> Vec<f64> {
+    let mut values: Vec<f64> = stats.operator_counts.iter().map(|&c| c as f64).collect();
+    values.push(stats.total_operators as f64);
+    values.push(stats.max_depth as f64);
+    values.push(stats.num_input_sources as f64);
+    values.push(stats.total_input_bytes);
+    values.push(stats.total_rows_processed);
+    values
+}
+
+/// Featurizes a query plan (convenience over [`featurize_stats`]).
+pub fn featurize_plan(plan: &QueryPlan) -> Vec<f64> {
+    featurize_stats(&plan.stats())
+}
+
+/// The feature sets of the Section 5.7 ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureSet {
+    /// All Table-2 features.
+    F0,
+    /// The top six features by permutation importance: total input bytes,
+    /// total rows processed, max depth, operator count, `Project`, `Filter`.
+    F1,
+    /// The two input-size features only.
+    F2,
+    /// The four plan-shape features of F1 (i.e. F1 minus F2).
+    F3,
+}
+
+impl FeatureSet {
+    /// All ablation feature sets, in paper order.
+    pub const ALL: [FeatureSet; 4] = [FeatureSet::F0, FeatureSet::F1, FeatureSet::F2, FeatureSet::F3];
+
+    /// Short label as used in the paper ("F0" .. "F3").
+    pub fn label(&self) -> &'static str {
+        match self {
+            FeatureSet::F0 => "F0",
+            FeatureSet::F1 => "F1",
+            FeatureSet::F2 => "F2",
+            FeatureSet::F3 => "F3",
+        }
+    }
+
+    /// The feature names retained by this set, in column order.
+    pub fn feature_names(&self) -> Vec<String> {
+        match self {
+            FeatureSet::F0 => full_feature_names(),
+            FeatureSet::F1 => vec![
+                TOTAL_INPUT_BYTES.to_string(),
+                TOTAL_ROWS_PROCESSED.to_string(),
+                MAX_DEPTH.to_string(),
+                NUM_OPS.to_string(),
+                OperatorKind::Project.name().to_string(),
+                OperatorKind::Filter.name().to_string(),
+            ],
+            FeatureSet::F2 => vec![TOTAL_INPUT_BYTES.to_string(), TOTAL_ROWS_PROCESSED.to_string()],
+            FeatureSet::F3 => vec![
+                MAX_DEPTH.to_string(),
+                NUM_OPS.to_string(),
+                OperatorKind::Project.name().to_string(),
+                OperatorKind::Filter.name().to_string(),
+            ],
+        }
+    }
+
+    /// Projects a full feature vector (ordered as [`full_feature_names`])
+    /// onto this feature set.
+    pub fn project(&self, full_values: &[f64]) -> Vec<f64> {
+        let full_names = full_feature_names();
+        self.feature_names()
+            .iter()
+            .map(|name| {
+                let idx = full_names
+                    .iter()
+                    .position(|n| n == name)
+                    .expect("feature-set names are a subset of the full names");
+                full_values[idx]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ae_engine::plan::PlanNode;
+
+    fn sample_plan() -> QueryPlan {
+        let scan = PlanNode::leaf(OperatorKind::TableScan, 1e6, 2e9);
+        let filter = PlanNode::internal(OperatorKind::Filter, 4e5, vec![scan]);
+        let agg = PlanNode::internal(OperatorKind::Aggregate, 1e3, vec![filter]);
+        QueryPlan::new("sample", agg)
+    }
+
+    #[test]
+    fn full_feature_vector_has_nineteen_columns() {
+        let names = full_feature_names();
+        assert_eq!(names.len(), 14 + 5);
+        let values = featurize_plan(&sample_plan());
+        assert_eq!(values.len(), names.len());
+    }
+
+    #[test]
+    fn featurization_reflects_plan_contents() {
+        let names = full_feature_names();
+        let values = featurize_plan(&sample_plan());
+        let get = |name: &str| values[names.iter().position(|n| n == name).unwrap()];
+        assert_eq!(get("TableScan"), 1.0);
+        assert_eq!(get("Filter"), 1.0);
+        assert_eq!(get("Aggregate"), 1.0);
+        assert_eq!(get("Join"), 0.0);
+        assert_eq!(get(NUM_OPS), 3.0);
+        assert_eq!(get(MAX_DEPTH), 3.0);
+        assert_eq!(get(NUM_INPUTS), 1.0);
+        assert!((get(TOTAL_INPUT_BYTES) - 2e9).abs() < 1.0);
+        assert!((get(TOTAL_ROWS_PROCESSED) - 1.401e6).abs() < 1e3);
+    }
+
+    #[test]
+    fn feature_sets_are_subsets_of_full() {
+        let full = full_feature_names();
+        for set in FeatureSet::ALL {
+            for name in set.feature_names() {
+                assert!(full.contains(&name), "{name} missing from full set");
+            }
+        }
+        assert_eq!(FeatureSet::F0.feature_names().len(), full.len());
+        assert_eq!(FeatureSet::F1.feature_names().len(), 6);
+        assert_eq!(FeatureSet::F2.feature_names().len(), 2);
+        assert_eq!(FeatureSet::F3.feature_names().len(), 4);
+    }
+
+    #[test]
+    fn f3_is_f1_minus_f2() {
+        let f1: Vec<String> = FeatureSet::F1.feature_names();
+        let f2 = FeatureSet::F2.feature_names();
+        let f3 = FeatureSet::F3.feature_names();
+        for name in &f3 {
+            assert!(f1.contains(name));
+            assert!(!f2.contains(name));
+        }
+        assert_eq!(f1.len(), f2.len() + f3.len());
+    }
+
+    #[test]
+    fn projection_selects_the_right_columns() {
+        let values = featurize_plan(&sample_plan());
+        let projected = FeatureSet::F2.project(&values);
+        assert_eq!(projected.len(), 2);
+        assert!((projected[0] - 2e9).abs() < 1.0);
+        let f0 = FeatureSet::F0.project(&values);
+        assert_eq!(f0, values);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(FeatureSet::F0.label(), "F0");
+        assert_eq!(FeatureSet::F3.label(), "F3");
+    }
+}

@@ -1,0 +1,169 @@
+//! Model registry (Section 4.4).
+//!
+//! In the paper the trained ONNX models live in a model-management service
+//! (Azure ML / MLflow) and are looked up by the optimizer extension before
+//! being loaded and cached in-process. [`ModelRegistry`] fills that role: a
+//! thread-safe store of [`PortableModel`]s addressable by name, optionally
+//! backed by a directory of `.aex` files so models survive process restarts.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use ae_ml::portable::PortableModel;
+use parking_lot::Mutex;
+
+use crate::{AutoExecutorError, Result};
+
+/// A named store of portable parameter models.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    directory: Option<PathBuf>,
+    memory: Mutex<HashMap<String, PortableModel>>,
+}
+
+impl ModelRegistry {
+    /// Creates a purely in-memory registry.
+    pub fn in_memory() -> Self {
+        Self::default()
+    }
+
+    /// Creates a registry backed by a directory of `.aex` files. The
+    /// directory is created if missing.
+    pub fn with_directory(path: impl AsRef<Path>) -> Result<Self> {
+        let dir = path.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| AutoExecutorError::InvalidModel(format!("cannot create registry dir: {e}")))?;
+        Ok(Self {
+            directory: Some(dir),
+            memory: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Registers (or replaces) a model under `name`. Directory-backed
+    /// registries also persist it to `<dir>/<name>.aex`.
+    pub fn register(&self, name: &str, model: PortableModel) -> Result<()> {
+        if let Some(dir) = &self.directory {
+            model
+                .save(dir.join(format!("{name}.aex")))
+                .map_err(AutoExecutorError::Ml)?;
+        }
+        self.memory.lock().insert(name.to_string(), model);
+        Ok(())
+    }
+
+    /// Loads a model by name: the in-memory cache is consulted first, then
+    /// the backing directory (if any).
+    pub fn load(&self, name: &str) -> Result<PortableModel> {
+        if let Some(model) = self.memory.lock().get(name) {
+            return Ok(model.clone());
+        }
+        if let Some(dir) = &self.directory {
+            let path = dir.join(format!("{name}.aex"));
+            if path.exists() {
+                let model = PortableModel::load(&path).map_err(AutoExecutorError::Ml)?;
+                self.memory.lock().insert(name.to_string(), model.clone());
+                return Ok(model);
+            }
+        }
+        Err(AutoExecutorError::ModelNotFound(name.to_string()))
+    }
+
+    /// Names of all models currently known to the registry (in-memory plus
+    /// any `.aex` files in the backing directory).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.memory.lock().keys().cloned().collect();
+        if let Some(dir) = &self.directory {
+            if let Ok(entries) = std::fs::read_dir(dir) {
+                for entry in entries.flatten() {
+                    let path = entry.path();
+                    if path.extension().is_some_and(|e| e == "aex") {
+                        if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                            if !names.iter().any(|n| n == stem) {
+                                names.push(stem.to_string());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        names.sort();
+        names
+    }
+
+    /// Removes a model from the registry (memory and disk).
+    pub fn remove(&self, name: &str) -> Result<()> {
+        self.memory.lock().remove(name);
+        if let Some(dir) = &self.directory {
+            let path = dir.join(format!("{name}.aex"));
+            if path.exists() {
+                std::fs::remove_file(&path).map_err(|e| {
+                    AutoExecutorError::InvalidModel(format!("cannot remove model file: {e}"))
+                })?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ae_ml::dataset::Dataset;
+    use ae_ml::forest::{RandomForestConfig, RandomForestRegressor};
+
+    fn dummy_model(name: &str) -> PortableModel {
+        let mut ds = Dataset::new(vec!["x".into()], vec!["y".into()]);
+        for i in 0..12 {
+            ds.push_row(format!("r{i}"), vec![i as f64], vec![(i * 2) as f64]).unwrap();
+        }
+        let mut forest = RandomForestRegressor::new(RandomForestConfig {
+            n_estimators: 3,
+            ..Default::default()
+        });
+        forest.fit(&ds).unwrap();
+        PortableModel::from_forest(name, forest).unwrap()
+    }
+
+    #[test]
+    fn in_memory_register_and_load() {
+        let registry = ModelRegistry::in_memory();
+        registry.register("pl", dummy_model("pl")).unwrap();
+        let loaded = registry.load("pl").unwrap();
+        assert_eq!(loaded.name, "pl");
+        assert_eq!(registry.names(), vec!["pl".to_string()]);
+    }
+
+    #[test]
+    fn missing_model_is_an_error() {
+        let registry = ModelRegistry::in_memory();
+        assert!(matches!(
+            registry.load("nope"),
+            Err(AutoExecutorError::ModelNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn directory_backed_registry_persists_models() {
+        let dir = std::env::temp_dir().join(format!("ae_registry_test_{}", std::process::id()));
+        let registry = ModelRegistry::with_directory(&dir).unwrap();
+        registry.register("persisted", dummy_model("persisted")).unwrap();
+
+        // A fresh registry over the same directory finds the model on disk.
+        let fresh = ModelRegistry::with_directory(&dir).unwrap();
+        assert!(fresh.names().contains(&"persisted".to_string()));
+        let loaded = fresh.load("persisted").unwrap();
+        assert_eq!(loaded.name, "persisted");
+
+        registry.remove("persisted").unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn remove_clears_memory_and_names() {
+        let registry = ModelRegistry::in_memory();
+        registry.register("a", dummy_model("a")).unwrap();
+        registry.remove("a").unwrap();
+        assert!(registry.names().is_empty());
+        assert!(registry.load("a").is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Executor-size recommendations: from a predicted PPM to a concrete
+//! `(executors, cores-per-executor)` configuration.
+//!
+//! Section 3.3 of the paper argues that the total core count `k = n × ec` is
+//! the knob that matters for performance, and that once `k` is chosen it
+//! should be factorized into an executor size that minimizes stranded
+//! resources on each node. This module packages that workflow on top of the
+//! trained parameter model: predict the price-performance curve, apply a
+//! selection objective, convert the chosen executor count into total cores,
+//! and factorize it under node constraints.
+
+use ae_engine::plan::QueryPlan;
+use ae_ppm::cores::{factorize_total_cores, FactorizationConstraints};
+use ae_ppm::selection::SelectionObjective;
+use serde::{Deserialize, Serialize};
+
+use crate::training::ParameterModel;
+use crate::{AutoExecutorError, Result};
+
+/// A concrete sizing recommendation for one query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizingRecommendation {
+    /// Total cores selected for the query (`k`).
+    pub total_cores: usize,
+    /// Number of executors (`n`) after factorization.
+    pub executors: usize,
+    /// Cores per executor (`ec`) after factorization.
+    pub cores_per_executor: usize,
+    /// Cores stranded per node by the chosen executor size.
+    pub stranded_cores_per_node: usize,
+    /// Predicted run time at the selected configuration.
+    pub predicted_secs: f64,
+}
+
+/// Recommends a `(total cores, executors, cores/executor)` configuration for
+/// a query plan.
+///
+/// The parameter model's PPM is evaluated over `candidate_executors`
+/// (interpreted at the reference executor size `reference_ec`, the size the
+/// model was trained with — 4 cores in the paper). The selection `objective`
+/// picks an executor count, which is converted to total cores and factorized
+/// under `constraints`. Returns `Ok(None)` when no factorization satisfies
+/// the constraints.
+pub fn recommend_sizing(
+    model: &ParameterModel,
+    plan: &QueryPlan,
+    objective: SelectionObjective,
+    candidate_executors: &[usize],
+    reference_ec: usize,
+    constraints: &FactorizationConstraints,
+) -> Result<Option<SizingRecommendation>> {
+    if candidate_executors.is_empty() || reference_ec == 0 {
+        return Err(AutoExecutorError::InvalidModel(
+            "sizing needs a non-empty candidate range and a positive reference executor size".into(),
+        ));
+    }
+    let ppm = model.predict_ppm(plan)?;
+    let curve = ppm.predict_curve(candidate_executors);
+    let Some(selected_executors) = objective.select(&curve) else {
+        return Ok(None);
+    };
+    let predicted_secs = ppm.predict(selected_executors as f64);
+    let total_cores = selected_executors * reference_ec;
+    let Some(factorization) = factorize_total_cores(total_cores, constraints) else {
+        return Ok(None);
+    };
+    Ok(Some(SizingRecommendation {
+        total_cores,
+        executors: factorization.executors,
+        cores_per_executor: factorization.cores_per_executor,
+        stranded_cores_per_node: factorization.stranded_cores_per_node,
+        predicted_secs,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AutoExecutorConfig;
+    use crate::training::train_from_workload;
+    use ae_workload::{ScaleFactor, WorkloadGenerator};
+
+    fn trained_model() -> (ParameterModel, AutoExecutorConfig) {
+        let generator = WorkloadGenerator::new(ScaleFactor::SF10);
+        let queries: Vec<_> = ["q2", "q14", "q26", "q38", "q50", "q62", "q74", "q86"]
+            .iter()
+            .map(|n| generator.instance(n))
+            .collect();
+        let mut config = AutoExecutorConfig::default();
+        config.forest.n_estimators = 10;
+        config.training_run.noise_cv = 0.0;
+        let (_, model) = train_from_workload(&queries, &config).unwrap();
+        (model, config)
+    }
+
+    #[test]
+    fn recommendation_preserves_total_cores_and_constraints() {
+        let (model, config) = trained_model();
+        let plan = WorkloadGenerator::new(ScaleFactor::SF10).instance("q94").plan;
+        let constraints = FactorizationConstraints::paper_default();
+        let recommendation = recommend_sizing(
+            &model,
+            &plan,
+            config.objective,
+            &config.candidate_counts(),
+            4,
+            &constraints,
+        )
+        .unwrap()
+        .expect("a factorization exists for multiples of 4");
+        assert_eq!(
+            recommendation.executors * recommendation.cores_per_executor,
+            recommendation.total_cores
+        );
+        assert!(recommendation.cores_per_executor >= constraints.min_cores_per_executor);
+        assert!(recommendation.cores_per_executor <= constraints.max_cores_per_executor);
+        assert!(recommendation.predicted_secs > 0.0);
+    }
+
+    #[test]
+    fn tighter_slowdown_budget_never_selects_fewer_cores() {
+        let (model, config) = trained_model();
+        let plan = WorkloadGenerator::new(ScaleFactor::SF10).instance("q7").plan;
+        let constraints = FactorizationConstraints::paper_default();
+        let cores_at = |h: f64| {
+            recommend_sizing(
+                &model,
+                &plan,
+                SelectionObjective::BoundedSlowdown(h),
+                &config.candidate_counts(),
+                4,
+                &constraints,
+            )
+            .unwrap()
+            .expect("factorization exists")
+            .total_cores
+        };
+        assert!(cores_at(1.0) >= cores_at(1.5));
+        assert!(cores_at(1.5) >= cores_at(2.0));
+    }
+
+    #[test]
+    fn empty_candidates_are_rejected() {
+        let (model, _) = trained_model();
+        let plan = WorkloadGenerator::new(ScaleFactor::SF10).instance("q7").plan;
+        assert!(recommend_sizing(
+            &model,
+            &plan,
+            SelectionObjective::Elbow,
+            &[],
+            4,
+            &FactorizationConstraints::paper_default(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn infeasible_constraints_return_none() {
+        let (model, config) = trained_model();
+        let plan = WorkloadGenerator::new(ScaleFactor::SF10).instance("q7").plan;
+        // Nodes with almost no memory: no executor size fits.
+        let constraints = FactorizationConstraints {
+            node_memory_gb: 1.0,
+            ..FactorizationConstraints::paper_default()
+        };
+        let result = recommend_sizing(
+            &model,
+            &plan,
+            config.objective,
+            &config.candidate_counts(),
+            4,
+            &constraints,
+        )
+        .unwrap();
+        assert!(result.is_none());
+    }
+}

@@ -1,0 +1,401 @@
+//! Training-data collection and the parameter model (Sections 3.4 and 4.1–4.2).
+//!
+//! The pipeline mirrors Figure 6's offline half:
+//!
+//! 1. run each training query **once** at `n = 16` and capture its task log
+//!    (query-plan telemetry),
+//! 2. augment with Sparklens estimates of the run time at the other
+//!    training executor counts,
+//! 3. fit the PPM parameters to that per-query curve (these become the
+//!    labels),
+//! 4. featurize the query plan (Table 2) and train a Random Forest mapping
+//!    features → PPM parameters — one training row per query.
+
+use ae_engine::allocation::AllocationPolicy;
+use ae_engine::plan::QueryPlan;
+use ae_engine::scheduler::Simulator;
+use ae_ml::dataset::Dataset;
+use ae_ml::forest::{RandomForestConfig, RandomForestRegressor};
+use ae_ml::portable::PortableModel;
+use ae_ppm::fit::{fit_amdahl, fit_power_law};
+use ae_ppm::model::{AmdahlPpm, PowerLawPpm, Ppm, PpmKind};
+use ae_sparklens::SparklensAnalyzer;
+use ae_workload::QueryInstance;
+use serde::{Deserialize, Serialize};
+
+use crate::config::AutoExecutorConfig;
+use crate::features::{featurize_plan, full_feature_names, FeatureSet};
+use crate::{AutoExecutorError, Result};
+
+/// One training example: a query's features, its Sparklens curve, and the
+/// PPM parameters fitted to that curve (for both model families).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingExample {
+    /// Query name.
+    pub name: String,
+    /// Full Table-2 feature vector (ordered as
+    /// [`crate::features::full_feature_names`]).
+    pub full_features: Vec<f64>,
+    /// Sparklens run-time estimates at the training executor counts.
+    pub sparklens_curve: Vec<(usize, f64)>,
+    /// Elapsed time of the single observed run (at the training executor count).
+    pub observed_elapsed_secs: f64,
+    /// Fitted power-law parameters.
+    pub power_law: PowerLawPpm,
+    /// Fitted Amdahl parameters.
+    pub amdahl: AmdahlPpm,
+}
+
+/// A collected training set: one example per query.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrainingData {
+    /// The examples, in workload order.
+    pub examples: Vec<TrainingExample>,
+}
+
+impl TrainingData {
+    /// Collects training data for a workload by running each query once at
+    /// the configured training executor count and extrapolating with
+    /// Sparklens (Section 4.1).
+    pub fn collect(queries: &[QueryInstance], config: &AutoExecutorConfig) -> Result<Self> {
+        let simulator = Simulator::new(
+            config.cluster,
+            AllocationPolicy::static_allocation(config.training_run_executors),
+        )
+        .map_err(AutoExecutorError::Engine)?;
+        let analyzer = SparklensAnalyzer::paper_default();
+
+        let mut examples = Vec::with_capacity(queries.len());
+        for (idx, query) in queries.iter().enumerate() {
+            let run_cfg = ae_engine::scheduler::RunConfig {
+                seed: config.training_run.seed.wrapping_add(idx as u64),
+                capture_task_log: true,
+                ..config.training_run
+            };
+            let result = simulator.run(&query.name, &query.dag, &run_cfg);
+            let log = result
+                .task_log
+                .as_ref()
+                .expect("task log capture was requested");
+            let curve = analyzer.estimate_from_log(log, &config.training_counts);
+            examples.push(Self::example_from_curve(
+                &query.name,
+                &query.plan,
+                &curve,
+                result.elapsed_secs,
+            )?);
+        }
+        Ok(Self { examples })
+    }
+
+    /// Builds a training example from an already-available run-time curve
+    /// (Sparklens estimates or actual runs — the paper supports both).
+    pub fn example_from_curve(
+        name: &str,
+        plan: &QueryPlan,
+        curve: &[(usize, f64)],
+        observed_elapsed_secs: f64,
+    ) -> Result<TrainingExample> {
+        let power_law = fit_power_law(curve).map_err(AutoExecutorError::Fit)?;
+        let amdahl = fit_amdahl(curve).map_err(AutoExecutorError::Fit)?;
+        Ok(TrainingExample {
+            name: name.to_string(),
+            full_features: featurize_plan(plan),
+            sparklens_curve: curve.to_vec(),
+            observed_elapsed_secs,
+            power_law,
+            amdahl,
+        })
+    }
+
+    /// Number of examples (one per query).
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// True when no examples have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// Restricts the data to the examples at `indices` (cross-validation).
+    pub fn subset(&self, indices: &[usize]) -> TrainingData {
+        TrainingData {
+            examples: indices.iter().map(|&i| self.examples[i].clone()).collect(),
+        }
+    }
+
+    /// The PPM fitted to a given example for the requested family.
+    pub fn fitted_ppm(&self, idx: usize, kind: PpmKind) -> Ppm {
+        match kind {
+            PpmKind::PowerLaw => Ppm::PowerLaw(self.examples[idx].power_law),
+            PpmKind::Amdahl => Ppm::Amdahl(self.examples[idx].amdahl),
+        }
+    }
+
+    /// Converts the examples into an `ae-ml` dataset for the requested PPM
+    /// family and feature set: one row per query, features → PPM parameters.
+    pub fn to_dataset(&self, kind: PpmKind, feature_set: FeatureSet) -> Result<Dataset> {
+        let feature_names = feature_set.feature_names();
+        let target_names: Vec<String> = kind
+            .parameter_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut dataset = Dataset::new(feature_names, target_names);
+        for example in &self.examples {
+            let features = feature_set.project(&example.full_features);
+            let targets = match kind {
+                PpmKind::PowerLaw => vec![
+                    example.power_law.a,
+                    example.power_law.b,
+                    example.power_law.m,
+                ],
+                PpmKind::Amdahl => vec![example.amdahl.s, example.amdahl.p],
+            };
+            dataset
+                .push_row(example.name.clone(), features, targets)
+                .map_err(AutoExecutorError::Ml)?;
+        }
+        Ok(dataset)
+    }
+}
+
+/// The trained parameter model: a random forest predicting PPM parameters
+/// from compile-time plan features.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParameterModel {
+    forest: RandomForestRegressor,
+    kind: PpmKind,
+    feature_set: FeatureSet,
+}
+
+impl ParameterModel {
+    /// Trains the parameter model on collected training data using the
+    /// pipeline configuration.
+    pub fn train(data: &TrainingData, config: &AutoExecutorConfig) -> Result<Self> {
+        let dataset = data.to_dataset(config.ppm_kind, config.feature_set)?;
+        Self::train_on_dataset(&dataset, config.ppm_kind, config.feature_set, config.forest)
+    }
+
+    /// Trains the parameter model on an explicit dataset (used by the
+    /// cross-validation harness, which builds per-fold datasets).
+    pub fn train_on_dataset(
+        dataset: &Dataset,
+        kind: PpmKind,
+        feature_set: FeatureSet,
+        forest_config: RandomForestConfig,
+    ) -> Result<Self> {
+        let mut forest = RandomForestRegressor::new(forest_config);
+        forest.fit(dataset).map_err(AutoExecutorError::Ml)?;
+        Ok(Self {
+            forest,
+            kind,
+            feature_set,
+        })
+    }
+
+    /// The PPM family this model predicts.
+    pub fn kind(&self) -> PpmKind {
+        self.kind
+    }
+
+    /// The feature set this model consumes.
+    pub fn feature_set(&self) -> FeatureSet {
+        self.feature_set
+    }
+
+    /// Access to the underlying forest (e.g. for permutation importance).
+    pub fn forest(&self) -> &RandomForestRegressor {
+        &self.forest
+    }
+
+    /// Predicts the PPM for a query plan (features are derived internally).
+    pub fn predict_ppm(&self, plan: &QueryPlan) -> Result<Ppm> {
+        self.predict_ppm_from_full_features(&featurize_plan(plan))
+    }
+
+    /// Predicts the PPM from an already-computed *full* feature vector.
+    pub fn predict_ppm_from_full_features(&self, full_features: &[f64]) -> Result<Ppm> {
+        let projected = self.feature_set.project(full_features);
+        let params = self
+            .forest
+            .predict(&projected)
+            .map_err(AutoExecutorError::Ml)?;
+        Ok(Ppm::from_parameters(self.kind, &params))
+    }
+
+    /// Predicts the run-time curve for a plan over candidate executor counts.
+    pub fn predict_curve(&self, plan: &QueryPlan, counts: &[usize]) -> Result<Vec<(usize, f64)>> {
+        Ok(self.predict_ppm(plan)?.predict_curve(counts))
+    }
+
+    /// Exports the model to the portable (ONNX-stand-in) format.
+    pub fn to_portable(&self, name: impl Into<String>) -> Result<PortableModel> {
+        PortableModel::from_forest(name, self.forest.clone()).map_err(AutoExecutorError::Ml)
+    }
+
+    /// Reconstructs a parameter model from a portable model. The PPM family
+    /// is inferred from the portable model's target names and the feature
+    /// set from its feature names.
+    pub fn from_portable(portable: &PortableModel) -> Result<Self> {
+        let kind = if portable.target_names == PpmKind::PowerLaw.parameter_names() {
+            PpmKind::PowerLaw
+        } else if portable.target_names == PpmKind::Amdahl.parameter_names() {
+            PpmKind::Amdahl
+        } else {
+            return Err(AutoExecutorError::InvalidModel(format!(
+                "unrecognised target names {:?}",
+                portable.target_names
+            )));
+        };
+        let feature_set = FeatureSet::ALL
+            .into_iter()
+            .find(|set| set.feature_names() == portable.feature_names)
+            .ok_or_else(|| {
+                AutoExecutorError::InvalidModel(format!(
+                    "feature names {:?} match no known feature set",
+                    portable.feature_names
+                ))
+            })?;
+        Ok(Self {
+            forest: portable.forest().clone(),
+            kind,
+            feature_set,
+        })
+    }
+}
+
+/// Full convenience pipeline: collect training data and train the model.
+pub fn train_from_workload(
+    queries: &[QueryInstance],
+    config: &AutoExecutorConfig,
+) -> Result<(TrainingData, ParameterModel)> {
+    let data = TrainingData::collect(queries, config)?;
+    if data.is_empty() {
+        return Err(AutoExecutorError::EmptyWorkload);
+    }
+    let model = ParameterModel::train(&data, config)?;
+    Ok((data, model))
+}
+
+/// Hand-check of the full feature dimensionality: the forest must have been
+/// trained with the same column order that scoring uses.
+pub fn feature_dimensions() -> usize {
+    full_feature_names().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ae_workload::{ScaleFactor, WorkloadGenerator};
+
+    fn small_workload() -> Vec<QueryInstance> {
+        let generator = WorkloadGenerator::new(ScaleFactor::SF10);
+        ["q1", "q5", "q12", "q42", "q69", "q94", "q23b", "q77"]
+            .iter()
+            .map(|name| generator.instance(name))
+            .collect()
+    }
+
+    fn fast_config() -> AutoExecutorConfig {
+        let mut cfg = AutoExecutorConfig::default();
+        cfg.forest.n_estimators = 10;
+        cfg.training_run.noise_cv = 0.0;
+        cfg
+    }
+
+    #[test]
+    fn collect_produces_one_example_per_query() {
+        let queries = small_workload();
+        let data = TrainingData::collect(&queries, &fast_config()).unwrap();
+        assert_eq!(data.len(), queries.len());
+        for example in &data.examples {
+            assert_eq!(example.sparklens_curve.len(), 6);
+            assert_eq!(example.full_features.len(), feature_dimensions());
+            assert!(example.observed_elapsed_secs > 0.0);
+            // Fitted PPMs are monotone and positive at n=1.
+            assert!(example.power_law.predict(1.0) > 0.0);
+            assert!(example.amdahl.predict(1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn dataset_shape_matches_parametric_design() {
+        // One row per query regardless of how many configurations were
+        // estimated — the paper's key training-set reduction.
+        let queries = small_workload();
+        let data = TrainingData::collect(&queries, &fast_config()).unwrap();
+        let ds_pl = data.to_dataset(PpmKind::PowerLaw, FeatureSet::F0).unwrap();
+        assert_eq!(ds_pl.len(), queries.len());
+        assert_eq!(ds_pl.num_targets(), 3);
+        let ds_al = data.to_dataset(PpmKind::Amdahl, FeatureSet::F2).unwrap();
+        assert_eq!(ds_al.num_targets(), 2);
+        assert_eq!(ds_al.num_features(), 2);
+    }
+
+    #[test]
+    fn trained_model_predicts_monotone_curves() {
+        let queries = small_workload();
+        let cfg = fast_config();
+        let (_, model) = train_from_workload(&queries, &cfg).unwrap();
+        for query in &queries {
+            let curve = model.predict_curve(&query.plan, &cfg.candidate_counts()).unwrap();
+            for pair in curve.windows(2) {
+                assert!(pair[1].1 <= pair[0].1 + 1e-9, "{}", query.name);
+            }
+            assert!(curve[0].1 > 0.0);
+        }
+    }
+
+    #[test]
+    fn portable_roundtrip_preserves_predictions() {
+        let queries = small_workload();
+        let cfg = fast_config();
+        let (_, model) = train_from_workload(&queries, &cfg).unwrap();
+        let portable = model.to_portable("roundtrip").unwrap();
+        let restored = ParameterModel::from_portable(&portable).unwrap();
+        assert_eq!(restored.kind(), model.kind());
+        assert_eq!(restored.feature_set(), model.feature_set());
+        let plan = &queries[0].plan;
+        assert_eq!(
+            model.predict_ppm(plan).unwrap().parameters(),
+            restored.predict_ppm(plan).unwrap().parameters()
+        );
+    }
+
+    #[test]
+    fn from_portable_rejects_foreign_models() {
+        // A forest with unrelated target names cannot become a parameter model.
+        let mut ds = Dataset::new(vec!["x".into()], vec!["weird".into()]);
+        for i in 0..10 {
+            ds.push_row(format!("r{i}"), vec![i as f64], vec![i as f64]).unwrap();
+        }
+        let mut forest = RandomForestRegressor::new(RandomForestConfig {
+            n_estimators: 3,
+            ..Default::default()
+        });
+        forest.fit(&ds).unwrap();
+        let portable = PortableModel::from_forest("weird", forest).unwrap();
+        assert!(ParameterModel::from_portable(&portable).is_err());
+    }
+
+    #[test]
+    fn subset_restricts_examples() {
+        let queries = small_workload();
+        let data = TrainingData::collect(&queries, &fast_config()).unwrap();
+        let sub = data.subset(&[0, 3]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.examples[1].name, data.examples[3].name);
+    }
+
+    #[test]
+    fn amdahl_configuration_trains_too() {
+        let queries = small_workload();
+        let cfg = fast_config().with_ppm_kind(PpmKind::Amdahl);
+        let (_, model) = train_from_workload(&queries, &cfg).unwrap();
+        assert_eq!(model.kind(), PpmKind::Amdahl);
+        let ppm = model.predict_ppm(&queries[2].plan).unwrap();
+        assert!(matches!(ppm, Ppm::Amdahl(_)));
+    }
+}

@@ -1,0 +1,256 @@
+//! Cluster, node, and executor sizing, plus the allocation-lag model.
+//!
+//! The paper's testbed uses Azure Synapse Spark pools with medium nodes
+//! (8 cores, 64 GB) hosting at most two executors of 4 cores / 28 GB each,
+//! and observes that the runtime environment takes roughly 20–30 seconds to
+//! gradually satisfy a large executor request (Section 5.4). Those knobs
+//! live here.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{EngineError, Result};
+
+/// Size of one executor (Spark worker process).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutorSpec {
+    /// Cores per executor (`ec` in the paper).
+    pub cores: usize,
+    /// Memory per executor in GB.
+    pub memory_gb: f64,
+}
+
+impl ExecutorSpec {
+    /// The paper's executor size: 4 cores, 28 GB.
+    pub fn paper_default() -> Self {
+        Self {
+            cores: 4,
+            memory_gb: 28.0,
+        }
+    }
+}
+
+/// Size of one cluster node (VM).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Cores per node (`C` in Section 3.3).
+    pub cores: usize,
+    /// Memory per node in GB (`M`).
+    pub memory_gb: f64,
+}
+
+impl NodeSpec {
+    /// The paper's medium node: 8 cores, 64 GB.
+    pub fn medium() -> Self {
+        Self {
+            cores: 8,
+            memory_gb: 64.0,
+        }
+    }
+
+    /// How many executors of the given spec fit on one node, limited by both
+    /// cores and memory.
+    pub fn executors_per_node(&self, executor: &ExecutorSpec) -> usize {
+        if executor.cores == 0 {
+            return 0;
+        }
+        let by_cores = self.cores / executor.cores;
+        let by_memory = if executor.memory_gb <= 0.0 {
+            usize::MAX
+        } else {
+            (self.memory_gb / executor.memory_gb).floor() as usize
+        };
+        by_cores.min(by_memory)
+    }
+}
+
+/// How quickly the cluster manager satisfies executor-allocation requests.
+///
+/// Requests are granted in waves: nothing for `grant_delay_secs`, then
+/// `executors_per_wave` new executors come online every `wave_interval_secs`
+/// until the target is reached. Each executor additionally pays
+/// `executor_startup_secs` before it can run tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AllocationLag {
+    /// Delay before the first grant of a request.
+    pub grant_delay_secs: f64,
+    /// Executors granted per wave.
+    pub executors_per_wave: usize,
+    /// Interval between grant waves.
+    pub wave_interval_secs: f64,
+    /// Per-executor startup time once granted.
+    pub executor_startup_secs: f64,
+}
+
+impl AllocationLag {
+    /// Lag calibrated to the paper's observation that 25–48 executors take
+    /// roughly 20–30 seconds to be fully allocated.
+    pub fn synapse_like() -> Self {
+        Self {
+            grant_delay_secs: 3.0,
+            executors_per_wave: 4,
+            wave_interval_secs: 2.0,
+            executor_startup_secs: 1.0,
+        }
+    }
+
+    /// No lag at all: requests are satisfied instantly. Useful for isolating
+    /// scheduling effects in tests.
+    pub fn instant() -> Self {
+        Self {
+            grant_delay_secs: 0.0,
+            executors_per_wave: usize::MAX,
+            wave_interval_secs: 0.0,
+            executor_startup_secs: 0.0,
+        }
+    }
+
+    /// Time from issuing a request until `count` additional executors are
+    /// usable, under this lag model.
+    pub fn time_to_allocate(&self, count: usize) -> f64 {
+        if count == 0 {
+            return 0.0;
+        }
+        if self.executors_per_wave == usize::MAX || self.executors_per_wave == 0 {
+            return self.grant_delay_secs + self.executor_startup_secs;
+        }
+        let waves = count.div_ceil(self.executors_per_wave);
+        self.grant_delay_secs
+            + (waves.saturating_sub(1)) as f64 * self.wave_interval_secs
+            + self.executor_startup_secs
+    }
+}
+
+/// Full cluster configuration used by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Node size.
+    pub node: NodeSpec,
+    /// Number of nodes in the pool.
+    pub max_nodes: usize,
+    /// Executor size.
+    pub executor: ExecutorSpec,
+    /// Allocation-lag behaviour.
+    pub lag: AllocationLag,
+}
+
+impl ClusterConfig {
+    /// The paper's setup: medium nodes, 4-core executors, at most two
+    /// executors per node, 1–48 executors available.
+    pub fn paper_default() -> Self {
+        Self {
+            node: NodeSpec::medium(),
+            max_nodes: 25, // 48 executors + driver comfortably fit
+            executor: ExecutorSpec::paper_default(),
+            lag: AllocationLag::synapse_like(),
+        }
+    }
+
+    /// Same as [`ClusterConfig::paper_default`] but with a different
+    /// executor-core count (`ec`), used by the total-cores study (Table 1).
+    pub fn with_cores_per_executor(mut self, cores: usize) -> Self {
+        self.executor.cores = cores;
+        // Memory scales with cores so that the node memory constraint keeps
+        // roughly the same executors-per-node ratio as the paper.
+        self.executor.memory_gb = 7.0 * cores as f64;
+        self
+    }
+
+    /// Maximum number of executors the pool can host.
+    pub fn max_executors(&self) -> usize {
+        self.max_nodes * self.node.executors_per_node(&self.executor)
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.executor.cores == 0 {
+            return Err(EngineError::InvalidConfig("executor cores must be > 0".into()));
+        }
+        if self.node.cores == 0 || self.max_nodes == 0 {
+            return Err(EngineError::InvalidConfig("cluster must have nodes with cores".into()));
+        }
+        if self.node.executors_per_node(&self.executor) == 0 {
+            return Err(EngineError::InvalidConfig(format!(
+                "an executor with {} cores / {} GB does not fit on a node with {} cores / {} GB",
+                self.executor.cores, self.executor.memory_gb, self.node.cores, self.node.memory_gb
+            )));
+        }
+        if self.lag.wave_interval_secs < 0.0
+            || self.lag.grant_delay_secs < 0.0
+            || self.lag.executor_startup_secs < 0.0
+        {
+            return Err(EngineError::InvalidConfig("allocation lag times must be non-negative".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_hosts_two_executors_per_node() {
+        let cfg = ClusterConfig::paper_default();
+        assert_eq!(cfg.node.executors_per_node(&cfg.executor), 2);
+        assert!(cfg.max_executors() >= 48);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn memory_limits_executors_per_node() {
+        let node = NodeSpec {
+            cores: 16,
+            memory_gb: 30.0,
+        };
+        let executor = ExecutorSpec {
+            cores: 4,
+            memory_gb: 28.0,
+        };
+        // By cores 4 would fit, but memory allows only 1.
+        assert_eq!(node.executors_per_node(&executor), 1);
+    }
+
+    #[test]
+    fn oversized_executor_is_invalid() {
+        let cfg = ClusterConfig {
+            executor: ExecutorSpec {
+                cores: 16,
+                memory_gb: 28.0,
+            },
+            ..ClusterConfig::paper_default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn allocation_lag_time_grows_with_count() {
+        let lag = AllocationLag::synapse_like();
+        let t8 = lag.time_to_allocate(8);
+        let t48 = lag.time_to_allocate(48);
+        assert!(t48 > t8);
+        // 48 executors at 4 per 2s wave ≈ 22s + delays → in the 20–30 s band.
+        assert!((20.0..=35.0).contains(&t48), "t48 = {t48}");
+    }
+
+    #[test]
+    fn instant_lag_is_fast() {
+        let lag = AllocationLag::instant();
+        assert_eq!(lag.time_to_allocate(0), 0.0);
+        assert_eq!(lag.time_to_allocate(48), 0.0);
+    }
+
+    #[test]
+    fn with_cores_per_executor_rescales_memory() {
+        let cfg = ClusterConfig::paper_default().with_cores_per_executor(2);
+        assert_eq!(cfg.executor.cores, 2);
+        assert_eq!(cfg.node.executors_per_node(&cfg.executor), 4);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_core_executor_is_invalid() {
+        let mut cfg = ClusterConfig::paper_default();
+        cfg.executor.cores = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

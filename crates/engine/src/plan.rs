@@ -1,0 +1,267 @@
+//! Query plans: operator trees plus the compile-time statistics used as
+//! model features (Table 2 of the paper).
+//!
+//! A [`QueryPlan`] is what the (simulated) query optimizer hands to the
+//! AutoExecutor rule: a tree of relational operators annotated with
+//! cardinality and size estimates, together with the number of input data
+//! sources. All of the parameter-model features can be derived from it at
+//! compile/optimization time; no runtime statistics are involved.
+
+use serde::{Deserialize, Serialize};
+
+/// Relational operator kinds.
+///
+/// The paper's TPC-DS plans contain 14 distinct operator types; this list
+/// mirrors the common Spark SQL physical operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OperatorKind {
+    /// Leaf scan over an input source.
+    TableScan,
+    /// Row filter (predicate).
+    Filter,
+    /// Column projection / expression evaluation.
+    Project,
+    /// Join of two children.
+    Join,
+    /// Hash or sort aggregation.
+    Aggregate,
+    /// Sort.
+    Sort,
+    /// Union of children.
+    Union,
+    /// Shuffle/exchange boundary.
+    Exchange,
+    /// Row-limit operator.
+    Limit,
+    /// Window function evaluation.
+    Window,
+    /// Expand (used by grouping sets / rollup).
+    Expand,
+    /// Generate (explode / lateral view).
+    Generate,
+    /// Scalar or correlated subquery.
+    Subquery,
+    /// Small in-memory relation (constant data).
+    LocalRelation,
+}
+
+impl OperatorKind {
+    /// All operator kinds, in a stable order used for featurization.
+    pub const ALL: [OperatorKind; 14] = [
+        OperatorKind::TableScan,
+        OperatorKind::Filter,
+        OperatorKind::Project,
+        OperatorKind::Join,
+        OperatorKind::Aggregate,
+        OperatorKind::Sort,
+        OperatorKind::Union,
+        OperatorKind::Exchange,
+        OperatorKind::Limit,
+        OperatorKind::Window,
+        OperatorKind::Expand,
+        OperatorKind::Generate,
+        OperatorKind::Subquery,
+        OperatorKind::LocalRelation,
+    ];
+
+    /// Stable display name used in feature vectors and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OperatorKind::TableScan => "TableScan",
+            OperatorKind::Filter => "Filter",
+            OperatorKind::Project => "Project",
+            OperatorKind::Join => "Join",
+            OperatorKind::Aggregate => "Aggregate",
+            OperatorKind::Sort => "Sort",
+            OperatorKind::Union => "Union",
+            OperatorKind::Exchange => "Exchange",
+            OperatorKind::Limit => "Limit",
+            OperatorKind::Window => "Window",
+            OperatorKind::Expand => "Expand",
+            OperatorKind::Generate => "Generate",
+            OperatorKind::Subquery => "Subquery",
+            OperatorKind::LocalRelation => "LocalRelation",
+        }
+    }
+}
+
+/// One node of the operator tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlanNode {
+    /// Operator kind.
+    pub kind: OperatorKind,
+    /// Estimated number of rows flowing out of this operator.
+    pub estimated_rows: f64,
+    /// Estimated number of bytes read by this operator (non-zero only for
+    /// scans in practice, but any operator may carry a value).
+    pub estimated_input_bytes: f64,
+    /// Child operators.
+    pub children: Vec<PlanNode>,
+}
+
+impl PlanNode {
+    /// Creates a leaf node with no children.
+    pub fn leaf(kind: OperatorKind, estimated_rows: f64, estimated_input_bytes: f64) -> Self {
+        Self {
+            kind,
+            estimated_rows,
+            estimated_input_bytes,
+            children: Vec::new(),
+        }
+    }
+
+    /// Creates an internal node over `children`.
+    pub fn internal(kind: OperatorKind, estimated_rows: f64, children: Vec<PlanNode>) -> Self {
+        Self {
+            kind,
+            estimated_rows,
+            estimated_input_bytes: 0.0,
+            children,
+        }
+    }
+
+    fn visit<'a>(&'a self, f: &mut impl FnMut(&'a PlanNode, usize), depth: usize) {
+        f(self, depth);
+        for child in &self.children {
+            child.visit(f, depth + 1);
+        }
+    }
+}
+
+/// Compile-time plan statistics — exactly the quantities in Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanStats {
+    /// Count of each operator kind, indexed in [`OperatorKind::ALL`] order.
+    pub operator_counts: Vec<usize>,
+    /// Total number of operators in the plan.
+    pub total_operators: usize,
+    /// Maximum depth of the plan tree (root has depth 1).
+    pub max_depth: usize,
+    /// Number of distinct input data sources (table scans).
+    pub num_input_sources: usize,
+    /// Estimated total input bytes read by the query.
+    pub total_input_bytes: f64,
+    /// Estimated total rows processed over all operators.
+    pub total_rows_processed: f64,
+}
+
+impl PlanStats {
+    /// Count for a specific operator kind.
+    pub fn count_of(&self, kind: OperatorKind) -> usize {
+        let idx = OperatorKind::ALL.iter().position(|k| *k == kind).expect("kind in ALL");
+        self.operator_counts[idx]
+    }
+}
+
+/// A named query plan: the unit AutoExecutor makes decisions for.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryPlan {
+    /// Query name, e.g. `"q94"` or `"q14b"`.
+    pub name: String,
+    /// Root of the operator tree.
+    pub root: PlanNode,
+}
+
+impl QueryPlan {
+    /// Creates a named plan.
+    pub fn new(name: impl Into<String>, root: PlanNode) -> Self {
+        Self {
+            name: name.into(),
+            root,
+        }
+    }
+
+    /// Derives the compile-time statistics of Table 2 from the operator tree.
+    pub fn stats(&self) -> PlanStats {
+        let mut counts = vec![0usize; OperatorKind::ALL.len()];
+        let mut total = 0usize;
+        let mut max_depth = 0usize;
+        let mut inputs = 0usize;
+        let mut bytes = 0.0f64;
+        let mut rows = 0.0f64;
+        self.root.visit(
+            &mut |node, depth| {
+                let idx = OperatorKind::ALL
+                    .iter()
+                    .position(|k| *k == node.kind)
+                    .expect("kind in ALL");
+                counts[idx] += 1;
+                total += 1;
+                max_depth = max_depth.max(depth + 1);
+                if node.kind == OperatorKind::TableScan {
+                    inputs += 1;
+                }
+                bytes += node.estimated_input_bytes;
+                rows += node.estimated_rows;
+            },
+            0,
+        );
+        PlanStats {
+            operator_counts: counts,
+            total_operators: total,
+            max_depth,
+            num_input_sources: inputs,
+            total_input_bytes: bytes,
+            total_rows_processed: rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// scan -> filter -> join(scan) -> aggregate
+    fn sample_plan() -> QueryPlan {
+        let scan_a = PlanNode::leaf(OperatorKind::TableScan, 1_000_000.0, 5e8);
+        let scan_b = PlanNode::leaf(OperatorKind::TableScan, 10_000.0, 2e6);
+        let filter = PlanNode::internal(OperatorKind::Filter, 200_000.0, vec![scan_a]);
+        let join = PlanNode::internal(OperatorKind::Join, 150_000.0, vec![filter, scan_b]);
+        let agg = PlanNode::internal(OperatorKind::Aggregate, 100.0, vec![join]);
+        QueryPlan::new("sample", agg)
+    }
+
+    #[test]
+    fn stats_count_operators_and_inputs() {
+        let stats = sample_plan().stats();
+        assert_eq!(stats.total_operators, 5);
+        assert_eq!(stats.num_input_sources, 2);
+        assert_eq!(stats.count_of(OperatorKind::TableScan), 2);
+        assert_eq!(stats.count_of(OperatorKind::Join), 1);
+        assert_eq!(stats.count_of(OperatorKind::Sort), 0);
+    }
+
+    #[test]
+    fn stats_compute_depth_bytes_rows() {
+        let stats = sample_plan().stats();
+        // agg -> join -> filter -> scan_a is the longest path: depth 4.
+        assert_eq!(stats.max_depth, 4);
+        assert!((stats.total_input_bytes - 5.02e8).abs() < 1e3);
+        let expected_rows = 1_000_000.0 + 10_000.0 + 200_000.0 + 150_000.0 + 100.0;
+        assert!((stats.total_rows_processed - expected_rows).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_leaf_plan_has_depth_one() {
+        let plan = QueryPlan::new("leaf", PlanNode::leaf(OperatorKind::TableScan, 10.0, 100.0));
+        let stats = plan.stats();
+        assert_eq!(stats.max_depth, 1);
+        assert_eq!(stats.total_operators, 1);
+    }
+
+    #[test]
+    fn operator_kind_all_has_unique_names() {
+        let mut names: Vec<&str> = OperatorKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14);
+    }
+
+    #[test]
+    fn operator_counts_align_with_all_order() {
+        let stats = sample_plan().stats();
+        assert_eq!(stats.operator_counts.len(), OperatorKind::ALL.len());
+        let sum: usize = stats.operator_counts.iter().sum();
+        assert_eq!(sum, stats.total_operators);
+    }
+}

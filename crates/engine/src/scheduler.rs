@@ -1,0 +1,776 @@
+//! Discrete-event simulation of query execution on a pool of executors.
+//!
+//! The simulator plays the role of the Azure Synapse Spark runtime in the
+//! paper: given a stage DAG, a cluster configuration, and an allocation
+//! policy, it schedules tasks onto executor core-slots over simulated time
+//! and reports the elapsed time, the executor-allocation skyline, and the
+//! area under that skyline (executor occupancy, `AUC`).
+//!
+//! Timing behaviour deliberately reproduces the mechanics the paper's
+//! figures depend on:
+//!
+//! * run time saturates once the slot count exceeds the widest stage,
+//! * executor requests are satisfied gradually (allocation lag, §5.4),
+//! * dynamic allocation ramps up exponentially on backlog and releases idle
+//!   executors after a timeout,
+//! * run-to-run noise of a few percent (§5.1) is applied per task from a
+//!   seeded generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::allocation::AllocationPolicy;
+use crate::cluster::ClusterConfig;
+use crate::skyline::Skyline;
+use crate::stage::{StageDag, StageLog, TaskLog, TaskRecord};
+use crate::Result;
+
+/// Per-run configuration: noise, driver overhead, and log capture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Seed for the run-to-run noise generator.
+    pub seed: u64,
+    /// Coefficient of variation of per-task noise (0 disables noise). The
+    /// paper observes 4–7% run-to-run variation; the default is 0.05.
+    pub noise_cv: f64,
+    /// Fixed driver/compilation overhead before the first task can run.
+    pub driver_overhead_secs: f64,
+    /// Whether to capture a full task log for post-hoc (Sparklens) analysis.
+    pub capture_task_log: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            noise_cv: 0.05,
+            driver_overhead_secs: 8.0,
+            capture_task_log: false,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A deterministic configuration (no noise), useful for tests and for
+    /// generating reference curves.
+    pub fn deterministic() -> Self {
+        Self {
+            noise_cv: 0.0,
+            ..Self::default()
+        }
+    }
+
+    /// Enables task-log capture.
+    pub fn with_task_log(mut self) -> Self {
+        self.capture_task_log = true;
+        self
+    }
+
+    /// Sets the noise seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Result of simulating one query execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryRunResult {
+    /// Query name.
+    pub query_name: String,
+    /// Elapsed (wall-clock) time of the query in seconds — `t(n)`.
+    pub elapsed_secs: f64,
+    /// Executor-allocation skyline over the run.
+    pub skyline: Skyline,
+    /// Maximum executors allocated at any instant.
+    pub max_executors: usize,
+    /// Area under the skyline in executor-seconds — `AUC`.
+    pub auc_executor_secs: f64,
+    /// Total task work executed, in core-seconds.
+    pub total_task_secs: f64,
+    /// Full task log, present when requested in [`RunConfig`].
+    pub task_log: Option<TaskLog>,
+}
+
+/// The simulator: a cluster configuration plus an allocation policy.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    cluster: ClusterConfig,
+    policy: AllocationPolicy,
+}
+
+/// Internal per-executor state.
+#[derive(Debug, Clone, Copy)]
+struct ExecutorState {
+    /// Time from which the executor can run tasks.
+    usable_at: f64,
+    /// Busy core-slots.
+    busy_slots: usize,
+    /// Time at which it last became fully idle.
+    idle_since: f64,
+    /// Whether the executor has been released.
+    removed: bool,
+}
+
+/// Internal running-task record.
+#[derive(Debug, Clone, Copy)]
+struct RunningTask {
+    end_time: f64,
+    executor: usize,
+    stage: usize,
+    start_time: f64,
+    duration: f64,
+}
+
+impl Simulator {
+    /// Creates a simulator after validating the cluster configuration.
+    pub fn new(cluster: ClusterConfig, policy: AllocationPolicy) -> Result<Self> {
+        cluster.validate()?;
+        Ok(Self { cluster, policy })
+    }
+
+    /// The cluster configuration.
+    pub fn cluster(&self) -> &ClusterConfig {
+        &self.cluster
+    }
+
+    /// The allocation policy.
+    pub fn policy(&self) -> &AllocationPolicy {
+        &self.policy
+    }
+
+    /// Simulates the execution of `dag` and returns timing and occupancy.
+    pub fn run(&self, query_name: &str, dag: &StageDag, cfg: &RunConfig) -> QueryRunResult {
+        let ec = self.cluster.executor.cores.max(1);
+        let pool_cap = self.cluster.max_executors().max(1);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Materialise noisy task durations. The cores-per-executor penalty
+        // keeps ec≠4 configurations slightly off the ec=4 trend (Figure 5).
+        let ec_penalty = 1.0 + 0.02 * (ec as f64 - 4.0).abs();
+        let noisy: Vec<Vec<f64>> = dag
+            .stages()
+            .iter()
+            .map(|stage| {
+                stage
+                    .tasks
+                    .iter()
+                    .map(|t| t.work_secs * ec_penalty * noise_factor(&mut rng, cfg.noise_cv))
+                    .collect()
+            })
+            .collect();
+
+        // Per-stage progress tracking.
+        let num_stages = dag.num_stages();
+        let mut next_task: Vec<usize> = vec![0; num_stages];
+        let mut completed_tasks: Vec<usize> = vec![0; num_stages];
+        let stage_sizes: Vec<usize> = dag.stages().iter().map(|s| s.tasks.len()).collect();
+        let mut stage_done: Vec<bool> = vec![false; num_stages];
+
+        // Executor pool.
+        let mut executors: Vec<ExecutorState> = Vec::new();
+        let mut pending_online: Vec<(f64, f64)> = Vec::new(); // (allocated_at, usable_at)
+        let mut requested_target: usize = 0;
+        let mut skyline = Skyline::new();
+
+        // Issue the initial allocation request at time 0.
+        let mut time = 0.0f64;
+        let initial = self.policy.initial_executors().min(pool_cap);
+        grant(
+            &mut pending_online,
+            &self.cluster,
+            time,
+            initial,
+            &mut requested_target,
+            pool_cap,
+        );
+
+        // Dynamic-allocation ramp state.
+        let mut da_next_add: usize = 1;
+        let mut da_last_request = f64::NEG_INFINITY;
+        let mut predictive_requested = false;
+        let tick_interval = match self.policy {
+            AllocationPolicy::Dynamic(cfg) => cfg.schedule_interval_secs.max(0.25),
+            _ => 1.0,
+        };
+        let mut next_tick = 0.0f64;
+
+        let mut running: Vec<RunningTask> = Vec::new();
+        let mut records: Vec<TaskRecord> = Vec::new();
+        let total_tasks: usize = stage_sizes.iter().sum();
+        let mut finished_tasks = 0usize;
+
+        // Bound the simulation to avoid infinite loops on malformed input.
+        let max_sim_time = 1e7;
+
+        while finished_tasks < total_tasks && time < max_sim_time {
+            // 1. Bring granted executors online.
+            pending_online.retain(|&(allocated_at, usable_at)| {
+                if allocated_at <= time + 1e-9 {
+                    executors.push(ExecutorState {
+                        usable_at,
+                        busy_slots: 0,
+                        idle_since: usable_at,
+                        removed: false,
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+            record_skyline(&mut skyline, time, &executors, &pending_online);
+
+            // 2. Policy decisions at tick boundaries.
+            if time + 1e-9 >= next_tick {
+                self.policy_tick(
+                    time,
+                    dag,
+                    &next_task,
+                    &stage_sizes,
+                    &stage_done,
+                    &completed_tasks,
+                    &mut executors,
+                    &mut pending_online,
+                    &mut requested_target,
+                    &mut da_next_add,
+                    &mut da_last_request,
+                    &mut predictive_requested,
+                    pool_cap,
+                );
+                record_skyline(&mut skyline, time, &executors, &pending_online);
+                next_tick = time + tick_interval;
+            }
+
+            // 3. Schedule pending tasks of ready stages onto free slots.
+            if time + 1e-9 >= cfg.driver_overhead_secs {
+                for stage_idx in 0..num_stages {
+                    if stage_done[stage_idx] || next_task[stage_idx] >= stage_sizes[stage_idx] {
+                        continue;
+                    }
+                    let ready = dag.stages()[stage_idx]
+                        .parents
+                        .iter()
+                        .all(|&p| stage_done[p]);
+                    if !ready {
+                        continue;
+                    }
+                    while next_task[stage_idx] < stage_sizes[stage_idx] {
+                        let Some(exec_idx) = find_free_slot(&executors, ec, time) else {
+                            break;
+                        };
+                        let duration = noisy[stage_idx][next_task[stage_idx]];
+                        next_task[stage_idx] += 1;
+                        executors[exec_idx].busy_slots += 1;
+                        running.push(RunningTask {
+                            end_time: time + duration,
+                            executor: exec_idx,
+                            stage: stage_idx,
+                            start_time: time,
+                            duration,
+                        });
+                    }
+                }
+            }
+
+            // 4. Advance time to the next event.
+            let next_completion = running
+                .iter()
+                .map(|r| r.end_time)
+                .fold(f64::INFINITY, f64::min);
+            let next_online = pending_online
+                .iter()
+                .map(|&(a, _)| a)
+                .fold(f64::INFINITY, f64::min);
+            let next_event = next_completion
+                .min(next_online)
+                .min(next_tick)
+                .min(if time < cfg.driver_overhead_secs {
+                    cfg.driver_overhead_secs
+                } else {
+                    f64::INFINITY
+                });
+            if !next_event.is_finite() {
+                // No runnable work and nothing scheduled to change: bail out
+                // (defensive; cannot happen with ≥1 executor kept alive).
+                break;
+            }
+            time = next_event.max(time);
+
+            // 5. Complete tasks that finished by `time`.
+            let mut still_running = Vec::with_capacity(running.len());
+            for task in running.drain(..) {
+                if task.end_time <= time + 1e-9 {
+                    finished_tasks += 1;
+                    completed_tasks[task.stage] += 1;
+                    if completed_tasks[task.stage] == stage_sizes[task.stage] {
+                        stage_done[task.stage] = true;
+                    }
+                    let exec = &mut executors[task.executor];
+                    exec.busy_slots = exec.busy_slots.saturating_sub(1);
+                    if exec.busy_slots == 0 {
+                        exec.idle_since = task.end_time;
+                    }
+                    if cfg.capture_task_log {
+                        records.push(TaskRecord {
+                            stage_id: task.stage,
+                            start_secs: task.start_time,
+                            duration_secs: task.duration,
+                        });
+                    }
+                } else {
+                    still_running.push(task);
+                }
+            }
+            running = still_running;
+        }
+
+        let elapsed = time.max(cfg.driver_overhead_secs);
+        skyline.finish(elapsed);
+        let auc = skyline.auc_executor_secs();
+        let max_exec = skyline.max_executors();
+        let total_task_secs: f64 = noisy.iter().flatten().sum();
+
+        let task_log = cfg.capture_task_log.then(|| {
+            let stages = dag
+                .stages()
+                .iter()
+                .enumerate()
+                .map(|(idx, s)| StageLog {
+                    stage_id: idx,
+                    parents: s.parents.clone(),
+                    task_durations_secs: noisy[idx].clone(),
+                })
+                .collect();
+            TaskLog {
+                query_name: query_name.to_string(),
+                executors: max_exec,
+                cores_per_executor: ec,
+                stages,
+                records,
+                driver_overhead_secs: cfg.driver_overhead_secs,
+                elapsed_secs: elapsed,
+            }
+        });
+
+        QueryRunResult {
+            query_name: query_name.to_string(),
+            elapsed_secs: elapsed,
+            skyline,
+            max_executors: max_exec,
+            auc_executor_secs: auc,
+            total_task_secs,
+            task_log,
+        }
+    }
+
+    /// Applies the allocation policy at a tick: reactive scale-up, the
+    /// predictive rule request, and idle-timeout removals.
+    #[allow(clippy::too_many_arguments)]
+    fn policy_tick(
+        &self,
+        time: f64,
+        dag: &StageDag,
+        next_task: &[usize],
+        stage_sizes: &[usize],
+        stage_done: &[bool],
+        completed_tasks: &[usize],
+        executors: &mut [ExecutorState],
+        pending_online: &mut Vec<(f64, f64)>,
+        requested_target: &mut usize,
+        da_next_add: &mut usize,
+        da_last_request: &mut f64,
+        predictive_requested: &mut bool,
+        pool_cap: usize,
+    ) {
+        // Pending tasks of ready (or running) stages.
+        let mut backlog = 0usize;
+        for (idx, stage) in dag.stages().iter().enumerate() {
+            if stage_done[idx] {
+                continue;
+            }
+            let ready = stage.parents.iter().all(|&p| stage_done[p]);
+            if ready {
+                backlog += stage_sizes[idx] - next_task[idx];
+            }
+        }
+        let _ = completed_tasks;
+
+        match self.policy {
+            AllocationPolicy::Static { .. } => {}
+            AllocationPolicy::Dynamic(cfg) => {
+                if backlog > 0 {
+                    // Each exponentially-larger request only fires after the
+                    // backlog has been sustained since the previous request.
+                    let backlog_sustained =
+                        time - *da_last_request >= cfg.sustained_backlog_secs - 1e-9;
+                    let desired =
+                        (*requested_target + *da_next_add).min(cfg.max_executors).min(pool_cap);
+                    if backlog_sustained && desired > *requested_target {
+                        grant(
+                            pending_online,
+                            &self.cluster,
+                            time,
+                            desired - *requested_target,
+                            requested_target,
+                            pool_cap,
+                        );
+                        *da_next_add = (*da_next_add * 2).max(1);
+                        *da_last_request = time;
+                    }
+                } else {
+                    *da_next_add = 1;
+                }
+                remove_idle(executors, time, cfg.idle_timeout_secs, cfg.min_executors.max(1));
+            }
+            AllocationPolicy::Predictive {
+                predicted,
+                rule_delay_secs,
+                idle_timeout_secs,
+                ..
+            } => {
+                if !*predictive_requested && time + 1e-9 >= rule_delay_secs {
+                    *predictive_requested = true;
+                    let target = predicted.min(pool_cap);
+                    if target > *requested_target {
+                        grant(
+                            pending_online,
+                            &self.cluster,
+                            time,
+                            target - *requested_target,
+                            requested_target,
+                            pool_cap,
+                        );
+                    }
+                }
+                remove_idle(executors, time, idle_timeout_secs, 1);
+            }
+        }
+    }
+}
+
+/// Lognormal-ish multiplicative noise with coefficient of variation `cv`,
+/// generated without external distribution crates (Irwin–Hall approximation
+/// of a standard normal).
+fn noise_factor(rng: &mut StdRng, cv: f64) -> f64 {
+    if cv <= 0.0 {
+        return 1.0;
+    }
+    let normal: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+    (1.0 + normal * cv).max(0.2)
+}
+
+/// Schedules grants for `count` additional executors under the cluster's
+/// allocation-lag model and bumps the requested target.
+fn grant(
+    pending_online: &mut Vec<(f64, f64)>,
+    cluster: &ClusterConfig,
+    now: f64,
+    count: usize,
+    requested_target: &mut usize,
+    pool_cap: usize,
+) {
+    let count = count.min(pool_cap.saturating_sub(*requested_target));
+    if count == 0 {
+        return;
+    }
+    let lag = cluster.lag;
+    let per_wave = if lag.executors_per_wave == 0 {
+        usize::MAX
+    } else {
+        lag.executors_per_wave
+    };
+    let mut granted = 0usize;
+    let mut wave = 0usize;
+    while granted < count {
+        let in_this_wave = per_wave.min(count - granted);
+        let allocated_at = now + lag.grant_delay_secs + wave as f64 * lag.wave_interval_secs;
+        let usable_at = allocated_at + lag.executor_startup_secs;
+        for _ in 0..in_this_wave {
+            pending_online.push((allocated_at, usable_at));
+        }
+        granted += in_this_wave;
+        wave += 1;
+    }
+    *requested_target += count;
+}
+
+/// Releases executors that have been idle past the timeout, never dropping
+/// below `keep_min` live executors.
+fn remove_idle(executors: &mut [ExecutorState], time: f64, idle_timeout: f64, keep_min: usize) {
+    let mut live = executors.iter().filter(|e| !e.removed).count();
+    for exec in executors.iter_mut() {
+        if live <= keep_min {
+            break;
+        }
+        if !exec.removed
+            && exec.busy_slots == 0
+            && exec.usable_at <= time
+            && time - exec.idle_since >= idle_timeout
+        {
+            exec.removed = true;
+            live -= 1;
+        }
+    }
+}
+
+/// Finds an executor with a free core-slot that is usable at `time`.
+fn find_free_slot(executors: &[ExecutorState], ec: usize, time: f64) -> Option<usize> {
+    executors
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| !e.removed && e.usable_at <= time + 1e-9 && e.busy_slots < ec)
+        .max_by_key(|(_, e)| ec - e.busy_slots)
+        .map(|(i, _)| i)
+}
+
+/// Records the current allocated-executor count (live executors plus grants
+/// already issued but not yet online are *not* counted until allocated_at).
+fn record_skyline(
+    skyline: &mut Skyline,
+    time: f64,
+    executors: &[ExecutorState],
+    _pending: &[(f64, f64)],
+) {
+    let count = executors.iter().filter(|e| !e.removed).count();
+    skyline.record(time, count);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::{Stage, Task};
+
+    /// A single wide stage: 64 tasks of 10 s each.
+    fn wide_dag() -> StageDag {
+        StageDag::new(vec![Stage {
+            id: 0,
+            tasks: vec![Task::new(10.0); 64],
+            parents: vec![],
+        }])
+        .unwrap()
+    }
+
+    /// Two stages: a wide scan feeding a narrow aggregation.
+    fn two_stage_dag() -> StageDag {
+        StageDag::new(vec![
+            Stage {
+                id: 0,
+                tasks: vec![Task::new(5.0); 32],
+                parents: vec![],
+            },
+            Stage {
+                id: 1,
+                tasks: vec![Task::new(8.0); 4],
+                parents: vec![0],
+            },
+        ])
+        .unwrap()
+    }
+
+    fn sim(n: usize) -> Simulator {
+        Simulator::new(
+            ClusterConfig::paper_default(),
+            AllocationPolicy::static_allocation(n),
+        )
+        .unwrap()
+    }
+
+    fn instant_cluster() -> ClusterConfig {
+        ClusterConfig {
+            lag: crate::cluster::AllocationLag::instant(),
+            ..ClusterConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn more_executors_never_slow_down_a_wide_stage() {
+        let dag = wide_dag();
+        let cfg = RunConfig::deterministic();
+        let mut last = f64::INFINITY;
+        for n in [1usize, 2, 4, 8, 16] {
+            let r = sim(n).run("wide", &dag, &cfg);
+            assert!(
+                r.elapsed_secs <= last + 1e-6,
+                "t({n}) = {} > t(prev) = {last}",
+                r.elapsed_secs
+            );
+            last = r.elapsed_secs;
+        }
+    }
+
+    #[test]
+    fn run_time_saturates_beyond_stage_width() {
+        let dag = wide_dag(); // 64 tasks, ec=4 → saturates at 16 executors
+        let cfg = RunConfig::deterministic();
+        let t16 = sim(16).run("wide", &dag, &cfg).elapsed_secs;
+        let t32 = sim(32).run("wide", &dag, &cfg).elapsed_secs;
+        // Allocation lag differs slightly, but times should be within a few %.
+        assert!((t32 - t16).abs() / t16 < 0.2, "t16={t16} t32={t32}");
+    }
+
+    #[test]
+    fn auc_grows_with_executor_count_in_saturation() {
+        // Long tasks keep the query running well past the allocation ramp,
+        // so the full executor count contributes to the skyline.
+        let dag = StageDag::new(vec![Stage {
+            id: 0,
+            tasks: vec![Task::new(40.0); 64],
+            parents: vec![],
+        }])
+        .unwrap();
+        let cfg = RunConfig::deterministic();
+        let r16 = sim(16).run("wide", &dag, &cfg);
+        let r48 = sim(48).run("wide", &dag, &cfg);
+        // Same saturated run time (64 slots already cover 64 tasks) ...
+        assert!((r48.elapsed_secs - r16.elapsed_secs).abs() / r16.elapsed_secs < 0.2);
+        // ... but substantially more executor occupancy.
+        assert!(
+            r48.auc_executor_secs > r16.auc_executor_secs * 1.5,
+            "a16={} a48={}",
+            r16.auc_executor_secs,
+            r48.auc_executor_secs
+        );
+    }
+
+    #[test]
+    fn elapsed_at_least_driver_plus_critical_path() {
+        let dag = two_stage_dag();
+        let cfg = RunConfig::deterministic();
+        let r = sim(48).run("two", &dag, &cfg);
+        let lower_bound = cfg.driver_overhead_secs + dag.critical_path_secs();
+        assert!(
+            r.elapsed_secs >= lower_bound - 1e-6,
+            "elapsed {} < bound {lower_bound}",
+            r.elapsed_secs
+        );
+    }
+
+    #[test]
+    fn single_executor_time_close_to_serial_work() {
+        // With instant allocation and ec=1, one executor runs everything serially.
+        let cluster = ClusterConfig {
+            lag: crate::cluster::AllocationLag::instant(),
+            ..ClusterConfig::paper_default()
+        }
+        .with_cores_per_executor(1);
+        let sim = Simulator::new(cluster, AllocationPolicy::static_allocation(1)).unwrap();
+        let dag = StageDag::new(vec![Stage {
+            id: 0,
+            tasks: vec![Task::new(3.0); 10],
+            parents: vec![],
+        }])
+        .unwrap();
+        let cfg = RunConfig::deterministic();
+        let r = sim.run("serial", &dag, &cfg);
+        // 30 s of work, slight ec penalty (|1-4|*2% = 6%), plus driver overhead.
+        let expected = cfg.driver_overhead_secs + 30.0 * 1.06;
+        assert!(
+            (r.elapsed_secs - expected).abs() < 1.0,
+            "elapsed {} expected ~{expected}",
+            r.elapsed_secs
+        );
+    }
+
+    #[test]
+    fn deterministic_runs_are_reproducible() {
+        let dag = two_stage_dag();
+        let cfg = RunConfig::default().with_seed(7);
+        let a = sim(8).run("q", &dag, &cfg);
+        let b = sim(8).run("q", &dag, &cfg);
+        assert_eq!(a.elapsed_secs, b.elapsed_secs);
+        assert_eq!(a.auc_executor_secs, b.auc_executor_secs);
+    }
+
+    #[test]
+    fn noise_changes_run_time_slightly() {
+        let dag = two_stage_dag();
+        let a = sim(8).run("q", &dag, &RunConfig::default().with_seed(1));
+        let b = sim(8).run("q", &dag, &RunConfig::default().with_seed(2));
+        assert_ne!(a.elapsed_secs, b.elapsed_secs);
+        let rel = (a.elapsed_secs - b.elapsed_secs).abs() / a.elapsed_secs;
+        assert!(rel < 0.3, "noise should be modest, got {rel}");
+    }
+
+    #[test]
+    fn static_allocation_skyline_is_flat_at_n() {
+        let dag = wide_dag();
+        let r = sim(12).run("wide", &dag, &RunConfig::deterministic());
+        assert_eq!(r.max_executors, 12);
+        // All 12 executors stay allocated until the end (no idle removal for SA).
+        assert_eq!(r.skyline.value_at(r.elapsed_secs - 0.1), 12);
+    }
+
+    #[test]
+    fn dynamic_allocation_ramps_up_and_stays_within_bounds() {
+        let dag = wide_dag();
+        let simulator =
+            Simulator::new(instant_cluster(), AllocationPolicy::dynamic(1, 48)).unwrap();
+        let r = simulator.run("wide", &dag, &RunConfig::deterministic());
+        assert!(r.max_executors > 1, "DA should scale up beyond 1 executor");
+        assert!(r.max_executors <= 48);
+    }
+
+    #[test]
+    fn dynamic_allocation_uses_fewer_executor_seconds_than_max_static_for_narrow_tail() {
+        // A long narrow stage after a short wide one: static 48 wastes
+        // executors during the tail; dynamic allocation should not allocate
+        // more AUC than static-48.
+        let dag = StageDag::new(vec![
+            Stage {
+                id: 0,
+                tasks: vec![Task::new(3.0); 48],
+                parents: vec![],
+            },
+            Stage {
+                id: 1,
+                tasks: vec![Task::new(60.0); 2],
+                parents: vec![0],
+            },
+        ])
+        .unwrap();
+        let da = Simulator::new(instant_cluster(), AllocationPolicy::dynamic(1, 48)).unwrap();
+        let sa = Simulator::new(instant_cluster(), AllocationPolicy::static_allocation(48)).unwrap();
+        let cfg = RunConfig::deterministic();
+        let r_da = da.run("tail", &dag, &cfg);
+        let r_sa = sa.run("tail", &dag, &cfg);
+        assert!(
+            r_da.auc_executor_secs < r_sa.auc_executor_secs,
+            "DA AUC {} should be below SA(48) AUC {}",
+            r_da.auc_executor_secs,
+            r_sa.auc_executor_secs
+        );
+    }
+
+    #[test]
+    fn predictive_policy_reaches_requested_count() {
+        let dag = wide_dag();
+        let simulator = Simulator::new(
+            ClusterConfig::paper_default(),
+            AllocationPolicy::predictive(25),
+        )
+        .unwrap();
+        let r = simulator.run("wide", &dag, &RunConfig::deterministic());
+        assert_eq!(r.max_executors, 25);
+    }
+
+    #[test]
+    fn task_log_capture_matches_dag_shape() {
+        let dag = two_stage_dag();
+        let r = sim(8).run("two", &dag, &RunConfig::deterministic().with_task_log());
+        let log = r.task_log.expect("task log requested");
+        assert_eq!(log.stages.len(), 2);
+        assert_eq!(log.stages[0].task_durations_secs.len(), 32);
+        assert_eq!(log.stages[1].parents, vec![0]);
+        assert_eq!(log.records.len(), 36);
+        assert!(log.elapsed_secs > 0.0);
+    }
+
+    #[test]
+    fn total_task_secs_close_to_dag_work_when_noise_free() {
+        let dag = two_stage_dag();
+        let r = sim(8).run("two", &dag, &RunConfig::deterministic());
+        // Only the ec penalty (ec=4 → none) applies, so totals match.
+        assert!((r.total_task_secs - dag.total_work_secs()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,189 @@
+//! Executor-allocation skylines and the AUC (executor occupancy) metric.
+//!
+//! The paper's cost metric is the *area under the executor-allocation
+//! skyline*: `AUC = ∫ n_s ds`, where `n_s` is the number of executors
+//! allocated to the query at time `s` (Section 2). A [`Skyline`] is that
+//! step function.
+
+use serde::{Deserialize, Serialize};
+
+/// A step function `time → allocated executors`, recorded as change points.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Skyline {
+    /// `(time_secs, executor_count)` change points, non-decreasing in time.
+    /// The value applies from its time until the next change point.
+    points: Vec<(f64, usize)>,
+    /// End of the observation window.
+    end_secs: f64,
+}
+
+impl Skyline {
+    /// Creates an empty skyline starting at time zero with zero executors.
+    pub fn new() -> Self {
+        Self {
+            points: vec![(0.0, 0)],
+            end_secs: 0.0,
+        }
+    }
+
+    /// Records that the allocated executor count changed to `count` at `time`.
+    ///
+    /// Times must be non-decreasing; equal-time updates overwrite the last
+    /// change point.
+    pub fn record(&mut self, time_secs: f64, count: usize) {
+        debug_assert!(time_secs >= 0.0, "negative skyline time");
+        if let Some(last) = self.points.last_mut() {
+            if (time_secs - last.0).abs() < 1e-12 {
+                last.1 = count;
+                self.end_secs = self.end_secs.max(time_secs);
+                return;
+            }
+            debug_assert!(
+                time_secs >= last.0,
+                "skyline times must be non-decreasing ({} < {})",
+                time_secs,
+                last.0
+            );
+        }
+        if self.points.last().map(|p| p.1) != Some(count) {
+            self.points.push((time_secs, count));
+        }
+        self.end_secs = self.end_secs.max(time_secs);
+    }
+
+    /// Marks the end of the observation window (query completion time).
+    pub fn finish(&mut self, end_secs: f64) {
+        self.end_secs = self.end_secs.max(end_secs);
+    }
+
+    /// The executor count in effect at `time`.
+    pub fn value_at(&self, time_secs: f64) -> usize {
+        let mut value = 0;
+        for &(t, c) in &self.points {
+            if t <= time_secs {
+                value = c;
+            } else {
+                break;
+            }
+        }
+        value
+    }
+
+    /// The change points of the skyline.
+    pub fn points(&self) -> &[(f64, usize)] {
+        &self.points
+    }
+
+    /// End of the observation window.
+    pub fn end_secs(&self) -> f64 {
+        self.end_secs
+    }
+
+    /// Maximum executor count ever allocated (`n = max(n_s)` in the paper).
+    pub fn max_executors(&self) -> usize {
+        self.points.iter().map(|&(_, c)| c).max().unwrap_or(0)
+    }
+
+    /// Area under the skyline in executor-seconds (`AUC` in the paper).
+    pub fn auc_executor_secs(&self) -> f64 {
+        let mut auc = 0.0;
+        for window in self.points.windows(2) {
+            let (t0, c0) = window[0];
+            let (t1, _) = window[1];
+            auc += c0 as f64 * (t1 - t0);
+        }
+        if let Some(&(t_last, c_last)) = self.points.last() {
+            if self.end_secs > t_last {
+                auc += c_last as f64 * (self.end_secs - t_last);
+            }
+        }
+        auc
+    }
+
+    /// Samples the skyline at a fixed interval, returning `(time, count)`
+    /// pairs. Convenient for plotting Figure 12-style charts.
+    pub fn sample(&self, interval_secs: f64) -> Vec<(f64, usize)> {
+        assert!(interval_secs > 0.0, "sample interval must be positive");
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        while t <= self.end_secs + 1e-9 {
+            out.push((t, self.value_at(t)));
+            t += interval_secs;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_of_rectangular_skyline() {
+        let mut s = Skyline::new();
+        s.record(0.0, 10);
+        s.finish(100.0);
+        assert!((s.auc_executor_secs() - 1000.0).abs() < 1e-9);
+        assert_eq!(s.max_executors(), 10);
+    }
+
+    #[test]
+    fn auc_of_step_skyline() {
+        let mut s = Skyline::new();
+        s.record(0.0, 2);
+        s.record(10.0, 6);
+        s.record(30.0, 1);
+        s.finish(40.0);
+        // 2*10 + 6*20 + 1*10 = 150
+        assert!((s.auc_executor_secs() - 150.0).abs() < 1e-9);
+        assert_eq!(s.max_executors(), 6);
+    }
+
+    #[test]
+    fn value_at_returns_latest_change() {
+        let mut s = Skyline::new();
+        s.record(0.0, 1);
+        s.record(5.0, 4);
+        assert_eq!(s.value_at(0.0), 1);
+        assert_eq!(s.value_at(4.9), 1);
+        assert_eq!(s.value_at(5.0), 4);
+        assert_eq!(s.value_at(100.0), 4);
+    }
+
+    #[test]
+    fn equal_time_update_overwrites() {
+        let mut s = Skyline::new();
+        s.record(0.0, 1);
+        s.record(3.0, 5);
+        s.record(3.0, 7);
+        assert_eq!(s.value_at(3.0), 7);
+        assert_eq!(s.max_executors(), 7);
+    }
+
+    #[test]
+    fn duplicate_counts_do_not_add_points() {
+        let mut s = Skyline::new();
+        s.record(0.0, 3);
+        s.record(5.0, 3);
+        s.record(9.0, 3);
+        // initial (0,0) overwritten to (0,3); no further points added
+        assert_eq!(s.points().len(), 1);
+    }
+
+    #[test]
+    fn empty_skyline_has_zero_auc() {
+        let s = Skyline::new();
+        assert_eq!(s.auc_executor_secs(), 0.0);
+        assert_eq!(s.max_executors(), 0);
+    }
+
+    #[test]
+    fn sampling_covers_window() {
+        let mut s = Skyline::new();
+        s.record(0.0, 2);
+        s.record(10.0, 5);
+        s.finish(20.0);
+        let samples = s.sample(5.0);
+        assert_eq!(samples, vec![(0.0, 2), (5.0, 2), (10.0, 5), (15.0, 5), (20.0, 5)]);
+    }
+}

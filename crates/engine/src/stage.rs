@@ -1,0 +1,342 @@
+//! Physical execution structure: stages, tasks, and task logs.
+//!
+//! A query's physical plan is a DAG of *stages* separated by shuffle
+//! boundaries. Each stage is a set of independent *tasks*; a stage becomes
+//! runnable once all of its parent stages have completed. This matches the
+//! Spark execution model that both the run-time behaviour (Figure 1) and the
+//! Sparklens analysis are built on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{EngineError, Result};
+
+/// One task: an indivisible unit of work occupying one executor core-slot
+/// for `work_secs` seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Task duration in seconds on one core slot.
+    pub work_secs: f64,
+}
+
+impl Task {
+    /// Creates a task with the given duration.
+    pub fn new(work_secs: f64) -> Self {
+        Self { work_secs }
+    }
+}
+
+/// One stage: a set of tasks plus the indices of parent stages that must
+/// complete before this stage can start.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Stage {
+    /// Stage identifier (its index within the DAG).
+    pub id: usize,
+    /// Tasks of the stage.
+    pub tasks: Vec<Task>,
+    /// Indices of parent stages (shuffle dependencies).
+    pub parents: Vec<usize>,
+}
+
+impl Stage {
+    /// Total task work (sum of durations) in the stage, in core-seconds.
+    pub fn total_work_secs(&self) -> f64 {
+        self.tasks.iter().map(|t| t.work_secs).sum()
+    }
+
+    /// Duration of the longest task in the stage.
+    pub fn max_task_secs(&self) -> f64 {
+        self.tasks
+            .iter()
+            .map(|t| t.work_secs)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The stage DAG for one query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageDag {
+    stages: Vec<Stage>,
+}
+
+impl StageDag {
+    /// Builds a DAG from stages, validating structure:
+    /// * at least one stage,
+    /// * every parent index refers to an *earlier* stage (so the vector order
+    ///   is already a topological order),
+    /// * every stage has at least one task with positive duration.
+    pub fn new(stages: Vec<Stage>) -> Result<Self> {
+        if stages.is_empty() {
+            return Err(EngineError::InvalidDag("DAG has no stages".into()));
+        }
+        for (idx, stage) in stages.iter().enumerate() {
+            if stage.id != idx {
+                return Err(EngineError::InvalidDag(format!(
+                    "stage at position {idx} has id {}",
+                    stage.id
+                )));
+            }
+            if stage.tasks.is_empty() {
+                return Err(EngineError::InvalidDag(format!("stage {idx} has no tasks")));
+            }
+            if stage.tasks.iter().any(|t| !t.work_secs.is_finite() || t.work_secs <= 0.0) {
+                return Err(EngineError::InvalidDag(format!(
+                    "stage {idx} has a task with non-positive duration"
+                )));
+            }
+            for &p in &stage.parents {
+                if p >= idx {
+                    return Err(EngineError::InvalidDag(format!(
+                        "stage {idx} depends on stage {p} which is not earlier in the DAG"
+                    )));
+                }
+            }
+        }
+        Ok(Self { stages })
+    }
+
+    /// The stages in topological order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Total number of tasks across all stages.
+    pub fn num_tasks(&self) -> usize {
+        self.stages.iter().map(|s| s.tasks.len()).sum()
+    }
+
+    /// Total task work over the whole query, in core-seconds.
+    pub fn total_work_secs(&self) -> f64 {
+        self.stages.iter().map(|s| s.total_work_secs()).sum()
+    }
+
+    /// Length of the critical path through the DAG assuming unbounded
+    /// parallelism: for each stage, its completion time is the max over
+    /// parents plus its longest task. This is the theoretical lower bound on
+    /// elapsed time (ignoring scheduling and allocation overheads).
+    pub fn critical_path_secs(&self) -> f64 {
+        let mut completion = vec![0.0f64; self.stages.len()];
+        for (idx, stage) in self.stages.iter().enumerate() {
+            let ready_at = stage
+                .parents
+                .iter()
+                .map(|&p| completion[p])
+                .fold(0.0, f64::max);
+            completion[idx] = ready_at + stage.max_task_secs();
+        }
+        completion.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Largest per-stage task count — the smallest number of core slots at
+    /// which adding more slots can no longer shorten any single stage.
+    pub fn max_stage_width(&self) -> usize {
+        self.stages.iter().map(|s| s.tasks.len()).max().unwrap_or(0)
+    }
+}
+
+/// Timing record of one executed task, captured by the simulator for
+/// post-hoc analysis (the equivalent of Spark's event-log task entries).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Stage the task belonged to.
+    pub stage_id: usize,
+    /// Simulation time at which the task started.
+    pub start_secs: f64,
+    /// Task duration.
+    pub duration_secs: f64,
+}
+
+/// Per-stage slice of the task log.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageLog {
+    /// Stage identifier.
+    pub stage_id: usize,
+    /// Parent stage ids (copied from the DAG so the log is self-contained).
+    pub parents: Vec<usize>,
+    /// Observed durations of the stage's tasks.
+    pub task_durations_secs: Vec<f64>,
+}
+
+/// The complete task log of one query execution: everything a Sparklens-like
+/// post-hoc analyzer needs, with no reference back to the live simulator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskLog {
+    /// Query name.
+    pub query_name: String,
+    /// Executor count configured for the run (the paper uses n = 16 for
+    /// collecting training logs).
+    pub executors: usize,
+    /// Cores per executor for the run.
+    pub cores_per_executor: usize,
+    /// Per-stage logs, in DAG order.
+    pub stages: Vec<StageLog>,
+    /// Flat per-task records with start times.
+    pub records: Vec<TaskRecord>,
+    /// Time not attributable to task execution (driver, startup, ramp-up).
+    pub driver_overhead_secs: f64,
+    /// Total elapsed time of the run.
+    pub elapsed_secs: f64,
+}
+
+impl TaskLog {
+    /// Total task work observed in the log, in core-seconds.
+    pub fn total_task_secs(&self) -> f64 {
+        self.stages
+            .iter()
+            .map(|s| s.task_durations_secs.iter().sum::<f64>())
+            .sum()
+    }
+
+    /// Critical-path estimate from the logged durations (unbounded
+    /// parallelism, per-stage longest task, respecting dependencies).
+    pub fn critical_path_secs(&self) -> f64 {
+        let mut completion = vec![0.0f64; self.stages.len()];
+        for (idx, stage) in self.stages.iter().enumerate() {
+            let ready_at = stage
+                .parents
+                .iter()
+                .map(|&p| completion[p])
+                .fold(0.0, f64::max);
+            let longest = stage
+                .task_durations_secs
+                .iter()
+                .copied()
+                .fold(0.0, f64::max);
+            completion[idx] = ready_at + longest;
+        }
+        completion.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_dag() -> StageDag {
+        // Stage 0: 4 tasks of 10s; stage 1 depends on 0: 2 tasks of 5s.
+        StageDag::new(vec![
+            Stage {
+                id: 0,
+                tasks: vec![Task::new(10.0); 4],
+                parents: vec![],
+            },
+            Stage {
+                id: 1,
+                tasks: vec![Task::new(5.0); 2],
+                parents: vec![0],
+            },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn dag_totals_and_width() {
+        let dag = chain_dag();
+        assert_eq!(dag.num_stages(), 2);
+        assert_eq!(dag.num_tasks(), 6);
+        assert!((dag.total_work_secs() - 50.0).abs() < 1e-12);
+        assert_eq!(dag.max_stage_width(), 4);
+    }
+
+    #[test]
+    fn critical_path_respects_dependencies() {
+        let dag = chain_dag();
+        // 10 (longest task of stage 0) + 5 (stage 1) = 15.
+        assert!((dag.critical_path_secs() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_stages_do_not_add_to_critical_path() {
+        let dag = StageDag::new(vec![
+            Stage {
+                id: 0,
+                tasks: vec![Task::new(8.0)],
+                parents: vec![],
+            },
+            Stage {
+                id: 1,
+                tasks: vec![Task::new(6.0)],
+                parents: vec![],
+            },
+            Stage {
+                id: 2,
+                tasks: vec![Task::new(4.0)],
+                parents: vec![0, 1],
+            },
+        ])
+        .unwrap();
+        assert!((dag.critical_path_secs() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dag_is_rejected() {
+        assert!(StageDag::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn forward_dependency_is_rejected() {
+        let result = StageDag::new(vec![
+            Stage {
+                id: 0,
+                tasks: vec![Task::new(1.0)],
+                parents: vec![1],
+            },
+            Stage {
+                id: 1,
+                tasks: vec![Task::new(1.0)],
+                parents: vec![],
+            },
+        ]);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn wrong_stage_id_is_rejected() {
+        let result = StageDag::new(vec![Stage {
+            id: 3,
+            tasks: vec![Task::new(1.0)],
+            parents: vec![],
+        }]);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nonpositive_task_duration_is_rejected() {
+        let result = StageDag::new(vec![Stage {
+            id: 0,
+            tasks: vec![Task::new(0.0)],
+            parents: vec![],
+        }]);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn task_log_total_and_critical_path() {
+        let log = TaskLog {
+            query_name: "q".into(),
+            executors: 16,
+            cores_per_executor: 4,
+            stages: vec![
+                StageLog {
+                    stage_id: 0,
+                    parents: vec![],
+                    task_durations_secs: vec![3.0, 4.0],
+                },
+                StageLog {
+                    stage_id: 1,
+                    parents: vec![0],
+                    task_durations_secs: vec![2.0],
+                },
+            ],
+            records: vec![],
+            driver_overhead_secs: 1.0,
+            elapsed_secs: 10.0,
+        };
+        assert!((log.total_task_secs() - 9.0).abs() < 1e-12);
+        assert!((log.critical_path_secs() - 6.0).abs() < 1e-12);
+    }
+}

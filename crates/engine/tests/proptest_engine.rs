@@ -1,0 +1,97 @@
+//! Property-based tests for the execution simulator.
+
+use ae_engine::{
+    AllocationPolicy, ClusterConfig, RunConfig, Simulator, Stage, StageDag, Task,
+};
+use proptest::prelude::*;
+
+/// Strategy producing small random stage DAGs (each stage depends on the
+/// previous one with some probability, otherwise it is a root).
+fn dag_strategy() -> impl Strategy<Value = StageDag> {
+    prop::collection::vec((1usize..40, 0.5f64..30.0, prop::bool::ANY), 1..6).prop_map(|specs| {
+        let stages: Vec<Stage> = specs
+            .iter()
+            .enumerate()
+            .map(|(idx, &(tasks, secs, chain))| Stage {
+                id: idx,
+                tasks: vec![Task::new(secs); tasks],
+                parents: if idx > 0 && chain { vec![idx - 1] } else { vec![] },
+            })
+            .collect();
+        StageDag::new(stages).expect("generated DAG is valid")
+    })
+}
+
+fn static_sim(n: usize) -> Simulator {
+    Simulator::new(
+        ClusterConfig::paper_default(),
+        AllocationPolicy::static_allocation(n),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Noise-free run times never increase when executors are added
+    /// (the monotonicity assumption behind the PPM, Section 3.1).
+    #[test]
+    fn run_time_monotone_in_executors(dag in dag_strategy()) {
+        let cfg = RunConfig::deterministic();
+        let mut last = f64::INFINITY;
+        for n in [1usize, 2, 4, 8, 16, 32, 48] {
+            let t = static_sim(n).run("prop", &dag, &cfg).elapsed_secs;
+            prop_assert!(t <= last + 1e-6, "t({}) = {} exceeds previous {}", n, t, last);
+            last = t;
+        }
+    }
+
+    /// Elapsed time is bounded below by driver overhead + critical path and
+    /// above by driver overhead + serial work (plus scheduling slack).
+    #[test]
+    fn elapsed_within_theoretical_bounds(dag in dag_strategy(), n in 1usize..48) {
+        let cfg = RunConfig::deterministic();
+        let r = static_sim(n).run("prop", &dag, &cfg).elapsed_secs;
+        let lower = cfg.driver_overhead_secs + dag.critical_path_secs();
+        // ec penalty is at most 8% (ec between 1 and 8), allocation waits are
+        // bounded by the ramp for 48 executors (~30 s).
+        let upper = cfg.driver_overhead_secs + dag.total_work_secs() * 1.1 + 40.0;
+        prop_assert!(r >= lower - 1e-6, "elapsed {} below lower bound {}", r, lower);
+        prop_assert!(r <= upper + 1e-6, "elapsed {} above upper bound {}", r, upper);
+    }
+
+    /// The executor occupancy is at least (max executors seen × 0) and at
+    /// most max executors × elapsed; the skyline maximum never exceeds the
+    /// static request.
+    #[test]
+    fn skyline_consistency(dag in dag_strategy(), n in 1usize..48) {
+        let cfg = RunConfig::deterministic();
+        let r = static_sim(n).run("prop", &dag, &cfg);
+        prop_assert!(r.max_executors <= n);
+        let bound = r.max_executors as f64 * r.elapsed_secs;
+        prop_assert!(r.auc_executor_secs <= bound + 1e-6);
+        prop_assert!(r.auc_executor_secs >= 0.0);
+    }
+
+    /// Dynamic allocation never exceeds its configured maximum.
+    #[test]
+    fn dynamic_allocation_respects_max(dag in dag_strategy(), max in 1usize..48) {
+        let sim = Simulator::new(
+            ClusterConfig::paper_default(),
+            AllocationPolicy::dynamic(1, max),
+        )
+        .unwrap();
+        let r = sim.run("prop", &dag, &RunConfig::deterministic());
+        prop_assert!(r.max_executors <= max, "allocated {} > max {}", r.max_executors, max);
+    }
+
+    /// Task logs account for every task in the DAG.
+    #[test]
+    fn task_log_complete(dag in dag_strategy()) {
+        let r = static_sim(8).run("prop", &dag, &RunConfig::deterministic().with_task_log());
+        let log = r.task_log.unwrap();
+        prop_assert_eq!(log.records.len(), dag.num_tasks());
+        let logged: usize = log.stages.iter().map(|s| s.task_durations_secs.len()).sum();
+        prop_assert_eq!(logged, dag.num_tasks());
+    }
+}

@@ -1,0 +1,297 @@
+//! Bagged random-forest regression over CART trees.
+//!
+//! This is the *parameter model* of the paper (Section 3.4): scikit-learn's
+//! `RandomForestRegressor` with its default 100 estimators, trained once per
+//! workload on one row per query, predicting the PPM parameter vector.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::tree::{DecisionTreeConfig, DecisionTreeRegressor};
+use crate::{MlError, Result};
+
+/// Hyper-parameters for the random forest.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomForestConfig {
+    /// Number of trees (scikit-learn default: 100).
+    pub n_estimators: usize,
+    /// Per-tree configuration.
+    pub tree: DecisionTreeConfig,
+    /// Fraction of features considered at each split (1.0 = all, the
+    /// scikit-learn default for regression).
+    pub max_features_fraction: f64,
+    /// Whether each tree is trained on a bootstrap sample of the rows.
+    pub bootstrap: bool,
+    /// RNG seed for bootstrapping and feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        Self {
+            n_estimators: 100,
+            tree: DecisionTreeConfig::default(),
+            max_features_fraction: 1.0,
+            bootstrap: true,
+            seed: 0,
+        }
+    }
+}
+
+impl RandomForestConfig {
+    /// The configuration used throughout the paper's evaluation: 100
+    /// estimators with otherwise default settings (Section 5.6).
+    pub fn paper_default(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// A fitted (or to-be-fitted) random-forest regressor with vector outputs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForestRegressor {
+    config: RandomForestConfig,
+    trees: Vec<DecisionTreeRegressor>,
+    feature_names: Vec<String>,
+    target_names: Vec<String>,
+}
+
+impl RandomForestRegressor {
+    /// Creates an unfitted forest.
+    pub fn new(config: RandomForestConfig) -> Self {
+        Self {
+            config,
+            trees: Vec::new(),
+            feature_names: Vec::new(),
+            target_names: Vec::new(),
+        }
+    }
+
+    /// The configuration the forest was created with.
+    pub fn config(&self) -> &RandomForestConfig {
+        &self.config
+    }
+
+    /// Whether the forest has been fitted.
+    pub fn is_fitted(&self) -> bool {
+        !self.trees.is_empty()
+    }
+
+    /// Number of fitted trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Feature names captured from the training dataset.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Target names captured from the training dataset.
+    pub fn target_names(&self) -> &[String] {
+        &self.target_names
+    }
+
+    /// Total number of tree nodes; proxies the serialized model size the
+    /// paper reports (~1 MB for 103 queries).
+    pub fn total_nodes(&self) -> usize {
+        self.trees.iter().map(|t| t.node_count()).sum()
+    }
+
+    /// Fits the forest on a [`Dataset`].
+    pub fn fit(&mut self, data: &Dataset) -> Result<()> {
+        if data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        if self.config.n_estimators == 0 {
+            return Err(MlError::ShapeMismatch {
+                detail: "n_estimators must be at least 1".into(),
+            });
+        }
+        self.feature_names = data.feature_names().to_vec();
+        self.target_names = data.target_names().to_vec();
+        let rows = data.rows();
+        let targets = data.targets();
+        let n = rows.len();
+        let d = data.num_features();
+        let max_features = ((d as f64) * self.config.max_features_fraction)
+            .round()
+            .clamp(1.0, d as f64) as usize;
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        self.trees.clear();
+        self.trees.reserve(self.config.n_estimators);
+        for _ in 0..self.config.n_estimators {
+            let sample: Vec<usize> = if self.config.bootstrap {
+                (0..n).map(|_| rng.gen_range(0..n)).collect()
+            } else {
+                (0..n).collect()
+            };
+            // Each split draws a fresh random subset of feature columns.
+            let mut tree_rng = StdRng::seed_from_u64(rng.gen());
+            let mut picker = move |num_features: usize| {
+                if max_features >= num_features {
+                    (0..num_features).collect::<Vec<_>>()
+                } else {
+                    let mut cols: Vec<usize> = (0..num_features).collect();
+                    cols.shuffle(&mut tree_rng);
+                    cols.truncate(max_features);
+                    cols
+                }
+            };
+            let mut tree = DecisionTreeRegressor::new(self.config.tree);
+            tree.fit_with(rows, targets, &sample, &mut picker)?;
+            self.trees.push(tree);
+        }
+        Ok(())
+    }
+
+    /// Predicts the mean target vector over all trees for one feature row.
+    pub fn predict(&self, row: &[f64]) -> Result<Vec<f64>> {
+        if self.trees.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        let k = self.trees[0].num_outputs();
+        let mut acc = vec![0.0; k];
+        for tree in &self.trees {
+            let p = tree.predict(row)?;
+            for (a, v) in acc.iter_mut().zip(p) {
+                *a += v;
+            }
+        }
+        let nt = self.trees.len() as f64;
+        for a in &mut acc {
+            *a /= nt;
+        }
+        Ok(acc)
+    }
+
+    /// Predicts target vectors for many rows.
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Maximum depth across the fitted trees (0 before fitting).
+    pub fn max_tree_depth(&self) -> usize {
+        self.trees.iter().map(|t| t.depth()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_dataset(n: usize) -> Dataset {
+        // Two outputs with different dependence on the two features.
+        let mut d = Dataset::new(
+            vec!["x0".into(), "x1".into()],
+            vec!["y0".into(), "y1".into()],
+        );
+        for i in 0..n {
+            let x0 = (i % 17) as f64;
+            let x1 = (i % 5) as f64;
+            let y0 = 3.0 * x0 + 0.5 * x1;
+            let y1 = if x1 > 2.0 { 50.0 } else { 10.0 };
+            d.push_row(format!("q{i}"), vec![x0, x1], vec![y0, y1]).unwrap();
+        }
+        d
+    }
+
+    fn small_forest(seed: u64) -> RandomForestConfig {
+        RandomForestConfig {
+            n_estimators: 25,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn forest_fits_and_predicts_reasonably() {
+        let data = synthetic_dataset(120);
+        let mut rf = RandomForestRegressor::new(small_forest(3));
+        rf.fit(&data).unwrap();
+        assert!(rf.is_fitted());
+        assert_eq!(rf.num_trees(), 25);
+        let p = rf.predict(&[8.0, 4.0]).unwrap();
+        // y0 = 26, y1 = 50 for this input.
+        assert!((p[0] - 26.0).abs() < 6.0, "y0 prediction too far: {}", p[0]);
+        assert!((p[1] - 50.0).abs() < 10.0, "y1 prediction too far: {}", p[1]);
+    }
+
+    #[test]
+    fn forest_is_deterministic_for_a_seed() {
+        let data = synthetic_dataset(60);
+        let mut a = RandomForestRegressor::new(small_forest(9));
+        let mut b = RandomForestRegressor::new(small_forest(9));
+        a.fit(&data).unwrap();
+        b.fit(&data).unwrap();
+        let row = vec![5.0, 1.0];
+        assert_eq!(a.predict(&row).unwrap(), b.predict(&row).unwrap());
+    }
+
+    #[test]
+    fn different_seeds_give_different_forests() {
+        let data = synthetic_dataset(60);
+        let mut a = RandomForestRegressor::new(small_forest(1));
+        let mut b = RandomForestRegressor::new(small_forest(2));
+        a.fit(&data).unwrap();
+        b.fit(&data).unwrap();
+        // Not a strict requirement per-row, but the node structure should differ.
+        assert_ne!(a.total_nodes(), 0);
+        assert!(a.total_nodes() != b.total_nodes() || a.predict(&[3.0, 3.0]).unwrap() != b.predict(&[3.0, 3.0]).unwrap());
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        let rf = RandomForestRegressor::new(RandomForestConfig::default());
+        assert!(matches!(rf.predict(&[1.0]), Err(MlError::NotFitted)));
+    }
+
+    #[test]
+    fn fit_on_empty_dataset_errors() {
+        let empty = Dataset::new(vec!["x".into()], vec!["y".into()]);
+        let mut rf = RandomForestRegressor::new(RandomForestConfig::default());
+        assert!(matches!(rf.fit(&empty), Err(MlError::EmptyDataset)));
+    }
+
+    #[test]
+    fn zero_estimators_is_rejected() {
+        let data = synthetic_dataset(10);
+        let mut rf = RandomForestRegressor::new(RandomForestConfig {
+            n_estimators: 0,
+            ..Default::default()
+        });
+        assert!(rf.fit(&data).is_err());
+    }
+
+    #[test]
+    fn feature_subsampling_still_produces_valid_model() {
+        let data = synthetic_dataset(80);
+        let mut rf = RandomForestRegressor::new(RandomForestConfig {
+            n_estimators: 15,
+            max_features_fraction: 0.5,
+            seed: 4,
+            ..Default::default()
+        });
+        rf.fit(&data).unwrap();
+        let p = rf.predict(&[2.0, 4.0]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn batch_prediction_matches_individual_calls() {
+        let data = synthetic_dataset(50);
+        let mut rf = RandomForestRegressor::new(small_forest(7));
+        rf.fit(&data).unwrap();
+        let rows = vec![vec![1.0, 1.0], vec![10.0, 4.0]];
+        let batch = rf.predict_batch(&rows).unwrap();
+        assert_eq!(batch[0], rf.predict(&rows[0]).unwrap());
+        assert_eq!(batch[1], rf.predict(&rows[1]).unwrap());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the ML substrate.
+
+use ae_ml::dataset::{Dataset, KFold};
+use ae_ml::forest::{RandomForestConfig, RandomForestRegressor};
+use ae_ml::linreg::SimpleLinearFit;
+use ae_ml::metrics::{empirical_cdf, iqr_filtered_mean, total_absolute_error_ratio};
+use ae_ml::tree::{DecisionTreeConfig, DecisionTreeRegressor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every k-fold split partitions the rows: folds are disjoint and cover everything.
+    #[test]
+    fn kfold_partitions_rows(n in 5usize..200, k in 2usize..5, seed in 0u64..1000) {
+        prop_assume!(k <= n);
+        let splits = KFold::new(k, seed).splits(n).unwrap();
+        let mut seen = vec![false; n];
+        for s in &splits {
+            for &i in &s.test {
+                prop_assert!(!seen[i], "row {} appears in two test folds", i);
+                seen[i] = true;
+            }
+            prop_assert_eq!(s.train.len() + s.test.len(), n);
+        }
+        prop_assert!(seen.into_iter().all(|b| b));
+    }
+
+    /// A linear fit on exactly-linear data recovers the line parameters.
+    #[test]
+    fn linear_fit_recovers_line(intercept in -100.0f64..100.0, slope in -10.0f64..10.0) {
+        let xs: Vec<f64> = (1..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| intercept + slope * x).collect();
+        let fit = SimpleLinearFit::fit(&xs, &ys).unwrap();
+        prop_assert!((fit.intercept - intercept).abs() < 1e-6);
+        prop_assert!((fit.slope - slope).abs() < 1e-6);
+    }
+
+    /// Tree predictions on constant targets always return that constant.
+    #[test]
+    fn tree_constant_target_is_exact(value in -1e6f64..1e6, n in 4usize..50) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let targets = vec![vec![value]; n];
+        let mut tree = DecisionTreeRegressor::new(DecisionTreeConfig::default());
+        tree.fit(&rows, &targets).unwrap();
+        let p = tree.predict(&[0.0, 3.0]).unwrap();
+        prop_assert!((p[0] - value).abs() < 1e-9 * value.abs().max(1.0));
+    }
+
+    /// Forest predictions always stay within the range of observed targets
+    /// (trees and their averages cannot extrapolate beyond training values).
+    #[test]
+    fn forest_predictions_bounded_by_training_range(seed in 0u64..50) {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![(i % 11) as f64]).collect();
+        let targets: Vec<Vec<f64>> = rows.iter().map(|r| vec![r[0] * 5.0 + 1.0]).collect();
+        let lo = 1.0;
+        let hi = 10.0 * 5.0 + 1.0;
+        let mut data = Dataset::new(vec!["x".into()], vec!["y".into()]);
+        for (i, (r, t)) in rows.iter().zip(&targets).enumerate() {
+            data.push_row(format!("r{i}"), r.clone(), t.clone()).unwrap();
+        }
+        let mut rf = RandomForestRegressor::new(RandomForestConfig {
+            n_estimators: 8,
+            seed,
+            ..Default::default()
+        });
+        rf.fit(&data).unwrap();
+        for x in [-5.0, 0.0, 3.0, 10.0, 100.0] {
+            let p = rf.predict(&[x]).unwrap()[0];
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "prediction {} out of [{}, {}]", p, lo, hi);
+        }
+    }
+
+    /// E(n)-style error ratio is zero iff predictions equal actuals, and
+    /// non-negative otherwise.
+    #[test]
+    fn error_ratio_nonnegative(values in prop::collection::vec(1.0f64..1e4, 1..30)) {
+        prop_assert_eq!(total_absolute_error_ratio(&values, &values), 0.0);
+        let shifted: Vec<f64> = values.iter().map(|v| v + 1.0).collect();
+        prop_assert!(total_absolute_error_ratio(&shifted, &values) > 0.0);
+    }
+
+    /// The IQR-filtered mean always lies within the min..max of the samples.
+    #[test]
+    fn iqr_mean_within_range(samples in prop::collection::vec(0.0f64..1e5, 1..40)) {
+        let m = iqr_filtered_mean(&samples);
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    /// Empirical CDFs are monotone in both coordinates and end at 100%.
+    #[test]
+    fn cdf_monotone(values in prop::collection::vec(-1e3f64..1e3, 1..50)) {
+        let cdf = empirical_cdf(&values);
+        prop_assert!((cdf.last().unwrap().1 - 100.0).abs() < 1e-9);
+        for w in cdf.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

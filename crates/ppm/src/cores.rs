@@ -1,0 +1,214 @@
+//! The total-cores view of the PPM and executor-size factorization.
+//!
+//! Section 3.3: instead of extending the PPM with a second input for the
+//! cores-per-executor `ec`, the paper uses the *total* core count
+//! `k = n × ec` as the single resource knob — run times for configurations
+//! with the same `k` but different `ec` lie close to the `ec = 4` trend
+//! line. Once an optimal `k` is chosen it must be factorized back into
+//! `(n, ec)`; the paper picks the `ec` that minimizes stranded cores on a
+//! node subject to the node memory constraint.
+
+use serde::{Deserialize, Serialize};
+
+use crate::curve::PerfCurve;
+
+/// Interpolates the run time for a configuration `(n, ec)` from a reference
+/// curve measured (or predicted) over *total cores* with a fixed reference
+/// `ec` — the estimation procedure behind Figure 5c.
+pub fn interpolate_by_cores(reference_curve_by_cores: &PerfCurve, n: usize, ec: usize) -> f64 {
+    let total_cores = (n * ec) as f64;
+    reference_curve_by_cores.evaluate(total_cores)
+}
+
+/// Constraints of the executor-size factorization problem (Section 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FactorizationConstraints {
+    /// Cores per node (`C`).
+    pub node_cores: usize,
+    /// Memory per node in GB (`M`).
+    pub node_memory_gb: f64,
+    /// Memory per executor in GB as a function of its core count: modelled
+    /// as `memory_gb_per_core × ec`.
+    pub memory_gb_per_core: f64,
+    /// Smallest executor size to consider (very small executors complicate
+    /// overhead-memory sizing, §3.3).
+    pub min_cores_per_executor: usize,
+    /// Largest executor size to consider (very large executors suffer from
+    /// garbage-collection overheads, §3.3).
+    pub max_cores_per_executor: usize,
+}
+
+impl FactorizationConstraints {
+    /// Constraints for the paper's medium node (8 cores, 64 GB) with 7 GB of
+    /// executor memory per core and executor sizes between 1 and 8 cores.
+    pub fn paper_default() -> Self {
+        Self {
+            node_cores: 8,
+            node_memory_gb: 64.0,
+            memory_gb_per_core: 7.0,
+            min_cores_per_executor: 1,
+            max_cores_per_executor: 8,
+        }
+    }
+}
+
+/// A chosen factorization of a total core count into executors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Factorization {
+    /// Number of executors (`n`).
+    pub executors: usize,
+    /// Cores per executor (`ec`).
+    pub cores_per_executor: usize,
+    /// Cores left stranded on each (full) node: `C mod ec`.
+    pub stranded_cores_per_node: usize,
+}
+
+/// Factorizes a total core count `k` into `(n, ec)`.
+///
+/// Among executor sizes that (a) divide `k` exactly, (b) fit the node memory
+/// constraint `memory_per_executor × ⌊C/ec⌋ ≤ M`, and (c) respect the
+/// configured size bounds, the function picks the one minimizing the
+/// stranded cores per node `C mod ec`; ties are broken toward the *smaller*
+/// executor size, which offers finer-grained cost-performance control
+/// (Section 3.3). Returns `None` when `k` is zero or no candidate satisfies
+/// the constraints.
+pub fn factorize_total_cores(
+    k: usize,
+    constraints: &FactorizationConstraints,
+) -> Option<Factorization> {
+    if k == 0 {
+        return None;
+    }
+    let lo = constraints.min_cores_per_executor.max(1);
+    let hi = constraints
+        .max_cores_per_executor
+        .min(constraints.node_cores)
+        .max(lo);
+    let mut best: Option<Factorization> = None;
+    for ec in lo..=hi {
+        if k % ec != 0 {
+            continue;
+        }
+        let per_node = constraints.node_cores / ec;
+        if per_node == 0 {
+            continue;
+        }
+        let memory_needed = constraints.memory_gb_per_core * ec as f64 * per_node as f64;
+        if memory_needed > constraints.node_memory_gb + 1e-9 {
+            continue;
+        }
+        let candidate = Factorization {
+            executors: k / ec,
+            cores_per_executor: ec,
+            stranded_cores_per_node: constraints.node_cores % ec,
+        };
+        let better = match &best {
+            None => true,
+            Some(current) => {
+                candidate.stranded_cores_per_node < current.stranded_cores_per_node
+                    || (candidate.stranded_cores_per_node == current.stranded_cores_per_node
+                        && candidate.cores_per_executor < current.cores_per_executor)
+            }
+        };
+        if better {
+            best = Some(candidate);
+        }
+    }
+    best
+}
+
+/// The configuration grid of Table 1: `(ec, n, k)` triples used to study the
+/// impact of total cores.
+pub fn table1_configurations() -> Vec<(usize, usize, usize)> {
+    let mut rows = vec![
+        (2, 3, 6),
+        (2, 16, 32),
+        (4, 1, 4),
+        (4, 3, 12),
+        (4, 4, 16),
+        (4, 8, 32),
+        (4, 16, 64),
+        (4, 32, 128),
+        (4, 48, 192),
+        (6, 3, 18),
+        (6, 16, 96),
+        (8, 3, 24),
+        (8, 16, 128),
+    ];
+    rows.sort();
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_grid_is_consistent() {
+        let rows = table1_configurations();
+        assert_eq!(rows.len(), 13);
+        for (ec, n, k) in rows {
+            assert_eq!(ec * n, k, "({ec}, {n}, {k})");
+        }
+    }
+
+    #[test]
+    fn interpolation_matches_reference_at_equal_cores() {
+        // Reference curve over total cores (measured with ec = 4).
+        let reference = PerfCurve::from_samples(&[(4, 400.0), (16, 150.0), (64, 70.0), (192, 50.0)]);
+        // A 2-core × 8-executor config has 16 total cores → same estimate as ec=4, n=4.
+        let estimate = interpolate_by_cores(&reference, 8, 2);
+        assert!((estimate - 150.0).abs() < 1e-9);
+        // 3 executors × 6 cores = 18 cores → interpolated between 16 and 64.
+        let estimate = interpolate_by_cores(&reference, 3, 6);
+        assert!(estimate < 150.0 && estimate > 70.0);
+    }
+
+    #[test]
+    fn factorization_prefers_zero_stranding() {
+        let constraints = FactorizationConstraints::paper_default();
+        // k = 32: ec ∈ {1, 2, 4, 8} all divide; all leave 0 stranded cores on
+        // an 8-core node; memory allows at most 8 cores' worth (56 GB ≤ 64).
+        let f = factorize_total_cores(32, &constraints).unwrap();
+        assert_eq!(f.stranded_cores_per_node, 0);
+        assert_eq!(f.executors * f.cores_per_executor, 32);
+        // Tie-break toward the smaller executor.
+        assert_eq!(f.cores_per_executor, 1);
+    }
+
+    #[test]
+    fn factorization_respects_memory_constraint() {
+        // Tight memory: only 28 GB per node ⇒ at most 4 cores' worth of
+        // executor memory per node.
+        let constraints = FactorizationConstraints {
+            node_memory_gb: 28.0,
+            min_cores_per_executor: 4,
+            ..FactorizationConstraints::paper_default()
+        };
+        // ec = 4 → 2 executors/node → 56 GB needed > 28: infeasible.
+        // ec = 8 → 1 executor/node → 56 GB needed > 28: infeasible.
+        assert_eq!(factorize_total_cores(16, &constraints), None);
+    }
+
+    #[test]
+    fn factorization_skips_non_divisors() {
+        let constraints = FactorizationConstraints {
+            min_cores_per_executor: 3,
+            max_cores_per_executor: 5,
+            ..FactorizationConstraints::paper_default()
+        };
+        // k = 20 is divisible by 4 and 5 but not 3.
+        let f = factorize_total_cores(20, &constraints).unwrap();
+        assert!(f.cores_per_executor == 4 || f.cores_per_executor == 5);
+        // ec = 4 leaves 0 stranded on an 8-core node; ec = 5 leaves 3.
+        assert_eq!(f.cores_per_executor, 4);
+    }
+
+    #[test]
+    fn zero_total_cores_is_none() {
+        assert_eq!(
+            factorize_total_cores(0, &FactorizationConstraints::paper_default()),
+            None
+        );
+    }
+}

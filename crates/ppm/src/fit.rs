@@ -1,0 +1,172 @@
+//! Fitting PPM parameters to observed or estimated run-time curves.
+//!
+//! Section 3.4 of the paper: for each training query the PPM parameters are
+//! extracted from its `(n, t(n))` curve — obtained either from actual runs or
+//! from Sparklens estimates — and those parameters become the targets of the
+//! parameter model.
+//!
+//! * **AE_PL**: the floor `m` is the minimum observed time; `a` and `b` come
+//!   from a least-squares fit of `log t = log b + a·log n` over the
+//!   non-saturating region `n ∈ [1, n_m]`.
+//! * **AE_AL**: `s` and `p` come from a least-squares fit of `t` against
+//!   `1/n`.
+
+use ae_ml::linreg::SimpleLinearFit;
+
+use crate::model::{AmdahlPpm, PowerLawPpm};
+
+/// Errors produced when fitting a PPM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer than two observations were provided.
+    NotEnoughPoints,
+    /// An observation had a non-positive resource count or run time.
+    InvalidObservation,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::NotEnoughPoints => write!(f, "need at least two (n, t) observations"),
+            FitError::InvalidObservation => {
+                write!(f, "observations must have positive n and t")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+fn validate(observations: &[(usize, f64)]) -> Result<(), FitError> {
+    if observations.len() < 2 {
+        return Err(FitError::NotEnoughPoints);
+    }
+    if observations
+        .iter()
+        .any(|&(n, t)| n == 0 || !t.is_finite() || t <= 0.0)
+    {
+        return Err(FitError::InvalidObservation);
+    }
+    Ok(())
+}
+
+/// Fits the power-law-with-saturation PPM (`AE_PL`) to `(n, t)` observations.
+pub fn fit_power_law(observations: &[(usize, f64)]) -> Result<PowerLawPpm, FitError> {
+    validate(observations)?;
+    let mut sorted: Vec<(usize, f64)> = observations.to_vec();
+    sorted.sort_by_key(|&(n, _)| n);
+
+    // The floor is the minimum observed time.
+    let m = sorted.iter().map(|&(_, t)| t).fold(f64::INFINITY, f64::min);
+
+    // Non-saturating region: points whose time is still above the floor,
+    // plus the first point that reaches it (so the fit sees the knee).
+    let mut region: Vec<(usize, f64)> = Vec::new();
+    for &(n, t) in &sorted {
+        region.push((n, t));
+        if (t - m).abs() <= m * 1e-6 {
+            break;
+        }
+    }
+    if region.len() < 2 {
+        // The curve is flat from the start: a constant model.
+        return Ok(PowerLawPpm::new(0.0, m, m));
+    }
+
+    let xs: Vec<f64> = region.iter().map(|&(n, _)| (n as f64).ln()).collect();
+    let ys: Vec<f64> = region.iter().map(|&(_, t)| t.ln()).collect();
+    let fit = SimpleLinearFit::fit(&xs, &ys).map_err(|_| FitError::NotEnoughPoints)?;
+    let a = fit.slope;
+    let b = fit.intercept.exp();
+    Ok(PowerLawPpm::new(a, b, m))
+}
+
+/// Fits the Amdahl's-law PPM (`AE_AL`) to `(n, t)` observations.
+pub fn fit_amdahl(observations: &[(usize, f64)]) -> Result<AmdahlPpm, FitError> {
+    validate(observations)?;
+    let xs: Vec<f64> = observations.iter().map(|&(n, _)| 1.0 / n as f64).collect();
+    let ys: Vec<f64> = observations.iter().map(|&(_, t)| t).collect();
+    let fit = SimpleLinearFit::fit(&xs, &ys).map_err(|_| FitError::NotEnoughPoints)?;
+    Ok(AmdahlPpm::new(fit.intercept, fit.slope))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve_from_amdahl(s: f64, p: f64, counts: &[usize]) -> Vec<(usize, f64)> {
+        counts.iter().map(|&n| (n, s + p / n as f64)).collect()
+    }
+
+    #[test]
+    fn amdahl_fit_recovers_exact_parameters() {
+        let obs = curve_from_amdahl(25.0, 500.0, &[1, 3, 8, 16, 32, 48]);
+        let fit = fit_amdahl(&obs).unwrap();
+        assert!((fit.s - 25.0).abs() < 1e-6);
+        assert!((fit.p - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_law_fit_recovers_exact_parameters_before_saturation() {
+        // t = 400 * n^-0.7, floored at 40 (saturation near n ≈ 26.8).
+        let obs: Vec<(usize, f64)> = [1usize, 2, 4, 8, 16, 32, 48]
+            .iter()
+            .map(|&n| (n, (400.0 * (n as f64).powf(-0.7)).max(40.0)))
+            .collect();
+        let fit = fit_power_law(&obs).unwrap();
+        assert!((fit.m - 40.0).abs() < 1e-9);
+        assert!((fit.a + 0.7).abs() < 0.1, "a = {}", fit.a);
+        assert!((fit.b - 400.0).abs() / 400.0 < 0.15, "b = {}", fit.b);
+        // The fitted curve reproduces the observations closely.
+        for &(n, t) in &obs {
+            let p = fit.predict(n as f64);
+            assert!((p - t).abs() / t < 0.12, "n={n}: {p} vs {t}");
+        }
+    }
+
+    #[test]
+    fn power_law_fit_on_flat_curve_is_constant() {
+        let obs = vec![(1usize, 55.0), (8, 55.0), (32, 55.0)];
+        let fit = fit_power_law(&obs).unwrap();
+        assert!((fit.predict(1.0) - 55.0).abs() < 1e-9);
+        assert!((fit.predict(48.0) - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amdahl_fit_on_sparklens_like_monotone_curve_is_monotone() {
+        // A curve with saturation that Amdahl can only approximate.
+        let obs: Vec<(usize, f64)> = (1..=48)
+            .map(|n| (n, (300.0 / n as f64).max(20.0) + 30.0))
+            .collect();
+        let fit = fit_amdahl(&obs).unwrap();
+        let mut last = f64::INFINITY;
+        for n in 1..=48 {
+            let t = fit.predict(n as f64);
+            assert!(t <= last + 1e-9);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn fit_rejects_insufficient_or_invalid_data() {
+        assert_eq!(fit_amdahl(&[(4, 10.0)]), Err(FitError::NotEnoughPoints));
+        assert_eq!(
+            fit_power_law(&[(0, 10.0), (4, 5.0)]),
+            Err(FitError::InvalidObservation)
+        );
+        assert_eq!(
+            fit_amdahl(&[(1, -3.0), (4, 5.0)]),
+            Err(FitError::InvalidObservation)
+        );
+    }
+
+    #[test]
+    fn unsorted_observations_are_handled() {
+        let mut obs = curve_from_amdahl(10.0, 100.0, &[16, 1, 8, 48, 3, 32]);
+        obs.reverse();
+        let al = fit_amdahl(&obs).unwrap();
+        assert!((al.s - 10.0).abs() < 1e-6);
+        let pl = fit_power_law(&obs).unwrap();
+        assert!(pl.predict(1.0) > pl.predict(48.0));
+    }
+}

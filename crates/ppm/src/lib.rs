@@ -1,0 +1,35 @@
+//! # ae-ppm — price-performance models and configuration selection
+//!
+//! The heart of the paper's Section 3: a query's run time as a function of
+//! its computational resources is represented by a small parametric function
+//! (the *Price-Performance Model*, PPM), fitted per query, and then used to
+//! select an operating point for a price-performance objective.
+//!
+//! * [`model`] — the two PPM families: `AE_PL` (power law with a saturation
+//!   floor) and `AE_AL` (Amdahl's law), both monotone non-increasing in the
+//!   resource count by construction.
+//! * [`fit`] — fitting PPM parameters to observed or estimated `(n, t)`
+//!   curves (log-space least squares for the power law, `1/n`-space least
+//!   squares for Amdahl's law), as described in Section 3.4.
+//! * [`curve`] — piecewise-linear performance curves used to interpolate
+//!   "Actual" and Sparklens series over all candidate executor counts
+//!   (Section 5.3).
+//! * [`selection`] — configuration selection: minimum-time, bounded slowdown
+//!   `H`, and the normalized-slope "elbow point" (Section 5.3).
+//! * [`cores`] — the total-cores view `k = n × ec` (Section 3.3) and the
+//!   executor-size factorization that minimizes stranded node resources.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cores;
+pub mod curve;
+pub mod fit;
+pub mod model;
+pub mod selection;
+
+pub use cores::{factorize_total_cores, interpolate_by_cores, FactorizationConstraints};
+pub use curve::PerfCurve;
+pub use fit::{fit_amdahl, fit_power_law, FitError};
+pub use model::{AmdahlPpm, PowerLawPpm, Ppm, PpmKind};
+pub use selection::{elbow_point, min_time_config, slowdown_config, SelectionObjective};

@@ -1,0 +1,250 @@
+//! The two parametric price-performance model families.
+//!
+//! Both express the run time `t(n)` of a query as a function of its resource
+//! allocation `n` (executors, or total cores in the Section 3.3 variant):
+//!
+//! * **AE_PL** — power law with saturation: `t(n) = max(b·n^a, m)`, with
+//!   query-specific parameters `{a, b, m}` (Equation 3). For a sensible
+//!   query `a ≤ 0` (more resources never hurt) and `m > 0` is the floor.
+//! * **AE_AL** — Amdahl's law: `t(n) = s + p/n`, with parameters `{s, p}`
+//!   (Equation 4): a serial component `s` and a perfectly scalable
+//!   component `p`.
+//!
+//! Both are monotone non-increasing in `n` (for `a ≤ 0`, `p ≥ 0`), which the
+//! constructors enforce by clamping — the monotonicity condition the paper
+//! imposes in Section 3.1.
+
+use serde::{Deserialize, Serialize};
+
+/// Which PPM family a model belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PpmKind {
+    /// Power law with saturation (`AE_PL`).
+    PowerLaw,
+    /// Amdahl's law (`AE_AL`).
+    Amdahl,
+}
+
+impl PpmKind {
+    /// Short label used in reports ("AE_PL" / "AE_AL", as in the paper).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PpmKind::PowerLaw => "AE_PL",
+            PpmKind::Amdahl => "AE_AL",
+        }
+    }
+
+    /// Names of the model's parameters, in the order used by
+    /// [`Ppm::parameters`] and the parameter-model targets.
+    pub fn parameter_names(&self) -> &'static [&'static str] {
+        match self {
+            PpmKind::PowerLaw => &["a", "b", "m"],
+            PpmKind::Amdahl => &["s", "p"],
+        }
+    }
+}
+
+/// Power-law-with-saturation PPM: `t(n) = max(b·n^a, m)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerLawPpm {
+    /// Exponent (≤ 0 for monotone non-increasing curves).
+    pub a: f64,
+    /// Scale factor (time at `n = 1` before the floor applies).
+    pub b: f64,
+    /// Saturation floor: the minimum achievable run time.
+    pub m: f64,
+}
+
+impl PowerLawPpm {
+    /// Creates a power-law PPM, clamping parameters so the curve is
+    /// monotone non-increasing and non-negative.
+    pub fn new(a: f64, b: f64, m: f64) -> Self {
+        Self {
+            a: a.min(0.0),
+            b: b.max(0.0),
+            m: m.max(0.0),
+        }
+    }
+
+    /// Evaluates `t(n)`.
+    pub fn predict(&self, n: f64) -> f64 {
+        let n = n.max(1.0);
+        (self.b * n.powf(self.a)).max(self.m)
+    }
+
+    /// The resource count at which the power-law part reaches the floor `m`
+    /// (the saturation point), or `None` when the curve never saturates
+    /// (e.g. `m = 0` or `a = 0`).
+    pub fn saturation_point(&self) -> Option<f64> {
+        if self.m <= 0.0 || self.b <= 0.0 || self.a >= 0.0 {
+            return None;
+        }
+        // b·n^a = m  →  n = (m/b)^(1/a)
+        let n = (self.m / self.b).powf(1.0 / self.a);
+        n.is_finite().then_some(n.max(1.0))
+    }
+}
+
+/// Amdahl's-law PPM: `t(n) = s + p/n`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AmdahlPpm {
+    /// Serial (resource-invariant) component.
+    pub s: f64,
+    /// Scalable component (time at one unit of resource beyond `s`).
+    pub p: f64,
+}
+
+impl AmdahlPpm {
+    /// Creates an Amdahl PPM, clamping both components to be non-negative so
+    /// the curve is monotone non-increasing.
+    pub fn new(s: f64, p: f64) -> Self {
+        Self {
+            s: s.max(0.0),
+            p: p.max(0.0),
+        }
+    }
+
+    /// Evaluates `t(n)`.
+    pub fn predict(&self, n: f64) -> f64 {
+        let n = n.max(1.0);
+        self.s + self.p / n
+    }
+}
+
+/// A fitted PPM of either family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Ppm {
+    /// Power law with saturation.
+    PowerLaw(PowerLawPpm),
+    /// Amdahl's law.
+    Amdahl(AmdahlPpm),
+}
+
+impl Ppm {
+    /// The model family.
+    pub fn kind(&self) -> PpmKind {
+        match self {
+            Ppm::PowerLaw(_) => PpmKind::PowerLaw,
+            Ppm::Amdahl(_) => PpmKind::Amdahl,
+        }
+    }
+
+    /// Evaluates `t(n)` for a resource count `n` (executors or cores).
+    pub fn predict(&self, n: f64) -> f64 {
+        match self {
+            Ppm::PowerLaw(m) => m.predict(n),
+            Ppm::Amdahl(m) => m.predict(n),
+        }
+    }
+
+    /// Evaluates the model at each integer resource count in `counts`.
+    pub fn predict_curve(&self, counts: &[usize]) -> Vec<(usize, f64)> {
+        counts.iter().map(|&n| (n, self.predict(n as f64))).collect()
+    }
+
+    /// The parameter vector, ordered as in [`PpmKind::parameter_names`].
+    pub fn parameters(&self) -> Vec<f64> {
+        match self {
+            Ppm::PowerLaw(m) => vec![m.a, m.b, m.m],
+            Ppm::Amdahl(m) => vec![m.s, m.p],
+        }
+    }
+
+    /// Reconstructs a model from a parameter vector produced by a parameter
+    /// model (the inverse of [`Ppm::parameters`]). Extra entries are ignored;
+    /// missing entries are treated as zero.
+    pub fn from_parameters(kind: PpmKind, params: &[f64]) -> Self {
+        let get = |i: usize| params.get(i).copied().unwrap_or(0.0);
+        match kind {
+            PpmKind::PowerLaw => Ppm::PowerLaw(PowerLawPpm::new(get(0), get(1), get(2))),
+            PpmKind::Amdahl => Ppm::Amdahl(AmdahlPpm::new(get(0), get(1))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_law_predicts_and_saturates() {
+        let ppm = PowerLawPpm::new(-0.8, 400.0, 60.0);
+        assert!((ppm.predict(1.0) - 400.0).abs() < 1e-9);
+        assert!(ppm.predict(8.0) < ppm.predict(2.0));
+        // Far out the floor applies.
+        assert_eq!(ppm.predict(1e6), 60.0);
+        let sat = ppm.saturation_point().unwrap();
+        assert!((ppm.predict(sat) - 60.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_law_clamps_positive_exponent() {
+        let ppm = PowerLawPpm::new(0.5, 100.0, 10.0);
+        assert_eq!(ppm.a, 0.0);
+        // Constant curve, never increasing.
+        assert_eq!(ppm.predict(1.0), ppm.predict(50.0));
+    }
+
+    #[test]
+    fn amdahl_predicts_serial_plus_scalable() {
+        let ppm = AmdahlPpm::new(30.0, 300.0);
+        assert!((ppm.predict(1.0) - 330.0).abs() < 1e-9);
+        assert!((ppm.predict(10.0) - 60.0).abs() < 1e-9);
+        // Approaches s asymptotically.
+        assert!((ppm.predict(1e9) - 30.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn amdahl_clamps_negative_components() {
+        let ppm = AmdahlPpm::new(-5.0, -10.0);
+        assert_eq!(ppm.predict(1.0), 0.0);
+        assert_eq!(ppm.predict(100.0), 0.0);
+    }
+
+    #[test]
+    fn both_models_are_monotone_non_increasing() {
+        let models = [
+            Ppm::PowerLaw(PowerLawPpm::new(-0.6, 500.0, 40.0)),
+            Ppm::Amdahl(AmdahlPpm::new(20.0, 480.0)),
+        ];
+        for model in models {
+            let mut last = f64::INFINITY;
+            for n in 1..=64 {
+                let t = model.predict(n as f64);
+                assert!(t <= last + 1e-12, "{model:?} increased at n={n}");
+                last = t;
+            }
+        }
+    }
+
+    #[test]
+    fn parameter_roundtrip() {
+        let pl = Ppm::PowerLaw(PowerLawPpm::new(-0.7, 321.0, 45.0));
+        let back = Ppm::from_parameters(PpmKind::PowerLaw, &pl.parameters());
+        assert_eq!(pl, back);
+        let al = Ppm::Amdahl(AmdahlPpm::new(12.0, 200.0));
+        let back = Ppm::from_parameters(PpmKind::Amdahl, &al.parameters());
+        assert_eq!(al, back);
+    }
+
+    #[test]
+    fn from_parameters_handles_short_vectors() {
+        let model = Ppm::from_parameters(PpmKind::PowerLaw, &[-0.5]);
+        assert_eq!(model.parameters(), vec![-0.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn predictions_below_n_one_clamp_to_n_one() {
+        let ppm = Ppm::Amdahl(AmdahlPpm::new(10.0, 100.0));
+        assert_eq!(ppm.predict(0.0), ppm.predict(1.0));
+        assert_eq!(ppm.predict(-3.0), ppm.predict(1.0));
+    }
+
+    #[test]
+    fn kind_labels_match_paper_names() {
+        assert_eq!(PpmKind::PowerLaw.label(), "AE_PL");
+        assert_eq!(PpmKind::Amdahl.label(), "AE_AL");
+        assert_eq!(PpmKind::PowerLaw.parameter_names(), &["a", "b", "m"]);
+        assert_eq!(PpmKind::Amdahl.parameter_names(), &["s", "p"]);
+    }
+}

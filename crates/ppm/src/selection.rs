@@ -1,0 +1,226 @@
+//! Configuration selection on top of a predicted or measured PPM curve.
+//!
+//! Section 5.3 evaluates two selection scenarios plus the default strategy
+//! of the AutoExecutor rule:
+//!
+//! * **Bounded slowdown** — pick the smallest `n` whose run time is within a
+//!   factor `H` of the minimum achievable time (`H = 1` is
+//!   "fastest-with-fewest-executors").
+//! * **Elbow point** — normalize both axes to `[0, 1]` and pick the smallest
+//!   `n` at which the curve's slope crosses unit slope, balancing the rate
+//!   of time decrease against the rate of resource increase (Equations 7–9).
+
+use serde::{Deserialize, Serialize};
+
+/// A price-performance selection objective.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SelectionObjective {
+    /// Smallest `n` achieving the minimum time (the paper's `H = 1`).
+    MinTime,
+    /// Smallest `n` within a slowdown factor `H ≥ 1` of the minimum time.
+    BoundedSlowdown(f64),
+    /// The normalized-slope elbow point.
+    Elbow,
+}
+
+impl SelectionObjective {
+    /// Applies the objective to a `(n, t)` curve and returns the selected `n`.
+    pub fn select(&self, curve: &[(usize, f64)]) -> Option<usize> {
+        match *self {
+            SelectionObjective::MinTime => min_time_config(curve),
+            SelectionObjective::BoundedSlowdown(h) => slowdown_config(curve, h),
+            SelectionObjective::Elbow => elbow_point(curve),
+        }
+    }
+}
+
+/// Sorts a copy of the curve by `n` and drops non-finite times.
+fn normalised(curve: &[(usize, f64)]) -> Vec<(usize, f64)> {
+    let mut pts: Vec<(usize, f64)> = curve
+        .iter()
+        .copied()
+        .filter(|&(_, t)| t.is_finite())
+        .collect();
+    pts.sort_by_key(|&(n, _)| n);
+    pts.dedup_by_key(|&mut (n, _)| n);
+    pts
+}
+
+/// Smallest `n` whose time equals the minimum time over the curve
+/// (up to a 1e-9 relative tolerance). Equivalent to `slowdown_config(curve, 1.0)`.
+pub fn min_time_config(curve: &[(usize, f64)]) -> Option<usize> {
+    slowdown_config(curve, 1.0)
+}
+
+/// Smallest `n` such that `t(n) ≤ H · t_min` where `t_min` is the minimum
+/// time over the curve. Returns `None` on an empty curve; `H` below 1 is
+/// treated as 1.
+pub fn slowdown_config(curve: &[(usize, f64)], h: f64) -> Option<usize> {
+    let pts = normalised(curve);
+    if pts.is_empty() {
+        return None;
+    }
+    let t_min = pts.iter().map(|&(_, t)| t).fold(f64::INFINITY, f64::min);
+    let h = h.max(1.0);
+    let threshold = t_min * h * (1.0 + 1e-9);
+    pts.iter().find(|&&(_, t)| t <= threshold).map(|&(n, _)| n)
+}
+
+/// The elbow point: both axes are range-normalized to `[0, 1]` and the elbow
+/// is the smallest `n` at which the (descending) slope crosses unit slope —
+/// i.e. `slope(u(n)) ≥ 1` and `slope(u(n+1)) ≤ 1` (Equations 7–9).
+///
+/// Degenerate cases: a flat curve returns the smallest `n`; a curve that is
+/// still steep at its last point returns the largest `n`.
+pub fn elbow_point(curve: &[(usize, f64)]) -> Option<usize> {
+    let pts = normalised(curve);
+    if pts.is_empty() {
+        return None;
+    }
+    if pts.len() == 1 {
+        return Some(pts[0].0);
+    }
+    let n_min = pts[0].0 as f64;
+    let n_max = pts[pts.len() - 1].0 as f64;
+    let t_min = pts.iter().map(|&(_, t)| t).fold(f64::INFINITY, f64::min);
+    let t_max = pts.iter().map(|&(_, t)| t).fold(f64::NEG_INFINITY, f64::max);
+    if (n_max - n_min).abs() < 1e-12 || (t_max - t_min).abs() < 1e-12 {
+        // Flat curve (or single n): any extra executor is wasted.
+        return Some(pts[0].0);
+    }
+    let u = |n: f64| (n - n_min) / (n_max - n_min);
+    let v = |t: f64| (t - t_min) / (t_max - t_min);
+
+    // slope_i: normalized drop from point i-1 to point i.
+    let slopes: Vec<f64> = pts
+        .windows(2)
+        .map(|w| {
+            let du = u(w[1].0 as f64) - u(w[0].0 as f64);
+            let dv = v(w[0].1) - v(w[1].1);
+            if du.abs() < 1e-12 {
+                0.0
+            } else {
+                dv / du
+            }
+        })
+        .collect();
+
+    // Find the first i where slope into point i is ≥ 1 and slope out of it is ≤ 1.
+    for i in 0..slopes.len() {
+        let slope_in = slopes[i];
+        let slope_out = slopes.get(i + 1).copied().unwrap_or(0.0);
+        if slope_in >= 1.0 && slope_out <= 1.0 {
+            return Some(pts[i + 1].0);
+        }
+    }
+    // No crossover: if the curve never reached unit steepness it is shallow
+    // everywhere → pick the smallest n; otherwise it stays steep → largest n.
+    if slopes.iter().all(|&s| s < 1.0) {
+        Some(pts[0].0)
+    } else {
+        Some(pts[pts.len() - 1].0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AmdahlPpm, Ppm, PowerLawPpm};
+
+    fn amdahl_curve() -> Vec<(usize, f64)> {
+        let model = Ppm::Amdahl(AmdahlPpm::new(30.0, 470.0));
+        model.predict_curve(&(1..=48).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn min_time_picks_smallest_n_reaching_minimum() {
+        // Saturating power law: times equal the floor beyond the saturation point.
+        let model = Ppm::PowerLaw(PowerLawPpm::new(-1.0, 480.0, 20.0));
+        let curve = model.predict_curve(&(1..=48).collect::<Vec<_>>());
+        let n = min_time_config(&curve).unwrap();
+        assert_eq!(n, 24); // 480/n = 20 → n = 24
+    }
+
+    #[test]
+    fn slowdown_relaxation_reduces_selected_n() {
+        let curve = amdahl_curve();
+        let strict = slowdown_config(&curve, 1.0).unwrap();
+        let relaxed = slowdown_config(&curve, 1.5).unwrap();
+        let very_relaxed = slowdown_config(&curve, 2.0).unwrap();
+        assert!(relaxed < strict);
+        assert!(very_relaxed <= relaxed);
+    }
+
+    #[test]
+    fn amdahl_without_saturation_selects_max_n_for_h1() {
+        // AE_AL keeps decreasing, so H=1 forces the maximum candidate —
+        // exactly the behaviour the paper reports for AE_AL in Figure 10b.
+        let curve = amdahl_curve();
+        assert_eq!(min_time_config(&curve).unwrap(), 48);
+    }
+
+    #[test]
+    fn elbow_of_amdahl_curve_is_moderate() {
+        let curve = amdahl_curve();
+        let elbow = elbow_point(&curve).unwrap();
+        assert!(
+            (4..=12).contains(&elbow),
+            "elbow {elbow} should sit in the knee region"
+        );
+    }
+
+    #[test]
+    fn elbow_of_flat_curve_is_smallest_n() {
+        let curve: Vec<(usize, f64)> = (1..=48).map(|n| (n, 100.0)).collect();
+        assert_eq!(elbow_point(&curve).unwrap(), 1);
+    }
+
+    #[test]
+    fn elbow_of_linear_curve_is_interior_or_endpoint() {
+        // A linearly decreasing curve has slope exactly 1 everywhere in
+        // normalized space: the first crossover fires at the second point.
+        let curve: Vec<(usize, f64)> = (1..=10).map(|n| (n, 100.0 - n as f64)).collect();
+        let elbow = elbow_point(&curve).unwrap();
+        assert!(elbow <= 3, "elbow {elbow}");
+    }
+
+    #[test]
+    fn selection_objective_dispatches() {
+        let curve = amdahl_curve();
+        assert_eq!(
+            SelectionObjective::MinTime.select(&curve),
+            min_time_config(&curve)
+        );
+        assert_eq!(
+            SelectionObjective::BoundedSlowdown(1.2).select(&curve),
+            slowdown_config(&curve, 1.2)
+        );
+        assert_eq!(SelectionObjective::Elbow.select(&curve), elbow_point(&curve));
+    }
+
+    #[test]
+    fn empty_curves_return_none() {
+        assert_eq!(min_time_config(&[]), None);
+        assert_eq!(slowdown_config(&[], 1.5), None);
+        assert_eq!(elbow_point(&[]), None);
+    }
+
+    #[test]
+    fn h_below_one_is_clamped() {
+        let curve = amdahl_curve();
+        assert_eq!(
+            slowdown_config(&curve, 0.5),
+            slowdown_config(&curve, 1.0)
+        );
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let mut curve = amdahl_curve();
+        curve.reverse();
+        assert_eq!(slowdown_config(&curve, 1.1), {
+            let sorted = amdahl_curve();
+            slowdown_config(&sorted, 1.1)
+        });
+    }
+}

@@ -1,0 +1,353 @@
+//! Materialises query templates into logical plans and stage DAGs.
+//!
+//! The [`WorkloadGenerator`] is the stand-in for "TPC-DS data + Spark SQL
+//! compilation": given a [`QueryTemplate`] and a [`ScaleFactor`] it produces
+//! (a) the optimizer-facing [`QueryPlan`] whose statistics feed the
+//! parameter model, and (b) the physical [`StageDag`] that the execution
+//! simulator schedules. Both are deterministic functions of the template and
+//! scale factor, so the "ground truth" run-time curves are stable across the
+//! whole evaluation.
+
+use ae_engine::plan::{OperatorKind, PlanNode, QueryPlan};
+use ae_engine::stage::{Stage, StageDag, Task};
+use serde::{Deserialize, Serialize};
+
+use crate::templates::{template_for, tpcds_templates, QueryTemplate, ScaleFactor};
+
+/// Bytes per scan partition (Spark's default file split size, 128 MB).
+const GB_PER_PARTITION: f64 = 0.128;
+/// Share of total work done in the scan stages.
+const SCAN_WORK_SHARE: f64 = 0.45;
+/// Upper bound on tasks per scan stage.
+const MAX_SCAN_TASKS: usize = 500;
+/// Upper bound on tasks per shuffle stage.
+const MAX_SHUFFLE_TASKS: usize = 200;
+
+/// One concrete query: template + plan + physical DAG at a scale factor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryInstance {
+    /// Query name (same as the template name).
+    pub name: String,
+    /// The template this instance was generated from.
+    pub template: QueryTemplate,
+    /// Scale factor of the instance.
+    pub scale_factor: ScaleFactor,
+    /// Optimizer-facing logical plan.
+    pub plan: QueryPlan,
+    /// Physical stage DAG scheduled by the simulator.
+    pub dag: StageDag,
+}
+
+/// Generates query instances for a scale factor.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadGenerator {
+    scale_factor: ScaleFactor,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator for the given scale factor.
+    pub fn new(scale_factor: ScaleFactor) -> Self {
+        Self { scale_factor }
+    }
+
+    /// The scale factor this generator materialises.
+    pub fn scale_factor(&self) -> ScaleFactor {
+        self.scale_factor
+    }
+
+    /// Generates the full 103-query suite.
+    pub fn suite(&self) -> Vec<QueryInstance> {
+        tpcds_templates()
+            .into_iter()
+            .map(|t| self.instantiate(&t))
+            .collect()
+    }
+
+    /// Generates a single query by name (e.g. `"q94"`).
+    pub fn instance(&self, name: &str) -> QueryInstance {
+        self.instantiate(&template_for(name))
+    }
+
+    /// Materialises one template.
+    pub fn instantiate(&self, template: &QueryTemplate) -> QueryInstance {
+        QueryInstance {
+            name: template.name.clone(),
+            template: template.clone(),
+            scale_factor: self.scale_factor,
+            plan: build_plan(template, self.scale_factor),
+            dag: build_dag(template, self.scale_factor),
+        }
+    }
+}
+
+/// Builds the logical plan whose statistics match the template's operator mix.
+fn build_plan(template: &QueryTemplate, sf: ScaleFactor) -> QueryPlan {
+    let mult = sf.multiplier();
+
+    // Scans with per-source filters/projections, joined left-deep.
+    let mut scans = Vec::with_capacity(template.num_inputs);
+    for &gb_per_sf in &template.input_gb_per_sf {
+        let bytes = gb_per_sf * mult * 1e9;
+        let rows = gb_per_sf * mult * template.rows_per_gb;
+        scans.push(PlanNode::leaf(OperatorKind::TableScan, rows, bytes));
+    }
+
+    let mut filters_left = template.num_filters;
+    let mut projects_left = template.num_projects;
+
+    // Each scan gets at most one filter and one project below the joins.
+    let mut sources: Vec<PlanNode> = scans
+        .into_iter()
+        .map(|scan| {
+            let mut node = scan;
+            if filters_left > 0 {
+                filters_left -= 1;
+                let rows = node.estimated_rows * 0.4;
+                node = PlanNode::internal(OperatorKind::Filter, rows, vec![node]);
+            }
+            if projects_left > 0 {
+                projects_left -= 1;
+                let rows = node.estimated_rows;
+                node = PlanNode::internal(OperatorKind::Project, rows, vec![node]);
+            }
+            node
+        })
+        .collect();
+
+    // Left-deep join tree over the sources, inserting exchanges.
+    let mut current = sources.remove(0);
+    let mut joins_used = 0usize;
+    for other in sources {
+        let rows = (current.estimated_rows + other.estimated_rows) * 0.3;
+        let exchange_l = PlanNode::internal(OperatorKind::Exchange, current.estimated_rows, vec![current]);
+        let exchange_r = PlanNode::internal(OperatorKind::Exchange, other.estimated_rows, vec![other]);
+        current = PlanNode::internal(OperatorKind::Join, rows, vec![exchange_l, exchange_r]);
+        joins_used += 1;
+    }
+    // Remaining joins are self-join-like unary compositions (semi-joins with
+    // subqueries in real TPC-DS); keep them as Join over an Exchange.
+    while joins_used < template.num_joins {
+        let rows = current.estimated_rows * 0.6;
+        let exchange = PlanNode::internal(OperatorKind::Exchange, current.estimated_rows, vec![current]);
+        current = PlanNode::internal(OperatorKind::Join, rows, vec![exchange]);
+        joins_used += 1;
+    }
+
+    // Remaining filters and projects sit above the join tree.
+    for _ in 0..filters_left {
+        let rows = current.estimated_rows * 0.7;
+        current = PlanNode::internal(OperatorKind::Filter, rows, vec![current]);
+    }
+    for _ in 0..projects_left {
+        let rows = current.estimated_rows;
+        current = PlanNode::internal(OperatorKind::Project, rows, vec![current]);
+    }
+
+    // Subqueries, windows, aggregates, sorts, unions, limit.
+    for _ in 0..template.num_subqueries {
+        let rows = current.estimated_rows * 0.9;
+        current = PlanNode::internal(OperatorKind::Subquery, rows, vec![current]);
+    }
+    for _ in 0..template.num_windows {
+        let rows = current.estimated_rows;
+        current = PlanNode::internal(OperatorKind::Window, rows, vec![current]);
+    }
+    for i in 0..template.num_aggregates {
+        let rows = (current.estimated_rows * 0.05).max(100.0);
+        let exchange = PlanNode::internal(OperatorKind::Exchange, current.estimated_rows, vec![current]);
+        current = PlanNode::internal(OperatorKind::Aggregate, rows, vec![exchange]);
+        if i == 0 && template.num_unions > 0 {
+            // Unions appear as siblings of an aggregate branch in many
+            // TPC-DS queries; model them as a union over the aggregate and a
+            // small local relation.
+            let mut children = vec![current];
+            for _ in 0..template.num_unions {
+                children.push(PlanNode::leaf(OperatorKind::LocalRelation, 1000.0, 0.0));
+            }
+            let rows: f64 = children.iter().map(|c| c.estimated_rows).sum();
+            current = PlanNode::internal(OperatorKind::Union, rows, children);
+        }
+    }
+    for _ in 0..template.num_sorts {
+        let rows = current.estimated_rows;
+        current = PlanNode::internal(OperatorKind::Sort, rows, vec![current]);
+    }
+    let rows = current.estimated_rows.min(100.0);
+    current = PlanNode::internal(OperatorKind::Limit, rows, vec![current]);
+
+    QueryPlan::new(template.name.clone(), current)
+}
+
+/// Builds the physical stage DAG: scan stages, a chain of shuffle stages,
+/// and a narrow serial tail.
+fn build_dag(template: &QueryTemplate, sf: ScaleFactor) -> StageDag {
+    let mult = sf.multiplier();
+    let total_work = template.total_work_secs(sf);
+    let serial_work = total_work * template.serial_fraction;
+    let scan_work = total_work * SCAN_WORK_SHARE;
+    let shuffle_work = (total_work - serial_work - scan_work).max(total_work * 0.05);
+
+    let total_gb: f64 = template.input_gb_per_sf.iter().sum::<f64>() * mult;
+    let mut stages: Vec<Stage> = Vec::new();
+
+    // Scan stages: one per input, tasks proportional to bytes.
+    let mut scan_stage_ids = Vec::with_capacity(template.num_inputs);
+    for &gb_per_sf in &template.input_gb_per_sf {
+        let gb = gb_per_sf * mult;
+        let tasks = ((gb / GB_PER_PARTITION).ceil() as usize).clamp(1, MAX_SCAN_TASKS);
+        let stage_work = scan_work * (gb / total_gb.max(1e-9));
+        let id = stages.len();
+        stages.push(Stage {
+            id,
+            tasks: spread_work(stage_work, tasks, template.skew),
+            parents: vec![],
+        });
+        scan_stage_ids.push(id);
+    }
+
+    // Shuffle stages: a chain, the first depending on all scans. Widths
+    // shrink geometrically as data is filtered/aggregated away.
+    let first_width = ((total_gb * 4.0).ceil() as usize).clamp(4, MAX_SHUFFLE_TASKS);
+    let mut prev: Vec<usize> = scan_stage_ids.clone();
+    let num_shuffles = template.num_shuffle_stages;
+    // Geometric weights so earlier (wider) shuffle stages carry more work.
+    let weight_sum: f64 = (0..num_shuffles).map(|i| 0.6f64.powi(i as i32)).sum();
+    for i in 0..num_shuffles {
+        let width = ((first_width as f64) * 0.55f64.powi(i as i32)).ceil() as usize;
+        let width = width.clamp(1, MAX_SHUFFLE_TASKS);
+        let stage_work = shuffle_work * 0.6f64.powi(i as i32) / weight_sum;
+        let id = stages.len();
+        stages.push(Stage {
+            id,
+            tasks: spread_work(stage_work, width, template.skew),
+            parents: prev.clone(),
+        });
+        prev = vec![id];
+    }
+
+    // Serial tail: one or two tasks holding the inherently serial work.
+    let tail_tasks = if serial_work > 30.0 { 2 } else { 1 };
+    let id = stages.len();
+    stages.push(Stage {
+        id,
+        tasks: spread_work(serial_work.max(0.5), tail_tasks, 1.0),
+        parents: prev,
+    });
+
+    StageDag::new(stages).expect("generated DAG is structurally valid")
+}
+
+/// Spreads `work` core-seconds over `tasks` tasks, making the last task
+/// `skew`× longer than the others (straggler) while preserving total work.
+fn spread_work(work: f64, tasks: usize, skew: f64) -> Vec<Task> {
+    let tasks = tasks.max(1);
+    let skew = skew.max(1.0);
+    // base * (tasks - 1) + base * skew = work
+    let base = work / ((tasks - 1) as f64 + skew);
+    let base = base.max(1e-3);
+    let mut out = vec![Task::new(base); tasks];
+    if let Some(last) = out.last_mut() {
+        *last = Task::new((base * skew).max(1e-3));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::TPCDS_QUERY_COUNT;
+
+    #[test]
+    fn suite_generates_all_queries() {
+        let suite = WorkloadGenerator::new(ScaleFactor::SF10).suite();
+        assert_eq!(suite.len(), TPCDS_QUERY_COUNT);
+        assert!(suite.iter().all(|q| q.dag.num_tasks() > 0));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let generator = WorkloadGenerator::new(ScaleFactor::SF100);
+        let a = generator.instance("q94");
+        let b = generator.instance("q94");
+        assert_eq!(a.dag.total_work_secs(), b.dag.total_work_secs());
+        assert_eq!(a.plan.stats(), b.plan.stats());
+    }
+
+    #[test]
+    fn plan_stats_reflect_template_structure() {
+        let generator = WorkloadGenerator::new(ScaleFactor::SF100);
+        let q = generator.instance("q23");
+        let stats = q.plan.stats();
+        assert_eq!(stats.num_input_sources, q.template.num_inputs);
+        assert_eq!(
+            stats.count_of(OperatorKind::Join),
+            q.template.num_joins.max(q.template.num_inputs - 1)
+        );
+        assert_eq!(stats.count_of(OperatorKind::Aggregate), q.template.num_aggregates);
+        assert!(stats.max_depth >= 3);
+        assert!(stats.total_input_bytes > 0.0);
+        assert!(stats.total_rows_processed > 0.0);
+    }
+
+    #[test]
+    fn input_bytes_scale_linearly_with_sf() {
+        let q10 = WorkloadGenerator::new(ScaleFactor::SF10).instance("q7");
+        let q100 = WorkloadGenerator::new(ScaleFactor::SF100).instance("q7");
+        let b10 = q10.plan.stats().total_input_bytes;
+        let b100 = q100.plan.stats().total_input_bytes;
+        assert!((b100 / b10 - 10.0).abs() < 0.1, "ratio {}", b100 / b10);
+    }
+
+    #[test]
+    fn dag_width_grows_with_scale_factor() {
+        let q10 = WorkloadGenerator::new(ScaleFactor::SF10).instance("q94");
+        let q100 = WorkloadGenerator::new(ScaleFactor::SF100).instance("q94");
+        assert!(q100.dag.max_stage_width() > q10.dag.max_stage_width());
+    }
+
+    #[test]
+    fn dag_work_matches_template_total() {
+        let generator = WorkloadGenerator::new(ScaleFactor::SF100);
+        for name in ["q1", "q42", "q94", "q14b"] {
+            let q = generator.instance(name);
+            let expected = q.template.total_work_secs(ScaleFactor::SF100);
+            let actual = q.dag.total_work_secs();
+            let rel = (actual - expected).abs() / expected;
+            assert!(rel < 0.15, "{name}: dag work {actual} vs template {expected}");
+        }
+    }
+
+    #[test]
+    fn dag_has_serial_tail_stage() {
+        let q = WorkloadGenerator::new(ScaleFactor::SF100).instance("q94");
+        let last = q.dag.stages().last().unwrap();
+        assert!(last.tasks.len() <= 2);
+        assert!(!last.parents.is_empty());
+    }
+
+    #[test]
+    fn spread_work_preserves_total_and_skew() {
+        let tasks = spread_work(100.0, 10, 2.0);
+        let total: f64 = tasks.iter().map(|t| t.work_secs).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        let max = tasks.iter().map(|t| t.work_secs).fold(0.0, f64::max);
+        let min = tasks.iter().map(|t| t.work_secs).fold(f64::INFINITY, f64::min);
+        assert!((max / min - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spread_work_single_task() {
+        let tasks = spread_work(5.0, 1, 3.0);
+        assert_eq!(tasks.len(), 1);
+        assert!(tasks[0].work_secs > 0.0);
+    }
+
+    #[test]
+    fn suite_work_range_spans_order_of_magnitude() {
+        let suite = WorkloadGenerator::new(ScaleFactor::SF100).suite();
+        let works: Vec<f64> = suite.iter().map(|q| q.dag.total_work_secs()).collect();
+        let min = works.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = works.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 10.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # ae-workload — synthetic workloads for the AutoExecutor reproduction
+//!
+//! Two workload families feed the paper's evaluation:
+//!
+//! * **TPC-DS** (103 queries = 99 templates + 4 variants) at scale factors
+//!   10 and 100, executed on Azure Synapse Spark. [`templates`] and
+//!   [`generator`] produce the equivalent here: 103 deterministic synthetic
+//!   query templates whose operator mixes, input sizes, and stage DAGs span
+//!   the same ranges the paper reports (optimal executor counts from 1 to
+//!   48, elbow points concentrated around 8, run times from tens of seconds
+//!   to minutes).
+//! * **Production Spark telemetry at Microsoft** (90,224 applications,
+//!   840,278 queries, 3,245 clusters) used for the motivating analysis of
+//!   Section 2. [`production`] generates a synthetic telemetry set with the
+//!   distributions reported in Figures 2 and 3a/3b.
+//!
+//! Both generators are seeded and fully deterministic, so every experiment
+//! in the benchmark harness is reproducible.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod generator;
+pub mod production;
+pub mod templates;
+
+pub use generator::{QueryInstance, WorkloadGenerator};
+pub use production::{ApplicationTelemetry, ProductionWorkload, ProductionWorkloadConfig};
+pub use templates::{QueryTemplate, ScaleFactor, TPCDS_QUERY_COUNT};

@@ -1,0 +1,458 @@
+//! Synthetic production-telemetry generator (Section 2 of the paper).
+//!
+//! The paper motivates per-query resource allocation with a day of
+//! production Spark telemetry at Microsoft: 90,224 applications, 840,278
+//! queries, 3,245 clusters. That data is proprietary, so this module
+//! generates a synthetic telemetry set whose *reported distributions* match
+//! the paper's figures:
+//!
+//! * Figure 2a — more than 60% of applications run more than one query, with
+//!   a long tail up to thousands of queries.
+//! * Figure 2b — within an application, queries vary: median coefficient of
+//!   variation ≈ 20% for operator counts, ≈ 40% for rows processed, ≈ 60%
+//!   for query times.
+//! * Figure 2c — ≈ 70% of applications do not share their cluster with any
+//!   concurrent application.
+//! * Figure 3a — 59% of applications enable dynamic allocation; 97% of those
+//!   keep the default (0, 2³¹−1) range, the rest set ranges mostly of 2 but
+//!   up to 64.
+//! * Figure 3b — of the applications without dynamic allocation, ≈ 80% run
+//!   with the default 2 executors.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Per-query telemetry captured for an application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryTelemetry {
+    /// Number of operators in the query plan.
+    pub operator_count: f64,
+    /// Rows processed by the query.
+    pub rows_processed: f64,
+    /// Query execution time in seconds.
+    pub duration_secs: f64,
+}
+
+/// Dynamic-allocation settings of an application (when enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DynamicAllocationSetting {
+    /// Configured minimum executors.
+    pub min_executors: u64,
+    /// Configured maximum executors.
+    pub max_executors: u64,
+}
+
+impl DynamicAllocationSetting {
+    /// The Spark default range: 0 to 2³¹ − 1.
+    pub fn spark_default() -> Self {
+        Self {
+            min_executors: 0,
+            max_executors: (i32::MAX) as u64,
+        }
+    }
+
+    /// Whether this is the (unrealistic) default range.
+    pub fn is_default(&self) -> bool {
+        *self == Self::spark_default()
+    }
+
+    /// Width of the configured executor range.
+    pub fn range(&self) -> u64 {
+        self.max_executors.saturating_sub(self.min_executors)
+    }
+}
+
+/// Telemetry of one Spark application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ApplicationTelemetry {
+    /// Cluster the application ran on.
+    pub cluster_id: usize,
+    /// Per-query telemetry rows.
+    pub queries: Vec<QueryTelemetry>,
+    /// Dynamic-allocation settings, `None` when disabled.
+    pub dynamic_allocation: Option<DynamicAllocationSetting>,
+    /// Static executor count (meaningful when dynamic allocation is off).
+    pub static_executors: Option<u64>,
+    /// Total cores allocated to the application (executors × cores).
+    pub total_cores: u64,
+    /// Maximum number of applications concurrently active on the same
+    /// cluster while this one ran (including itself).
+    pub max_concurrent_apps: usize,
+}
+
+impl ApplicationTelemetry {
+    /// Coefficient of variation (%) of a per-query metric within this app.
+    fn cov(&self, metric: impl Fn(&QueryTelemetry) -> f64) -> f64 {
+        let values: Vec<f64> = self.queries.iter().map(metric).collect();
+        ae_ml_cov(&values)
+    }
+
+    /// CoV (%) of operator counts across this application's queries.
+    pub fn operator_count_cov(&self) -> f64 {
+        self.cov(|q| q.operator_count)
+    }
+
+    /// CoV (%) of rows processed across this application's queries.
+    pub fn rows_processed_cov(&self) -> f64 {
+        self.cov(|q| q.rows_processed)
+    }
+
+    /// CoV (%) of query durations across this application's queries.
+    pub fn duration_cov(&self) -> f64 {
+        self.cov(|q| q.duration_secs)
+    }
+}
+
+/// Local CoV helper (population std / mean × 100); kept here to avoid a
+/// dependency cycle with `ae-ml`.
+fn ae_ml_cov(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if mean.abs() < f64::EPSILON {
+        return 0.0;
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    var.sqrt() / mean * 100.0
+}
+
+/// Configuration of the synthetic telemetry generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProductionWorkloadConfig {
+    /// Number of applications to generate (the paper analyses 90,224; the
+    /// default here is smaller so experiments stay fast while the CDF shapes
+    /// are unchanged).
+    pub num_applications: usize,
+    /// Number of clusters to spread applications over.
+    pub num_clusters: usize,
+    /// Seed for the generator.
+    pub seed: u64,
+}
+
+impl Default for ProductionWorkloadConfig {
+    fn default() -> Self {
+        Self {
+            num_applications: 10_000,
+            num_clusters: 360,
+            seed: 2023,
+        }
+    }
+}
+
+/// The generated telemetry set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProductionWorkload {
+    /// All generated applications.
+    pub applications: Vec<ApplicationTelemetry>,
+}
+
+impl ProductionWorkload {
+    /// Generates a telemetry set from the configuration.
+    pub fn generate(config: &ProductionWorkloadConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut applications = Vec::with_capacity(config.num_applications);
+        // Pre-assign applications to clusters so concurrency can be derived.
+        let cluster_of: Vec<usize> = (0..config.num_applications)
+            .map(|_| sample_cluster(&mut rng, config.num_clusters))
+            .collect();
+        let mut apps_per_cluster = vec![0usize; config.num_clusters];
+        for &c in &cluster_of {
+            apps_per_cluster[c] += 1;
+        }
+
+        for &cluster_id in cluster_of.iter().take(config.num_applications) {
+            let num_queries = sample_queries_per_app(&mut rng);
+            let queries = generate_queries(&mut rng, num_queries);
+
+            // 59% enable dynamic allocation; 97% of those keep the default range.
+            let dynamic_allocation = if rng.gen_bool(0.59) {
+                if rng.gen_bool(0.97) {
+                    Some(DynamicAllocationSetting::spark_default())
+                } else {
+                    let min = rng.gen_range(0..4u64);
+                    // ~60% of custom ranges have width 2, rest up to 64.
+                    let width = if rng.gen_bool(0.6) {
+                        2
+                    } else {
+                        [4u64, 8, 16, 32, 64][rng.gen_range(0..5)]
+                    };
+                    Some(DynamicAllocationSetting {
+                        min_executors: min,
+                        max_executors: min + width,
+                    })
+                }
+            } else {
+                None
+            };
+
+            // Static executor counts for apps without dynamic allocation:
+            // 80% keep the default of 2, the rest scale up to ~2048.
+            let static_executors = if dynamic_allocation.is_none() {
+                Some(if rng.gen_bool(0.8) {
+                    2
+                } else {
+                    2u64 << rng.gen_range(1..11) // 4 .. 4096-ish, log-spread
+                })
+            } else {
+                None
+            };
+            let executors_for_cores = static_executors.unwrap_or_else(|| rng.gen_range(2..64));
+            let total_cores = executors_for_cores * 4;
+
+            // ~70% of apps run alone; for the rest concurrency grows with
+            // cluster population.
+            let max_concurrent_apps = if rng.gen_bool(0.70) {
+                1
+            } else {
+                let cap = apps_per_cluster[cluster_id].clamp(2, 64);
+                rng.gen_range(2..=cap.max(2))
+            };
+
+            applications.push(ApplicationTelemetry {
+                cluster_id,
+                queries,
+                dynamic_allocation,
+                static_executors,
+                total_cores,
+                max_concurrent_apps,
+            });
+        }
+        Self { applications }
+    }
+
+    /// Total number of queries across all applications.
+    pub fn total_queries(&self) -> usize {
+        self.applications.iter().map(|a| a.queries.len()).sum()
+    }
+
+    /// Values for the Figure 2a CDF: queries per application.
+    pub fn queries_per_application(&self) -> Vec<f64> {
+        self.applications.iter().map(|a| a.queries.len() as f64).collect()
+    }
+
+    /// Values for the Figure 2b CDFs: per-application CoV (%) of rows
+    /// processed, query times, and operator counts, in that order.
+    pub fn variation_cdfs(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let multi: Vec<&ApplicationTelemetry> = self
+            .applications
+            .iter()
+            .filter(|a| a.queries.len() > 1)
+            .collect();
+        let rows = multi.iter().map(|a| a.rows_processed_cov()).collect();
+        let times = multi.iter().map(|a| a.duration_cov()).collect();
+        let ops = multi.iter().map(|a| a.operator_count_cov()).collect();
+        (rows, times, ops)
+    }
+
+    /// Values for the Figure 2c CDF: maximum concurrent applications.
+    pub fn concurrent_applications(&self) -> Vec<f64> {
+        self.applications
+            .iter()
+            .map(|a| a.max_concurrent_apps as f64)
+            .collect()
+    }
+
+    /// Fraction of applications with dynamic allocation enabled.
+    pub fn dynamic_allocation_fraction(&self) -> f64 {
+        let with = self
+            .applications
+            .iter()
+            .filter(|a| a.dynamic_allocation.is_some())
+            .count();
+        with as f64 / self.applications.len().max(1) as f64
+    }
+
+    /// Values for the Figure 3a CDF: executor-range widths of applications
+    /// that configured a *non-default* dynamic-allocation range.
+    pub fn non_default_da_ranges(&self) -> Vec<f64> {
+        self.applications
+            .iter()
+            .filter_map(|a| a.dynamic_allocation)
+            .filter(|da| !da.is_default())
+            .map(|da| da.range() as f64)
+            .collect()
+    }
+
+    /// Values for the Figure 3b CDFs: static executor counts and total cores
+    /// of applications without dynamic allocation.
+    pub fn static_allocations(&self) -> (Vec<f64>, Vec<f64>) {
+        let execs: Vec<f64> = self
+            .applications
+            .iter()
+            .filter_map(|a| a.static_executors)
+            .map(|e| e as f64)
+            .collect();
+        let cores: Vec<f64> = self
+            .applications
+            .iter()
+            .filter(|a| a.static_executors.is_some())
+            .map(|a| a.total_cores as f64)
+            .collect();
+        (execs, cores)
+    }
+}
+
+/// Cluster assignment: a few hot clusters host many applications.
+fn sample_cluster(rng: &mut StdRng, num_clusters: usize) -> usize {
+    // Zipf-ish: square a uniform to concentrate mass on low indices.
+    let u: f64 = rng.gen();
+    ((u * u) * num_clusters as f64) as usize % num_clusters.max(1)
+}
+
+/// Queries per application: ~40% single-query, long tail to thousands.
+fn sample_queries_per_app(rng: &mut StdRng) -> usize {
+    if rng.gen_bool(0.38) {
+        1
+    } else {
+        // Log-uniform between 2 and 5000.
+        let lo = (2.0f64).ln();
+        let hi = (5000.0f64).ln();
+        let v: f64 = rng.gen_range(lo..hi);
+        (v.exp()).round() as usize
+    }
+}
+
+/// Generates per-query telemetry with per-app dispersion chosen so the CoV
+/// distributions land near the paper's medians.
+fn generate_queries(rng: &mut StdRng, count: usize) -> Vec<QueryTelemetry> {
+    // Per-application base values.
+    let base_ops: f64 = rng.gen_range(5.0..60.0);
+    let base_rows: f64 = 10f64.powf(rng.gen_range(4.0..9.0));
+    let base_time: f64 = 10f64.powf(rng.gen_range(0.5..3.0));
+    // Per-application dispersion: operator counts vary least, times most.
+    let ops_disp: f64 = rng.gen_range(0.0..0.45);
+    let rows_disp: f64 = rng.gen_range(0.05..0.9);
+    let time_disp: f64 = rng.gen_range(0.1..1.3);
+
+    // Cap the number of materialised telemetry rows per app to keep memory
+    // bounded; CoV statistics stabilise long before 500 samples.
+    let materialised = count.min(500);
+    let mut queries = Vec::with_capacity(materialised);
+    for _ in 0..materialised {
+        queries.push(QueryTelemetry {
+            operator_count: (base_ops * lognormal(rng, ops_disp)).max(1.0).round(),
+            rows_processed: base_rows * lognormal(rng, rows_disp),
+            duration_secs: base_time * lognormal(rng, time_disp),
+        });
+    }
+    // Preserve the *reported* query count even when rows were capped by
+    // padding with clones of existing rows (cheap, keeps len() faithful).
+    while queries.len() < count {
+        let idx = queries.len() % materialised;
+        let clone = queries[idx].clone();
+        queries.push(clone);
+    }
+    queries
+}
+
+/// Multiplicative lognormal-ish factor with scale `sigma`.
+fn lognormal(rng: &mut StdRng, sigma: f64) -> f64 {
+    let normal: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+    (normal * sigma).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_workload() -> ProductionWorkload {
+        ProductionWorkload::generate(&ProductionWorkloadConfig {
+            num_applications: 2000,
+            num_clusters: 80,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = ProductionWorkloadConfig {
+            num_applications: 200,
+            num_clusters: 20,
+            seed: 11,
+        };
+        let a = ProductionWorkload::generate(&cfg);
+        let b = ProductionWorkload::generate(&cfg);
+        assert_eq!(a.total_queries(), b.total_queries());
+        assert_eq!(
+            a.applications[17].max_concurrent_apps,
+            b.applications[17].max_concurrent_apps
+        );
+    }
+
+    #[test]
+    fn majority_of_apps_have_multiple_queries() {
+        let w = small_workload();
+        let multi = w
+            .applications
+            .iter()
+            .filter(|a| a.queries.len() > 1)
+            .count() as f64
+            / w.applications.len() as f64;
+        assert!(multi > 0.55, "only {multi:.2} of apps have >1 query");
+    }
+
+    #[test]
+    fn dynamic_allocation_fraction_near_paper_value() {
+        let w = small_workload();
+        let frac = w.dynamic_allocation_fraction();
+        assert!((frac - 0.59).abs() < 0.05, "DA fraction {frac}");
+    }
+
+    #[test]
+    fn most_da_apps_use_default_range() {
+        let w = small_workload();
+        let da: Vec<_> = w
+            .applications
+            .iter()
+            .filter_map(|a| a.dynamic_allocation)
+            .collect();
+        let default = da.iter().filter(|d| d.is_default()).count() as f64 / da.len() as f64;
+        assert!(default > 0.9, "default-range fraction {default}");
+        // Non-default ranges exist and are small-ish.
+        let ranges = w.non_default_da_ranges();
+        assert!(!ranges.is_empty());
+        assert!(ranges.iter().all(|&r| (2.0..=64.0).contains(&r)));
+    }
+
+    #[test]
+    fn most_static_apps_run_with_two_executors() {
+        let w = small_workload();
+        let (execs, cores) = w.static_allocations();
+        assert!(!execs.is_empty());
+        let twos = execs.iter().filter(|&&e| e == 2.0).count() as f64 / execs.len() as f64;
+        assert!(twos > 0.7, "fraction with 2 executors = {twos}");
+        assert_eq!(execs.len(), cores.len());
+    }
+
+    #[test]
+    fn concurrency_mostly_one() {
+        let w = small_workload();
+        let conc = w.concurrent_applications();
+        let alone = conc.iter().filter(|&&c| c == 1.0).count() as f64 / conc.len() as f64;
+        assert!((alone - 0.70).abs() < 0.06, "alone fraction {alone}");
+    }
+
+    #[test]
+    fn variation_medians_follow_paper_ordering() {
+        let w = small_workload();
+        let (rows, times, ops) = w.variation_cdfs();
+        let median = |mut v: Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let (m_rows, m_times, m_ops) = (median(rows), median(times), median(ops));
+        // Times vary more than rows, which vary more than operator counts.
+        assert!(m_times > m_rows, "times {m_times} !> rows {m_rows}");
+        assert!(m_rows > m_ops, "rows {m_rows} !> ops {m_ops}");
+    }
+
+    #[test]
+    fn query_counts_are_preserved_even_when_capped() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let queries = generate_queries(&mut rng, 1200);
+        assert_eq!(queries.len(), 1200);
+    }
+}

@@ -1,0 +1,54 @@
+//! Property-based tests on the workload generators.
+
+use ae_workload::templates::{template_for, tpcds_query_names};
+use ae_workload::{ScaleFactor, WorkloadGenerator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every query in the suite produces a structurally valid DAG whose work
+    /// matches the template within the spreading tolerance, at any scale
+    /// factor in a reasonable range.
+    #[test]
+    fn any_query_any_scale_factor_is_consistent(query_idx in 0usize..103, sf in 5u32..200) {
+        let names = tpcds_query_names();
+        let name = &names[query_idx];
+        let scale = ScaleFactor(sf);
+        let instance = WorkloadGenerator::new(scale).instance(name);
+        let stats = instance.plan.stats();
+
+        prop_assert!(instance.dag.num_tasks() >= 1);
+        prop_assert!(instance.dag.critical_path_secs() > 0.0);
+        prop_assert!(stats.total_input_bytes > 0.0);
+        prop_assert_eq!(stats.num_input_sources, instance.template.num_inputs);
+
+        let expected = instance.template.total_work_secs(scale);
+        let actual = instance.dag.total_work_secs();
+        prop_assert!((actual - expected).abs() / expected < 0.2,
+            "{}@SF={}: dag work {} vs template {}", name, sf, actual, expected);
+    }
+
+    /// Input bytes scale linearly with the scale factor and the DAG only
+    /// ever gets wider (never narrower) as data grows.
+    #[test]
+    fn scale_factor_monotonicity(query_idx in 0usize..103) {
+        let names = tpcds_query_names();
+        let name = &names[query_idx];
+        let small = WorkloadGenerator::new(ScaleFactor::SF10).instance(name);
+        let large = WorkloadGenerator::new(ScaleFactor::SF100).instance(name);
+        let b_small = small.plan.stats().total_input_bytes;
+        let b_large = large.plan.stats().total_input_bytes;
+        prop_assert!((b_large / b_small - 10.0).abs() < 0.5);
+        prop_assert!(large.dag.max_stage_width() >= small.dag.max_stage_width());
+        prop_assert!(large.dag.total_work_secs() > small.dag.total_work_secs());
+    }
+
+    /// Templates are pure functions of the query name.
+    #[test]
+    fn templates_depend_only_on_the_name(query_idx in 0usize..103) {
+        let names = tpcds_query_names();
+        let name = &names[query_idx];
+        prop_assert_eq!(template_for(name), template_for(name));
+    }
+}

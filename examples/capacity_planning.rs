@@ -1,0 +1,77 @@
+//! Capacity planning with the price-performance model: sweep the slowdown
+//! budget `H` and report how many executors (and how much executor
+//! occupancy) a workload needs — the Section 5.3 "limited slowdown"
+//! objective used as a what-if tool.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p autoexecutor --example capacity_planning
+//! ```
+
+use autoexecutor::evaluation::{selection_impacts, ActualRuns};
+use autoexecutor::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let generator = WorkloadGenerator::new(ScaleFactor::SF100);
+    let names = [
+        "q2", "q9", "q17", "q25", "q33", "q41", "q49", "q57", "q65", "q73", "q81", "q89", "q94",
+        "q23b", "q39b",
+    ];
+    let queries: Vec<_> = names.iter().map(|n| generator.instance(n)).collect();
+
+    // Train the parameter model on the same workload (capacity planning is a
+    // fit-time exercise; generalization is evaluated elsewhere).
+    let config = AutoExecutorConfig::default();
+    let (data, model) = train_from_workload(&queries, &config)?;
+
+    // Ground truth for the comparison: actual (simulated) runs at the
+    // training counts, two repeats each.
+    let counts = config.training_counts;
+    let actuals = ActualRuns::collect(&queries, &counts, 2, &config.cluster, 7)?;
+
+    // Predicted curves for every query.
+    let predictions: std::collections::BTreeMap<String, Vec<(usize, f64)>> = queries
+        .iter()
+        .map(|q| {
+            let curve = model
+                .predict_curve(&q.plan, &config.candidate_counts())
+                .expect("prediction succeeds");
+            (q.name.clone(), curve)
+        })
+        .collect();
+
+    let h_values = [1.0, 1.05, 1.1, 1.2, 1.5, 2.0];
+    let impacts = selection_impacts(&predictions, &actuals, &h_values, (1, 48));
+
+    println!("slowdown budget sweep over {} queries ({}):", queries.len(), ScaleFactor::SF100);
+    println!(
+        "{:>8} {:>20} {:>22}",
+        "H", "mean executors", "mean actual slowdown"
+    );
+    for impact in &impacts {
+        println!(
+            "{:>8.2} {:>20.1} {:>22.3}",
+            impact.target_slowdown, impact.mean_selected_executors, impact.mean_actual_slowdown
+        );
+    }
+
+    // Translate the H=1.05 choice into a cluster-size recommendation.
+    let at_105 = impacts
+        .iter()
+        .find(|i| (i.target_slowdown - 1.05).abs() < 1e-9)
+        .expect("H=1.05 present");
+    let executors_per_node = 2.0;
+    println!(
+        "\nwith a 5% slowdown budget the workload needs ~{:.0} executors per query,\n\
+         i.e. a pool of ~{:.0} medium nodes for a single-query-at-a-time notebook.",
+        at_105.mean_selected_executors.ceil(),
+        (at_105.mean_selected_executors / executors_per_node).ceil()
+    );
+
+    // And show the per-query spread of fitted minimum times for context.
+    println!("\nper-query fitted PPM floor (AE_PL parameter m):");
+    for example in &data.examples {
+        println!("  {:<6} m = {:>7.1}s", example.name, example.power_law.m);
+    }
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Quickstart: train AutoExecutor on a handful of queries, publish the
+//! model, and let the optimizer rule pick executor counts for new queries.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p autoexecutor --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use autoexecutor::prelude::*;
+use autoexecutor::{AutoExecutorRule, ModelRegistry, Optimizer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A training workload: synthetic TPC-DS-like queries at SF=10.
+    let generator = WorkloadGenerator::new(ScaleFactor::SF10);
+    let training_names = [
+        "q1", "q3", "q7", "q11", "q19", "q27", "q34", "q42", "q55", "q68", "q73", "q79", "q88",
+        "q94", "q98",
+    ];
+    let training_queries: Vec<_> = training_names
+        .iter()
+        .map(|name| generator.instance(name))
+        .collect();
+    println!("training on {} queries at {}", training_queries.len(), ScaleFactor::SF10);
+
+    // 2. Train the parameter model: each query is run once at n=16, the
+    //    run-time curve is extrapolated with the Sparklens-like analyzer, and
+    //    a random forest learns plan features -> PPM parameters.
+    let config = AutoExecutorConfig::default();
+    let (data, model) = train_from_workload(&training_queries, &config)?;
+    println!(
+        "collected {} training examples; model predicts {} parameters ({})",
+        data.len(),
+        model.kind().parameter_names().len(),
+        model.kind().label()
+    );
+
+    // 3. Publish the model to a registry (the ONNX-registry stand-in) and
+    //    install the AutoExecutor rule as the last optimizer rule.
+    let registry = Arc::new(ModelRegistry::in_memory());
+    registry.register("ppm-quickstart", model.to_portable("ppm-quickstart")?)?;
+    let optimizer = Optimizer::with_default_rules().with_rule(Box::new(
+        AutoExecutorRule::from_config(Arc::clone(&registry), "ppm-quickstart", &config),
+    ));
+
+    // 4. Optimize unseen queries: the rule predicts the price-performance
+    //    curve and requests the elbow-point executor count.
+    println!("\n{:<8} {:>10} {:>14} {:>14}", "query", "executors", "t(n) predicted", "t(1) predicted");
+    for name in ["q6", "q23", "q51", "q77", "q96"] {
+        let query = generator.instance(name);
+        let outcome = optimizer.optimize(query.plan)?;
+        let request = outcome.resource_request.expect("AutoExecutor rule ran");
+        let predicted_at_choice = request
+            .predicted_curve
+            .iter()
+            .find(|&&(n, _)| n == request.executors)
+            .map(|&(_, t)| t)
+            .unwrap_or(f64::NAN);
+        let predicted_at_one = request.predicted_curve.first().map(|&(_, t)| t).unwrap_or(f64::NAN);
+        println!(
+            "{:<8} {:>10} {:>13.1}s {:>13.1}s",
+            name, request.executors, predicted_at_choice, predicted_at_one
+        );
+
+        // 5. Execute with the predicted allocation and report what happened.
+        let result = autoexecutor::run_with_policy(
+            &config.cluster,
+            AllocationPolicy::predictive(request.executors),
+            name,
+            &query.dag,
+            &RunConfig::default(),
+        )?;
+        println!(
+            "         ran in {:.1}s with {} executors (occupancy {:.0} executor-seconds)",
+            result.elapsed_secs, result.max_executors, result.auc_executor_secs
+        );
+    }
+    Ok(())
+}

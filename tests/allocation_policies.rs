@@ -1,0 +1,110 @@
+//! Integration tests of the allocation policies across the workload and
+//! engine crates: the cost-saving structure of Section 5.4 must hold on the
+//! simulated cluster.
+
+use autoexecutor::prelude::*;
+use autoexecutor::{compare_allocations, ratio_averages};
+
+#[test]
+fn rule_saves_occupancy_versus_static_and_dynamic_on_long_queries() {
+    // SF=100 queries run long enough for the allocation ramp to complete, so
+    // the comparison is apples-to-apples (the ◆-marked queries of Figure 13).
+    let generator = WorkloadGenerator::new(ScaleFactor::SF100);
+    let cluster = ClusterConfig::paper_default();
+    let mut comparisons = Vec::new();
+    for name in ["q94", "q23", "q50", "q78"] {
+        let query = generator.instance(name);
+        // A mid-range prediction similar to what AE_PL selects at H=1.05.
+        let predicted = 16;
+        comparisons.push(
+            compare_allocations(
+                &cluster,
+                name,
+                &query.dag,
+                predicted,
+                48,
+                &RunConfig::deterministic(),
+            )
+            .unwrap(),
+        );
+    }
+    let averages = ratio_averages(&comparisons);
+
+    // Peak executors: SA(48) and DA allocate at least as many as the rule.
+    assert!(averages.n_ratio_static >= 1.0, "{averages:?}");
+    assert!(averages.n_ratio_dynamic >= 1.0, "{averages:?}");
+    // Occupancy: the rule saves a substantial fraction vs SA(48), and does
+    // not cost more than DA overall.
+    assert!(averages.auc_saving_vs_static > 0.3, "{averages:?}");
+    assert!(averages.auc_saving_vs_dynamic > -0.1, "{averages:?}");
+    // Performance: the rule's slowdown vs SA(48) stays modest.
+    assert!(averages.speedup_vs_static > 0.6, "{averages:?}");
+    // Long queries reach their full predicted allocation.
+    assert!(averages.fully_allocated_fraction > 0.9, "{averages:?}");
+}
+
+#[test]
+fn dynamic_allocation_overshoots_relative_to_a_good_prediction() {
+    // DA ramps exponentially on backlog, so for a wide scan it allocates
+    // more peak executors than a well-chosen prediction needs.
+    let generator = WorkloadGenerator::new(ScaleFactor::SF100);
+    let query = generator.instance("q88");
+    let cluster = ClusterConfig::paper_default();
+    let comparison = compare_allocations(
+        &cluster,
+        "q88",
+        &query.dag,
+        12,
+        48,
+        &RunConfig::deterministic(),
+    )
+    .unwrap();
+    assert!(
+        comparison.dynamic.max_executors >= comparison.rule.max_executors,
+        "DA peak {} vs rule peak {}",
+        comparison.dynamic.max_executors,
+        comparison.rule.max_executors
+    );
+}
+
+#[test]
+fn static_allocation_is_fastest_but_most_expensive() {
+    let generator = WorkloadGenerator::new(ScaleFactor::SF100);
+    let query = generator.instance("q94");
+    let cluster = ClusterConfig::paper_default();
+    let comparison = compare_allocations(
+        &cluster,
+        "q94",
+        &query.dag,
+        10,
+        48,
+        &RunConfig::deterministic(),
+    )
+    .unwrap();
+    // SA(48) is at least as fast as the rule (it never waits for the rule's
+    // request), but consumes more executor-seconds.
+    assert!(comparison.static_max.elapsed_secs <= comparison.rule.elapsed_secs + 1.0);
+    assert!(comparison.static_max.auc_executor_secs > comparison.rule.auc_executor_secs);
+}
+
+#[test]
+fn session_reuses_executors_between_back_to_back_queries() {
+    use ae_engine::session::{ApplicationSession, QuerySubmission};
+    let generator = WorkloadGenerator::new(ScaleFactor::SF10);
+    let cluster = ClusterConfig::paper_default();
+    let session = ApplicationSession::new(cluster, 60.0, RunConfig::deterministic()).unwrap();
+    let submissions: Vec<QuerySubmission> = ["q15", "q16"]
+        .iter()
+        .map(|name| QuerySubmission {
+            name: name.to_string(),
+            dag: generator.instance(name).dag,
+            predicted_executors: Some(10),
+            gap_before_secs: 5.0, // short think time, below the idle timeout
+        })
+        .collect();
+    let result = session.run(&submissions).unwrap();
+    // During the short gap executors are retained, so the skyline never
+    // drops to zero between the queries.
+    let gap_time = result.queries[1].submitted_at_secs - 2.0;
+    assert!(result.skyline.value_at(gap_time) > 0);
+}

@@ -1,0 +1,157 @@
+//! Cross-crate integration: workload generation → engine simulation →
+//! Sparklens analysis → PPM fitting → parameter model → evaluation metrics.
+//! Each assertion checks a hand-off between two crates.
+
+use std::collections::BTreeMap;
+
+use autoexecutor::evaluation::{cross_validate, error_by_count, ActualRuns, CrossValidationConfig};
+use autoexecutor::prelude::*;
+use autoexecutor::TrainingData;
+use ae_ppm::fit::{fit_amdahl, fit_power_law};
+
+fn fast_config() -> AutoExecutorConfig {
+    let mut config = AutoExecutorConfig::default();
+    config.forest.n_estimators = 10;
+    config.training_run.noise_cv = 0.0;
+    config
+}
+
+fn workload(names: &[&str], sf: ScaleFactor) -> Vec<ae_workload::QueryInstance> {
+    let generator = WorkloadGenerator::new(sf);
+    names.iter().map(|n| generator.instance(n)).collect()
+}
+
+#[test]
+fn sparklens_estimates_feed_ppm_fits_that_track_actuals() {
+    // Workload → engine run at n=16 → Sparklens curve → PPM fit; the fitted
+    // PPM should approximate the engine's actual behaviour at other counts.
+    let queries = workload(&["q8", "q26", "q58", "q94"], ScaleFactor::SF10);
+    let cluster = ClusterConfig::paper_default();
+    let analyzer = SparklensAnalyzer::paper_default();
+    let counts = [1usize, 3, 8, 16, 32, 48];
+
+    for query in &queries {
+        let sim = Simulator::new(cluster, AllocationPolicy::static_allocation(16)).unwrap();
+        let run = sim.run(
+            &query.name,
+            &query.dag,
+            &RunConfig::deterministic().with_task_log(),
+        );
+        let log = run.task_log.unwrap();
+        let curve = analyzer.estimate_from_log(&log, &counts);
+        let pl = fit_power_law(&curve).unwrap();
+        let al = fit_amdahl(&curve).unwrap();
+
+        // The fits reproduce the Sparklens curve itself reasonably well.
+        for &(n, t) in &curve {
+            let rel_pl = (pl.predict(n as f64) - t).abs() / t;
+            let rel_al = (al.predict(n as f64) - t).abs() / t;
+            assert!(
+                rel_pl.min(rel_al) < 0.35,
+                "{} at n={n}: PL {:.2} / AL {:.2} vs Sparklens {:.2}",
+                query.name,
+                pl.predict(n as f64),
+                al.predict(n as f64),
+                t
+            );
+        }
+
+        // And the fitted PPM tracks the engine's actual runtime at a count
+        // never observed (n = 24), within a loose factor.
+        let sim24 = Simulator::new(cluster, AllocationPolicy::static_allocation(24)).unwrap();
+        let actual24 = sim24
+            .run(&query.name, &query.dag, &RunConfig::deterministic())
+            .elapsed_secs;
+        let predicted24 = pl.predict(24.0);
+        let ratio = predicted24 / actual24;
+        assert!(
+            (0.4..=2.5).contains(&ratio),
+            "{}: predicted {predicted24:.1}s vs actual {actual24:.1}s at n=24",
+            query.name
+        );
+    }
+}
+
+#[test]
+fn training_data_to_ml_dataset_to_evaluation_metrics() {
+    let queries = workload(&["q10", "q22", "q35", "q47", "q59", "q71"], ScaleFactor::SF10);
+    let config = fast_config();
+    let data = TrainingData::collect(&queries, &config).unwrap();
+
+    // Dataset hand-off to ae-ml keeps names aligned.
+    let dataset = data
+        .to_dataset(PpmKind::PowerLaw, autoexecutor::FeatureSet::F0)
+        .unwrap();
+    assert_eq!(dataset.ids().len(), queries.len());
+    assert_eq!(dataset.feature_names().len(), autoexecutor::full_feature_names().len());
+
+    // Evaluation metrics consume predictions keyed by the same names.
+    let actuals = ActualRuns::collect(&queries, &[8, 32], 1, &config.cluster, 5).unwrap();
+    let sparklens: BTreeMap<String, Vec<(usize, f64)>> = data
+        .examples
+        .iter()
+        .map(|e| (e.name.clone(), e.sparklens_curve.clone()))
+        .collect();
+    let errors = error_by_count(&sparklens, &actuals, &[8, 32]);
+    assert_eq!(errors.len(), 2);
+    for (&n, &e) in &errors {
+        assert!((0.0..1.5).contains(&e), "Sparklens E({n}) = {e}");
+    }
+}
+
+#[test]
+fn cross_validation_report_is_structurally_sound() {
+    let queries = workload(
+        &["q13", "q29", "q38", "q46", "q54", "q63", "q72", "q80", "q94"],
+        ScaleFactor::SF10,
+    );
+    let config = fast_config();
+    let data = TrainingData::collect(&queries, &config).unwrap();
+    let actuals = ActualRuns::collect(&queries, &[1, 16, 48], 1, &config.cluster, 9).unwrap();
+    let report = cross_validate(
+        &data,
+        &actuals,
+        &config,
+        &CrossValidationConfig { folds: 3, repeats: 2, seed: 4 },
+        &[1, 16, 48],
+    )
+    .unwrap();
+
+    assert_eq!(report.folds.len(), 6);
+    // Every query is predicted as a test query exactly once per repeat.
+    let curves = report.test_curves_by_query();
+    assert_eq!(curves.len(), queries.len());
+    for (name, per_repeat) in &curves {
+        assert_eq!(per_repeat.len(), 2, "{name} should be held out once per repeat");
+    }
+    // Train error is (usually) no worse than test error on average; allow a
+    // modest margin since both are stochastic.
+    let train: f64 = report.train_error_summary().values().map(|&(m, _)| m).sum();
+    let test: f64 = report.test_error_summary().values().map(|&(m, _)| m).sum();
+    assert!(train <= test * 1.5 + 0.2, "train {train} vs test {test}");
+}
+
+#[test]
+fn scale_factor_changes_flow_through_features_and_predictions() {
+    // The same template at SF=10 vs SF=100 must differ in the input-size
+    // features and, through them, in the predicted curves.
+    let config = fast_config();
+    let training = workload(
+        &["q1", "q5", "q11", "q21", "q31", "q41", "q51", "q61"],
+        ScaleFactor::SF10,
+    );
+    let (_, model) = autoexecutor::train_from_workload(&training, &config).unwrap();
+
+    let q10 = WorkloadGenerator::new(ScaleFactor::SF10).instance("q94");
+    let q100 = WorkloadGenerator::new(ScaleFactor::SF100).instance("q94");
+    let f10 = autoexecutor::featurize_plan(&q10.plan);
+    let f100 = autoexecutor::featurize_plan(&q100.plan);
+    assert_ne!(f10, f100);
+
+    let c10 = model.predict_curve(&q10.plan, &[8]).unwrap()[0].1;
+    let c100 = model.predict_curve(&q100.plan, &[8]).unwrap()[0].1;
+    assert!(
+        c100 >= c10,
+        "larger inputs should not predict faster runs: SF10 {c10:.1}s vs SF100 {c100:.1}s"
+    );
+}

@@ -1,0 +1,119 @@
+//! End-to-end integration test: the full AutoExecutor loop on a held-out
+//! query — train, publish, optimize, execute, and verify the cost/accuracy
+//! claims hold qualitatively on the simulated cluster.
+
+use std::sync::Arc;
+
+use autoexecutor::prelude::*;
+use autoexecutor::{compare_allocations, AutoExecutorRule, ModelRegistry, Optimizer};
+
+fn fast_config() -> AutoExecutorConfig {
+    let mut config = AutoExecutorConfig::default();
+    config.forest.n_estimators = 20;
+    config.training_run.noise_cv = 0.0;
+    config
+}
+
+#[test]
+fn train_publish_optimize_execute() {
+    let generator = WorkloadGenerator::new(ScaleFactor::SF10);
+    // Train on 20 queries; hold out q94 entirely.
+    let training: Vec<_> = (1..=20).map(|i| generator.instance(&format!("q{i}"))).collect();
+    let config = fast_config();
+    let (data, model) = train_from_workload(&training, &config).unwrap();
+    assert_eq!(data.len(), 20);
+
+    let registry = Arc::new(ModelRegistry::in_memory());
+    registry
+        .register("e2e", model.to_portable("e2e").unwrap())
+        .unwrap();
+    let optimizer = Optimizer::with_default_rules().with_rule(Box::new(
+        AutoExecutorRule::from_config(Arc::clone(&registry), "e2e", &config),
+    ));
+
+    // Optimize the held-out query.
+    let held_out = generator.instance("q94");
+    let outcome = optimizer.optimize(held_out.plan.clone()).unwrap();
+    let request = outcome.resource_request.expect("rule produced a request");
+    assert!((1..=48).contains(&request.executors));
+    // The predicted curve is monotone non-increasing (PPM monotonicity).
+    for pair in request.predicted_curve.windows(2) {
+        assert!(pair[1].1 <= pair[0].1 + 1e-9);
+    }
+
+    // Execute under the three allocation policies and check the cost
+    // structure the paper reports: the rule never allocates more peak
+    // executors than SA(48) and uses less executor occupancy.
+    let comparison = compare_allocations(
+        &config.cluster,
+        "q94",
+        &held_out.dag,
+        request.executors,
+        48,
+        &RunConfig::deterministic(),
+    )
+    .unwrap();
+    assert!(comparison.rule.max_executors <= comparison.static_max.max_executors);
+    assert!(comparison.rule.auc_executor_secs < comparison.static_max.auc_executor_secs);
+    // The rule pays at most a modest slowdown relative to SA(48).
+    assert!(comparison.speedup_vs_static() > 0.5);
+}
+
+#[test]
+fn predictions_are_in_the_right_ballpark_for_unseen_queries() {
+    let generator = WorkloadGenerator::new(ScaleFactor::SF10);
+    let training: Vec<_> = (1..=30).map(|i| generator.instance(&format!("q{i}"))).collect();
+    let config = fast_config();
+    let (_, model) = train_from_workload(&training, &config).unwrap();
+
+    // Measure a few unseen queries at n=16 and compare with the prediction.
+    let unseen = ["q40", "q50", "q60"];
+    for name in unseen {
+        let query = generator.instance(name);
+        let sim = Simulator::new(config.cluster, AllocationPolicy::static_allocation(16)).unwrap();
+        let actual = sim
+            .run(name, &query.dag, &RunConfig::deterministic())
+            .elapsed_secs;
+        let predicted = model
+            .predict_curve(&query.plan, &[16])
+            .unwrap()
+            .first()
+            .map(|&(_, t)| t)
+            .unwrap();
+        let ratio = predicted / actual;
+        assert!(
+            (0.2..=5.0).contains(&ratio),
+            "{name}: predicted {predicted:.1}s vs actual {actual:.1}s"
+        );
+    }
+}
+
+#[test]
+fn elbow_objective_selects_moderate_executor_counts() {
+    // The paper finds elbow points concentrated around 8 executors
+    // (Figure 11); the reproduction should land in the same small-n region
+    // rather than at the extremes.
+    let generator = WorkloadGenerator::new(ScaleFactor::SF100);
+    let training: Vec<_> = (1..=25).map(|i| generator.instance(&format!("q{i}"))).collect();
+    let config = fast_config().with_objective(SelectionObjective::Elbow);
+    let (_, model) = train_from_workload(&training, &config).unwrap();
+
+    let registry = Arc::new(ModelRegistry::in_memory());
+    registry
+        .register("elbow", model.to_portable("elbow").unwrap())
+        .unwrap();
+    let optimizer = Optimizer::with_default_rules().with_rule(Box::new(
+        AutoExecutorRule::from_config(registry, "elbow", &config),
+    ));
+
+    let mut selections = Vec::new();
+    for name in ["q30", "q45", "q70", "q94"] {
+        let outcome = optimizer.optimize(generator.instance(name).plan).unwrap();
+        selections.push(outcome.resource_request.unwrap().executors);
+    }
+    let mean = selections.iter().sum::<usize>() as f64 / selections.len() as f64;
+    assert!(
+        (2.0..=24.0).contains(&mean),
+        "mean elbow selection {mean} outside the expected knee region ({selections:?})"
+    );
+}

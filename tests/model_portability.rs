@@ -1,0 +1,79 @@
+//! Integration tests of the portable-model path: export, registry
+//! persistence, reload in a fresh "process" (new registry instance), and
+//! identical scoring behaviour — the property the paper gets from ONNX.
+
+use std::sync::Arc;
+
+use autoexecutor::prelude::*;
+use autoexecutor::{AutoExecutorRule, ModelRegistry, Optimizer, ParameterModel};
+
+fn fast_config() -> AutoExecutorConfig {
+    let mut config = AutoExecutorConfig::default();
+    config.forest.n_estimators = 15;
+    config.training_run.noise_cv = 0.0;
+    config
+}
+
+#[test]
+fn exported_model_scores_identically_after_disk_roundtrip() {
+    let generator = WorkloadGenerator::new(ScaleFactor::SF10);
+    let training: Vec<_> = (1..=15).map(|i| generator.instance(&format!("q{i}"))).collect();
+    let config = fast_config();
+    let (_, model) = train_from_workload(&training, &config).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("ae_portability_{}", std::process::id()));
+    let registry = ModelRegistry::with_directory(&dir).unwrap();
+    registry
+        .register("persisted", model.to_portable("persisted").unwrap())
+        .unwrap();
+
+    // A brand-new registry instance (simulating a fresh optimizer process)
+    // loads the model from disk and produces bit-identical predictions.
+    let fresh = ModelRegistry::with_directory(&dir).unwrap();
+    let reloaded = ParameterModel::from_portable(&fresh.load("persisted").unwrap()).unwrap();
+    for name in ["q20", "q40", "q94"] {
+        let plan = generator.instance(name).plan;
+        let original = model.predict_ppm(&plan).unwrap().parameters();
+        let roundtripped = reloaded.predict_ppm(&plan).unwrap().parameters();
+        assert_eq!(original, roundtripped, "{name} predictions diverged");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn both_ppm_families_survive_portability_and_drive_the_rule() {
+    let generator = WorkloadGenerator::new(ScaleFactor::SF10);
+    let training: Vec<_> = (20..=40).map(|i| generator.instance(&format!("q{i}"))).collect();
+
+    for kind in [PpmKind::PowerLaw, PpmKind::Amdahl] {
+        let config = fast_config().with_ppm_kind(kind);
+        let (_, model) = train_from_workload(&training, &config).unwrap();
+        let registry = Arc::new(ModelRegistry::in_memory());
+        registry
+            .register("m", model.to_portable("m").unwrap())
+            .unwrap();
+        let optimizer = Optimizer::with_default_rules().with_rule(Box::new(
+            AutoExecutorRule::from_config(registry, "m", &config),
+        ));
+        let outcome = optimizer.optimize(generator.instance("q94").plan).unwrap();
+        let request = outcome.resource_request.unwrap();
+        assert!((1..=48).contains(&request.executors), "{kind:?}");
+        assert_eq!(request.predicted_ppm.kind(), kind);
+    }
+}
+
+#[test]
+fn model_inference_stays_fast_enough_for_the_query_path() {
+    // Section 5.6: per-query inference is ~1 ms and featurization ~10 ms.
+    // Generous bounds here (debug builds are slow), but the budget must stay
+    // far below query run times.
+    let generator = WorkloadGenerator::new(ScaleFactor::SF10);
+    let training: Vec<_> = (1..=15).map(|i| generator.instance(&format!("q{i}"))).collect();
+    let config = fast_config();
+    let (data, _) = train_from_workload(&training, &config).unwrap();
+    let report = autoexecutor::measure_overheads(&training, &data, &config).unwrap();
+
+    assert!(report.inference_per_query.as_millis() < 200, "{report:?}");
+    assert!(report.featurization_per_query.as_millis() < 100, "{report:?}");
+    assert!(report.portable_model_bytes > 1_000, "{report:?}");
+}
