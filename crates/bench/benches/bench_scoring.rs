@@ -4,12 +4,12 @@
 
 use std::sync::Arc;
 
+use ae_ml::portable::ScoringRuntime;
+use ae_workload::{ScaleFactor, WorkloadGenerator};
 use autoexecutor::{
     featurize_plan, AutoExecutorConfig, AutoExecutorRule, ModelRegistry, Optimizer, ParameterModel,
     TrainingData,
 };
-use ae_ml::portable::ScoringRuntime;
-use ae_workload::{ScaleFactor, WorkloadGenerator};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -31,7 +31,9 @@ fn fixture() -> ScoringFixture {
         .expect("export")
         .to_bytes()
         .expect("serialize");
-    let test_plan = WorkloadGenerator::new(ScaleFactor::SF100).instance("q94").plan;
+    let test_plan = WorkloadGenerator::new(ScaleFactor::SF100)
+        .instance("q94")
+        .plan;
     ScoringFixture {
         config,
         model,

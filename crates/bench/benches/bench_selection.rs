@@ -4,7 +4,7 @@
 
 use ae_ppm::cores::{factorize_total_cores, FactorizationConstraints};
 use ae_ppm::curve::PerfCurve;
-use ae_ppm::model::{AmdahlPpm, Ppm, PowerLawPpm};
+use ae_ppm::model::{AmdahlPpm, PowerLawPpm, Ppm};
 use ae_ppm::selection::{elbow_point, slowdown_config};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -27,7 +27,12 @@ fn bench_selection(c: &mut Criterion) {
 fn bench_interpolation(c: &mut Criterion) {
     let sparse: Vec<(usize, f64)> = [1usize, 3, 8, 16, 32, 48]
         .iter()
-        .map(|&n| (n, Ppm::Amdahl(AmdahlPpm::new(30.0, 470.0)).predict(n as f64)))
+        .map(|&n| {
+            (
+                n,
+                Ppm::Amdahl(AmdahlPpm::new(30.0, 470.0)).predict(n as f64),
+            )
+        })
         .collect();
     c.bench_function("selection/interpolate_sparse_to_48_points", |b| {
         b.iter(|| {
@@ -44,5 +49,10 @@ fn bench_factorization(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_selection, bench_interpolation, bench_factorization);
+criterion_group!(
+    benches,
+    bench_selection,
+    bench_interpolation,
+    bench_factorization
+);
 criterion_main!(benches);

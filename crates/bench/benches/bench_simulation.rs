@@ -45,7 +45,11 @@ fn bench_sparklens(c: &mut Criterion) {
     )
     .unwrap();
     let log = simulator
-        .run("q94", &query.dag, &RunConfig::deterministic().with_task_log())
+        .run(
+            "q94",
+            &query.dag,
+            &RunConfig::deterministic().with_task_log(),
+        )
         .task_log
         .unwrap();
     let analyzer = SparklensAnalyzer::paper_default();
@@ -56,5 +60,10 @@ fn bench_sparklens(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_query_simulation, bench_suite_generation, bench_sparklens);
+criterion_group!(
+    benches,
+    bench_query_simulation,
+    bench_suite_generation,
+    bench_sparklens
+);
 criterion_main!(benches);

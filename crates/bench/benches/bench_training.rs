@@ -2,19 +2,38 @@
 //! PPM-parameter fitting per training point and random-forest training over
 //! the full workload, contrasted with a non-parametric training set.
 
-use autoexecutor::{AutoExecutorConfig, FeatureSet, ParameterModel, TrainingData};
 use ae_ppm::fit::{fit_amdahl, fit_power_law};
 use ae_ppm::model::PpmKind;
 use ae_workload::{ScaleFactor, WorkloadGenerator};
+use autoexecutor::{AutoExecutorConfig, FeatureSet, ParameterModel, TrainingData};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
-fn training_inputs() -> (Vec<ae_workload::QueryInstance>, AutoExecutorConfig, TrainingData) {
+fn training_inputs() -> (
+    Vec<ae_workload::QueryInstance>,
+    AutoExecutorConfig,
+    TrainingData,
+) {
     let suite = WorkloadGenerator::new(ScaleFactor::SF10).suite();
     let mut config = AutoExecutorConfig::default();
     config.training_run.noise_cv = 0.0;
     let data = TrainingData::collect(&suite, &config).expect("training data");
     (suite, config, data)
+}
+
+fn bench_data_collection(c: &mut Criterion) {
+    // The offline phase the paper re-runs whenever the workload drifts:
+    // one simulated run per query plus Sparklens extrapolation. Parallel
+    // across queries; bounded by the scheduler hot loop.
+    let suite = WorkloadGenerator::new(ScaleFactor::SF10).suite();
+    let mut config = AutoExecutorConfig::default();
+    config.training_run.noise_cv = 0.0;
+    let mut group = c.benchmark_group("training_data");
+    group.sample_size(10);
+    group.bench_function("collect_103_queries", |b| {
+        b.iter(|| TrainingData::collect(black_box(&suite), &config).unwrap())
+    });
+    group.finish();
 }
 
 fn bench_ppm_fit(c: &mut Criterion) {
@@ -63,11 +82,14 @@ fn bench_parametric_vs_nonparametric_dataset(c: &mut Criterion) {
 
     group.bench_function("parametric_one_row_per_query", |b| {
         b.iter(|| {
-            let dataset = data
-                .to_dataset(PpmKind::PowerLaw, FeatureSet::F0)
-                .unwrap();
-            ParameterModel::train_on_dataset(&dataset, PpmKind::PowerLaw, FeatureSet::F0, config.forest)
-                .unwrap()
+            let dataset = data.to_dataset(PpmKind::PowerLaw, FeatureSet::F0).unwrap();
+            ParameterModel::train_on_dataset(
+                &dataset,
+                PpmKind::PowerLaw,
+                FeatureSet::F0,
+                config.forest,
+            )
+            .unwrap()
         })
     });
 
@@ -101,6 +123,7 @@ fn bench_parametric_vs_nonparametric_dataset(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_data_collection,
     bench_ppm_fit,
     bench_forest_training,
     bench_parametric_vs_nonparametric_dataset

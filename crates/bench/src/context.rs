@@ -6,9 +6,9 @@
 //! curves measured at the evaluation executor counts. The context computes
 //! each of these at most once per process.
 
+use ae_workload::{QueryInstance, ScaleFactor, WorkloadGenerator};
 use autoexecutor::evaluation::ActualRuns;
 use autoexecutor::{AutoExecutorConfig, TrainingData};
-use ae_workload::{QueryInstance, ScaleFactor, WorkloadGenerator};
 
 /// Number of repeated runs used when measuring ground-truth curves.
 pub const ACTUAL_RUN_REPEATS: usize = 3;
@@ -64,7 +64,10 @@ impl ExperimentContext {
         if self.training_for(sf).is_none() {
             let config = self.config;
             let suite = self.suite(sf).to_vec();
-            eprintln!("[context] collecting training data at {sf} ({} queries) ...", suite.len());
+            eprintln!(
+                "[context] collecting training data at {sf} ({} queries) ...",
+                suite.len()
+            );
             let data = TrainingData::collect(&suite, &config).expect("training-data collection");
             *self.training_for(sf) = Some(data);
         }

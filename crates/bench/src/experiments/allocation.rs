@@ -3,13 +3,13 @@
 
 use std::collections::BTreeMap;
 
-use autoexecutor::evaluation::{cross_validate, ratio_averages, CrossValidationConfig};
-use autoexecutor::{compare_allocations, run_with_policy};
 use ae_engine::{AllocationPolicy, RunConfig};
 use ae_ppm::curve::PerfCurve;
 use ae_ppm::model::PpmKind;
 use ae_ppm::selection::slowdown_config;
 use ae_workload::ScaleFactor;
+use autoexecutor::evaluation::{cross_validate, ratio_averages, CrossValidationConfig};
+use autoexecutor::{compare_allocations, run_with_policy};
 
 use crate::context::ExperimentContext;
 use crate::table;
@@ -127,7 +127,11 @@ pub fn fig13_allocation_ratios(ctx: &mut ExperimentContext) {
         "speedup DA",
     ]);
     for comparison in &comparisons {
-        let marker = if comparison.fully_allocated { "◆" } else { " " };
+        let marker = if comparison.fully_allocated {
+            "◆"
+        } else {
+            " "
+        };
         table::row(&[
             format!("{}{}", comparison.name, marker),
             comparison.predicted_executors.to_string(),

@@ -15,8 +15,22 @@ pub mod workload_characteristics;
 
 /// All experiment ids, in the order they appear in the paper.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "fig1", "fig2", "fig3", "fig4", "table1", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "fig13", "fig14", "fig15", "ablation", "overheads",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "table1",
+    "fig5",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "ablation",
+    "overheads",
 ];
 
 /// Runs one experiment by id. Returns `false` for an unknown id.

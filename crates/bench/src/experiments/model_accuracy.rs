@@ -3,17 +3,17 @@
 
 use std::collections::BTreeMap;
 
-use autoexecutor::evaluation::{
-    cross_validate, error_by_count, fitted_ppm_curves, sparklens_curves, ActualRuns,
-    CrossValidationConfig,
-};
-use autoexecutor::{measure_overheads, FeatureSet, ParameterModel, TrainingData};
 use ae_engine::{AllocationPolicy, RunConfig, Simulator};
 use ae_ml::importance::permutation_importance;
 use ae_ml::metrics::total_absolute_error_ratio;
 use ae_ppm::model::PpmKind;
 use ae_sparklens::SparklensAnalyzer;
 use ae_workload::ScaleFactor;
+use autoexecutor::evaluation::{
+    cross_validate, error_by_count, fitted_ppm_curves, sparklens_curves, ActualRuns,
+    CrossValidationConfig,
+};
+use autoexecutor::{measure_overheads, FeatureSet, ParameterModel, TrainingData};
 
 use crate::context::ExperimentContext;
 use crate::table;
@@ -58,11 +58,17 @@ pub fn fig4_ppm_fit_errors(ctx: &mut ExperimentContext) {
         let al = ae_ppm::fit::fit_amdahl(&training_curve).expect("fit succeeds");
         pl_by_query.insert(
             query.name.clone(),
-            FIG4_COUNTS.iter().map(|&n| (n, pl.predict(n as f64))).collect(),
+            FIG4_COUNTS
+                .iter()
+                .map(|&n| (n, pl.predict(n as f64)))
+                .collect(),
         );
         al_by_query.insert(
             query.name.clone(),
-            FIG4_COUNTS.iter().map(|&n| (n, al.predict(n as f64))).collect(),
+            FIG4_COUNTS
+                .iter()
+                .map(|&n| (n, al.predict(n as f64)))
+                .collect(),
         );
         sparklens_by_query.insert(query.name.clone(), estimates);
     }
@@ -105,16 +111,19 @@ pub fn fig8_example_prediction(ctx: &mut ExperimentContext) {
     let train_indices: Vec<usize> = (0..data.len()).filter(|&i| i != holdout_idx).collect();
     let train_data = data.subset(&train_indices);
 
-    let pl_model =
-        ParameterModel::train(&train_data, &ctx.config.with_ppm_kind(PpmKind::PowerLaw))
-            .expect("training succeeds");
+    let pl_model = ParameterModel::train(&train_data, &ctx.config.with_ppm_kind(PpmKind::PowerLaw))
+        .expect("training succeeds");
     let al_model = ParameterModel::train(&train_data, &ctx.config.with_ppm_kind(PpmKind::Amdahl))
         .expect("training succeeds");
 
     let q94 = ctx.query("q94", ScaleFactor::SF100);
     let counts = ctx.config.training_counts;
-    let pl_curve = pl_model.predict_curve(&q94.plan, &counts).expect("prediction");
-    let al_curve = al_model.predict_curve(&q94.plan, &counts).expect("prediction");
+    let pl_curve = pl_model
+        .predict_curve(&q94.plan, &counts)
+        .expect("prediction");
+    let al_curve = al_model
+        .predict_curve(&q94.plan, &counts)
+        .expect("prediction");
     let sparklens = &data.examples[holdout_idx].sparklens_curve;
     let actual = actuals.curve("q94").expect("q94 measured");
 
@@ -128,7 +137,9 @@ pub fn fig8_example_prediction(ctx: &mut ExperimentContext) {
             table::fmt(actual[i].1, 1),
         ]);
     }
-    println!("paper shape: curves differ at small n but converge at larger n; overall shapes match.");
+    println!(
+        "paper shape: curves differ at small n but converge at larger n; overall shapes match."
+    );
 }
 
 /// Figure 9: E(n) for the training (fit) and testing (prediction) datasets
@@ -152,7 +163,14 @@ pub fn fig9_cross_validation_errors(ctx: &mut ExperimentContext) {
         let train = report.train_error_summary();
         let test = report.test_error_summary();
         println!("\n{} ({} folds):", kind.label(), report.folds.len());
-        table::header(&["executors", "S", "train mean", "train std", "test mean", "test std"]);
+        table::header(&[
+            "executors",
+            "S",
+            "train mean",
+            "train std",
+            "test mean",
+            "test std",
+        ]);
         for &n in &counts {
             let (train_mean, train_std) = train.get(&n).copied().unwrap_or((f64::NAN, f64::NAN));
             let (test_mean, test_std) = test.get(&n).copied().unwrap_or((f64::NAN, f64::NAN));
@@ -209,7 +227,10 @@ pub fn fig14_cross_scale_factor(ctx: &mut ExperimentContext) {
                     (q.name.clone(), curve)
                 })
                 .collect();
-            model_errors.insert(kind.label(), error_by_count(&predictions, &actuals, &counts));
+            model_errors.insert(
+                kind.label(),
+                error_by_count(&predictions, &actuals, &counts),
+            );
         }
 
         let (s_10, s_100) = if test_sf == ScaleFactor::SF10 {
@@ -320,7 +341,10 @@ pub fn overheads(ctx: &mut ExperimentContext) {
     let suite = ctx.suite(ScaleFactor::SF100).to_vec();
     let report = measure_overheads(&suite, &data, &ctx.config).expect("overhead measurement");
 
-    println!("training queries:               {}", report.training_queries);
+    println!(
+        "training queries:               {}",
+        report.training_queries
+    );
     println!(
         "PPM fit per training point:     {:.4} ms   (paper: ~0.3 ms)",
         report.ppm_fit_per_point.as_secs_f64() * 1e3

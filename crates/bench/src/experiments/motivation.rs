@@ -26,7 +26,11 @@ pub fn fig2_production_insights() {
         / queries_per_app.len() as f64
         * 100.0;
     table::cdf_summary("queries/application", &queries_per_app, 0);
-    table::cdf_at_thresholds("queries/application", &queries_per_app, &[1.0, 10.0, 100.0, 1000.0]);
+    table::cdf_at_thresholds(
+        "queries/application",
+        &queries_per_app,
+        &[1.0, 10.0, 100.0, 1000.0],
+    );
     println!("applications with >1 query: {multi:.0}%");
 
     println!("\n(b) coefficient of variation within applications (multi-query apps)");
@@ -38,9 +42,8 @@ pub fn fig2_production_insights() {
 
     println!("\n(c) maximum concurrent applications per cluster — paper: ~70% do not share");
     let concurrency = workload.concurrent_applications();
-    let alone = concurrency.iter().filter(|&&c| c <= 1.0).count() as f64
-        / concurrency.len() as f64
-        * 100.0;
+    let alone =
+        concurrency.iter().filter(|&&c| c <= 1.0).count() as f64 / concurrency.len() as f64 * 100.0;
     table::cdf_summary("concurrent applications", &concurrency, 0);
     println!("applications running alone on their cluster: {alone:.0}%");
 }
@@ -63,7 +66,9 @@ pub fn fig3_executor_counts(ctx: &mut ExperimentContext) {
     table::cdf_summary("DA range width", &ranges, 0);
     table::cdf_at_thresholds("DA range width", &ranges, &[2.0, 8.0, 32.0, 64.0]);
 
-    println!("\n(b) static allocations of apps without dynamic allocation — paper: ~80% use 2 executors");
+    println!(
+        "\n(b) static allocations of apps without dynamic allocation — paper: ~80% use 2 executors"
+    );
     let (executors, cores) = workload.static_allocations();
     table::cdf_summary("executor instances", &executors, 0);
     table::cdf_at_thresholds("executor instances", &executors, &[2.0, 8.0, 128.0, 2048.0]);

@@ -3,12 +3,11 @@
 
 use std::collections::BTreeMap;
 
-use autoexecutor::evaluation::{
-    cross_validate, elbow_distribution, selection_impacts, sparklens_curves,
-    CrossValidationConfig,
-};
 use ae_ppm::model::PpmKind;
 use ae_workload::ScaleFactor;
+use autoexecutor::evaluation::{
+    cross_validate, elbow_distribution, selection_impacts, sparklens_curves, CrossValidationConfig,
+};
 
 use crate::context::ExperimentContext;
 use crate::table;
@@ -143,7 +142,10 @@ pub fn fig11_elbow_points(ctx: &mut ExperimentContext) {
         for &v in &values {
             *histogram.entry(v).or_default() += 1;
         }
-        let (&mode, &mode_count) = histogram.iter().max_by_key(|&(_, c)| *c).expect("non-empty");
+        let (&mode, &mode_count) = histogram
+            .iter()
+            .max_by_key(|&(_, c)| *c)
+            .expect("non-empty");
         table::row(&[
             (*label).to_string(),
             median.to_string(),

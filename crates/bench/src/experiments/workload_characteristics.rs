@@ -35,7 +35,9 @@ pub fn fig1_runtime_and_auc(ctx: &mut ExperimentContext) {
             table::fmt(iqr_filtered_mean(&aucs), 0),
         ]);
     }
-    println!("paper shape: time drops steeply then plateaus; AUC keeps rising (507 -> 2575 exec-s).");
+    println!(
+        "paper shape: time drops steeply then plateaus; AUC keeps rising (507 -> 2575 exec-s)."
+    );
 }
 
 fn query_run(
@@ -97,7 +99,12 @@ pub fn fig5_total_cores(ctx: &mut ExperimentContext) {
         let reference: Vec<(usize, f64)> = configs
             .iter()
             .filter(|&&(ec, _, _)| ec == 4)
-            .map(|&(ec, n, k)| (k, run_with_ec(&ctx.config.cluster, ec, n, &query.dag, &query.name)))
+            .map(|&(ec, n, k)| {
+                (
+                    k,
+                    run_with_ec(&ctx.config.cluster, ec, n, &query.dag, &query.name),
+                )
+            })
             .collect();
         let reference_curve = PerfCurve::from_samples(&reference);
         for &(ec, n, k) in configs.iter().filter(|&&(ec, _, _)| ec != 4) {
@@ -106,8 +113,7 @@ pub fn fig5_total_cores(ctx: &mut ExperimentContext) {
             errors_pct.push((1.0 - actual / estimated) * 100.0);
         }
     }
-    let abs_mean =
-        errors_pct.iter().map(|e| e.abs()).sum::<f64>() / errors_pct.len().max(1) as f64;
+    let abs_mean = errors_pct.iter().map(|e| e.abs()).sum::<f64>() / errors_pct.len().max(1) as f64;
     let within10 = errors_pct.iter().filter(|e| e.abs() <= 10.0).count() as f64
         / errors_pct.len().max(1) as f64
         * 100.0;

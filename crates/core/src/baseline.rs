@@ -138,7 +138,9 @@ mod tests {
         let (queries, config, data) = inputs();
         let model = NonParametricModel::train(&data, &config).unwrap();
         for query in &queries {
-            let curve = model.predict_curve(&query.plan, &config.training_counts).unwrap();
+            let curve = model
+                .predict_curve(&query.plan, &config.training_counts)
+                .unwrap();
             assert!(curve.iter().all(|&(_, t)| t > 0.0));
             // Unlike the PPM, monotonicity is NOT guaranteed — but the broad
             // trend from n=1 to n=48 must still point downward.

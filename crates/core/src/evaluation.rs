@@ -6,12 +6,13 @@ use std::collections::BTreeMap;
 
 use ae_engine::allocation::AllocationPolicy;
 use ae_engine::cluster::ClusterConfig;
-use ae_engine::scheduler::{RunConfig, Simulator};
+use ae_engine::scheduler::{RunConfig, SimScratch, Simulator};
 use ae_ml::metrics::{iqr_filtered_mean, mean_and_std, total_absolute_error_ratio};
 use ae_ppm::curve::PerfCurve;
 use ae_ppm::model::{Ppm, PpmKind};
 use ae_ppm::selection::{elbow_point, slowdown_config};
 use ae_workload::QueryInstance;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::config::AutoExecutorConfig;
@@ -29,6 +30,12 @@ pub struct ActualRuns {
 impl ActualRuns {
     /// Runs every query `repeats` times at each executor count in `counts`
     /// and stores the outlier-filtered mean elapsed times.
+    ///
+    /// The `(query, count)` grid is simulated in parallel. Every repeat's
+    /// noise seed is a pure function of `(seed, repeat, count)` — the same
+    /// derivation the sequential loop used — and simulation scratch buffers
+    /// are reused across the repeats of one grid cell, so ground truth is
+    /// bit-identical at any worker-thread count.
     pub fn collect(
         queries: &[QueryInstance],
         counts: &[usize],
@@ -36,12 +43,16 @@ impl ActualRuns {
         cluster: &ClusterConfig,
         seed: u64,
     ) -> Result<Self> {
-        let mut curves = BTreeMap::new();
-        for query in queries {
-            let mut curve = Vec::with_capacity(counts.len());
-            for &n in counts {
+        let units: Vec<(&QueryInstance, usize)> = queries
+            .iter()
+            .flat_map(|q| counts.iter().map(move |&n| (q, n)))
+            .collect();
+        let cells = units
+            .into_par_iter()
+            .map(|(query, n)| {
                 let simulator = Simulator::new(*cluster, AllocationPolicy::static_allocation(n))
                     .map_err(AutoExecutorError::Engine)?;
+                let mut scratch = SimScratch::new();
                 let samples: Vec<f64> = (0..repeats.max(1))
                     .map(|r| {
                         let run_cfg = RunConfig {
@@ -51,12 +62,18 @@ impl ActualRuns {
                                 .wrapping_add(n as u64),
                             ..RunConfig::default()
                         };
-                        simulator.run(&query.name, &query.dag, &run_cfg).elapsed_secs
+                        simulator
+                            .run_with_scratch(&query.name, &query.dag, &run_cfg, &mut scratch)
+                            .elapsed_secs
                     })
                     .collect();
-                curve.push((n, iqr_filtered_mean(&samples)));
-            }
-            curves.insert(query.name.clone(), curve);
+                Ok((query.name.clone(), n, iqr_filtered_mean(&samples)))
+            })
+            .collect::<Result<Vec<_>>>()?;
+
+        let mut curves: BTreeMap<String, Vec<(usize, f64)>> = BTreeMap::new();
+        for (name, n, mean) in cells {
+            curves.entry(name).or_default().push((n, mean));
         }
         Ok(Self { curves })
     }
@@ -276,9 +293,24 @@ pub fn cross_validate(
     let splitter = ae_ml::dataset::RepeatedKFold::new(cv.folds, cv.repeats, cv.seed);
     let all_splits = splitter.splits(data.len()).map_err(AutoExecutorError::Ml)?;
 
-    let mut folds = Vec::new();
-    for (repeat, splits) in all_splits.iter().enumerate() {
-        for (fold_idx, split) in splits.iter().enumerate() {
+    // Flatten the (repeat, fold) grid so every fold trains and scores in
+    // parallel. Each fold's forest seed is a pure function of its grid
+    // position — identical to the historical sequential derivation — so the
+    // report is bit-identical at any worker-thread count.
+    let flat: Vec<(usize, usize, &ae_ml::dataset::FoldSplit)> = all_splits
+        .iter()
+        .enumerate()
+        .flat_map(|(repeat, splits)| {
+            splits
+                .iter()
+                .enumerate()
+                .map(move |(fold_idx, split)| (repeat, fold_idx, split))
+        })
+        .collect();
+
+    let folds = flat
+        .into_par_iter()
+        .map(|(repeat, fold_idx, split)| {
             let train_data = data.subset(&split.train);
             let fold_config = config.with_seed(
                 config
@@ -314,15 +346,15 @@ pub fn cross_validate(
             let train_error = error_by_count(&to_map(&train_predictions), actuals, eval_counts);
             let test_error = error_by_count(&to_map(&test_predictions), actuals, eval_counts);
 
-            folds.push(FoldReport {
+            Ok(FoldReport {
                 repeat,
                 fold: fold_idx,
                 train_error_by_count: train_error,
                 test_error_by_count: test_error,
                 test_predictions,
-            });
-        }
-    }
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
     Ok(CrossValidationReport {
         folds,
         eval_counts: eval_counts.to_vec(),
@@ -462,7 +494,10 @@ pub fn ratio_averages(comparisons: &[AllocationComparison]) -> RatioAverages {
         comparisons.iter().map(f).sum::<f64>() / comparisons.len() as f64
     };
     let total_rule_auc: f64 = comparisons.iter().map(|c| c.rule.auc_executor_secs).sum();
-    let total_da_auc: f64 = comparisons.iter().map(|c| c.dynamic.auc_executor_secs).sum();
+    let total_da_auc: f64 = comparisons
+        .iter()
+        .map(|c| c.dynamic.auc_executor_secs)
+        .sum();
     let total_sa_auc: f64 = comparisons
         .iter()
         .map(|c| c.static_max.auc_executor_secs)

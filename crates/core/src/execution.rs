@@ -66,7 +66,10 @@ impl AllocationComparison {
 
     /// Ratio of executor occupancy: SA(max) / Rule.
     pub fn auc_ratio_static(&self) -> f64 {
-        ratio(self.static_max.auc_executor_secs, self.rule.auc_executor_secs)
+        ratio(
+            self.static_max.auc_executor_secs,
+            self.rule.auc_executor_secs,
+        )
     }
 
     /// Ratio of executor occupancy: DA / Rule.

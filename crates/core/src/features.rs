@@ -32,7 +32,10 @@ pub const NUM_INPUTS: &str = "NumInputs";
 /// then `NumOps`, `MaxDepth`, `NumInputs`, `TotalInputBytes`,
 /// `TotalRowsProcessed`.
 pub fn full_feature_names() -> Vec<String> {
-    let mut names: Vec<String> = OperatorKind::ALL.iter().map(|k| k.name().to_string()).collect();
+    let mut names: Vec<String> = OperatorKind::ALL
+        .iter()
+        .map(|k| k.name().to_string())
+        .collect();
     names.push(NUM_OPS.to_string());
     names.push(MAX_DEPTH.to_string());
     names.push(NUM_INPUTS.to_string());
@@ -74,7 +77,12 @@ pub enum FeatureSet {
 
 impl FeatureSet {
     /// All ablation feature sets, in paper order.
-    pub const ALL: [FeatureSet; 4] = [FeatureSet::F0, FeatureSet::F1, FeatureSet::F2, FeatureSet::F3];
+    pub const ALL: [FeatureSet; 4] = [
+        FeatureSet::F0,
+        FeatureSet::F1,
+        FeatureSet::F2,
+        FeatureSet::F3,
+    ];
 
     /// Short label as used in the paper ("F0" .. "F3").
     pub fn label(&self) -> &'static str {
@@ -98,7 +106,10 @@ impl FeatureSet {
                 OperatorKind::Project.name().to_string(),
                 OperatorKind::Filter.name().to_string(),
             ],
-            FeatureSet::F2 => vec![TOTAL_INPUT_BYTES.to_string(), TOTAL_ROWS_PROCESSED.to_string()],
+            FeatureSet::F2 => vec![
+                TOTAL_INPUT_BYTES.to_string(),
+                TOTAL_ROWS_PROCESSED.to_string(),
+            ],
             FeatureSet::F3 => vec![
                 MAX_DEPTH.to_string(),
                 NUM_OPS.to_string(),

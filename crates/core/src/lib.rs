@@ -118,7 +118,9 @@ pub use evaluation::{
 };
 pub use execution::{compare_allocations, run_with_policy, AllocationComparison};
 pub use features::{featurize_plan, full_feature_names, FeatureSet};
-pub use optimizer::{AutoExecutorRule, Optimizer, OptimizerContext, OptimizerRule, ResourceRequest};
+pub use optimizer::{
+    AutoExecutorRule, Optimizer, OptimizerContext, OptimizerRule, ResourceRequest,
+};
 pub use overheads::{measure_overheads, OverheadReport};
 pub use registry::ModelRegistry;
 pub use sizing::{recommend_sizing, SizingRecommendation};

@@ -288,10 +288,7 @@ impl Optimizer {
     /// Creates an optimizer with the two conventional rewrite rules.
     pub fn with_default_rules() -> Self {
         Self {
-            rules: vec![
-                Box::new(CollapseProjectsRule),
-                Box::new(CombineFiltersRule),
-            ],
+            rules: vec![Box::new(CollapseProjectsRule), Box::new(CombineFiltersRule)],
         }
     }
 

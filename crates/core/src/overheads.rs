@@ -65,9 +65,7 @@ pub fn measure_overheads(
     // Export + measure model size, then load it back through the portable
     // scoring path to time load and session setup.
     let portable = model.to_portable("overheads")?;
-    let bytes = portable
-        .to_bytes()
-        .map_err(crate::AutoExecutorError::Ml)?;
+    let bytes = portable.to_bytes().map_err(crate::AutoExecutorError::Ml)?;
     let portable_model_bytes = bytes.len();
     let mut runtime = ScoringRuntime::from_bytes(&bytes).map_err(crate::AutoExecutorError::Ml)?;
 
@@ -81,7 +79,9 @@ pub fn measure_overheads(
 
         let projected = config.feature_set.project(&features);
         let infer_start = Instant::now();
-        let _ = runtime.score(&projected).map_err(crate::AutoExecutorError::Ml)?;
+        let _ = runtime
+            .score(&projected)
+            .map_err(crate::AutoExecutorError::Ml)?;
         inference_total += infer_start.elapsed();
     }
     let per_query = |total: Duration| {

@@ -31,8 +31,9 @@ impl ModelRegistry {
     /// directory is created if missing.
     pub fn with_directory(path: impl AsRef<Path>) -> Result<Self> {
         let dir = path.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)
-            .map_err(|e| AutoExecutorError::InvalidModel(format!("cannot create registry dir: {e}")))?;
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            AutoExecutorError::InvalidModel(format!("cannot create registry dir: {e}"))
+        })?;
         Ok(Self {
             directory: Some(dir),
             memory: Mutex::new(HashMap::new()),
@@ -114,7 +115,8 @@ mod tests {
     fn dummy_model(name: &str) -> PortableModel {
         let mut ds = Dataset::new(vec!["x".into()], vec!["y".into()]);
         for i in 0..12 {
-            ds.push_row(format!("r{i}"), vec![i as f64], vec![(i * 2) as f64]).unwrap();
+            ds.push_row(format!("r{i}"), vec![i as f64], vec![(i * 2) as f64])
+                .unwrap();
         }
         let mut forest = RandomForestRegressor::new(RandomForestConfig {
             n_estimators: 3,
@@ -146,7 +148,9 @@ mod tests {
     fn directory_backed_registry_persists_models() {
         let dir = std::env::temp_dir().join(format!("ae_registry_test_{}", std::process::id()));
         let registry = ModelRegistry::with_directory(&dir).unwrap();
-        registry.register("persisted", dummy_model("persisted")).unwrap();
+        registry
+            .register("persisted", dummy_model("persisted"))
+            .unwrap();
 
         // A fresh registry over the same directory finds the model on disk.
         let fresh = ModelRegistry::with_directory(&dir).unwrap();

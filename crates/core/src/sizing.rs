@@ -51,7 +51,8 @@ pub fn recommend_sizing(
 ) -> Result<Option<SizingRecommendation>> {
     if candidate_executors.is_empty() || reference_ec == 0 {
         return Err(AutoExecutorError::InvalidModel(
-            "sizing needs a non-empty candidate range and a positive reference executor size".into(),
+            "sizing needs a non-empty candidate range and a positive reference executor size"
+                .into(),
         ));
     }
     let ppm = model.predict_ppm(plan)?;
@@ -96,7 +97,9 @@ mod tests {
     #[test]
     fn recommendation_preserves_total_cores_and_constraints() {
         let (model, config) = trained_model();
-        let plan = WorkloadGenerator::new(ScaleFactor::SF10).instance("q94").plan;
+        let plan = WorkloadGenerator::new(ScaleFactor::SF10)
+            .instance("q94")
+            .plan;
         let constraints = FactorizationConstraints::paper_default();
         let recommendation = recommend_sizing(
             &model,
@@ -120,7 +123,9 @@ mod tests {
     #[test]
     fn tighter_slowdown_budget_never_selects_fewer_cores() {
         let (model, config) = trained_model();
-        let plan = WorkloadGenerator::new(ScaleFactor::SF10).instance("q7").plan;
+        let plan = WorkloadGenerator::new(ScaleFactor::SF10)
+            .instance("q7")
+            .plan;
         let constraints = FactorizationConstraints::paper_default();
         let cores_at = |h: f64| {
             recommend_sizing(
@@ -142,7 +147,9 @@ mod tests {
     #[test]
     fn empty_candidates_are_rejected() {
         let (model, _) = trained_model();
-        let plan = WorkloadGenerator::new(ScaleFactor::SF10).instance("q7").plan;
+        let plan = WorkloadGenerator::new(ScaleFactor::SF10)
+            .instance("q7")
+            .plan;
         assert!(recommend_sizing(
             &model,
             &plan,
@@ -157,7 +164,9 @@ mod tests {
     #[test]
     fn infeasible_constraints_return_none() {
         let (model, config) = trained_model();
-        let plan = WorkloadGenerator::new(ScaleFactor::SF10).instance("q7").plan;
+        let plan = WorkloadGenerator::new(ScaleFactor::SF10)
+            .instance("q7")
+            .plan;
         // Nodes with almost no memory: no executor size fits.
         let constraints = FactorizationConstraints {
             node_memory_gb: 1.0,

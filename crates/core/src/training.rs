@@ -21,6 +21,7 @@ use ae_ppm::fit::{fit_amdahl, fit_power_law};
 use ae_ppm::model::{AmdahlPpm, PowerLawPpm, Ppm, PpmKind};
 use ae_sparklens::SparklensAnalyzer;
 use ae_workload::QueryInstance;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::config::AutoExecutorConfig;
@@ -57,6 +58,11 @@ impl TrainingData {
     /// Collects training data for a workload by running each query once at
     /// the configured training executor count and extrapolating with
     /// Sparklens (Section 4.1).
+    ///
+    /// Queries are simulated in parallel; each query's run seeds its noise
+    /// generator from `training_run.seed + query_index` exactly as the
+    /// sequential loop did, so the collected data is bit-identical at any
+    /// worker-thread count.
     pub fn collect(queries: &[QueryInstance], config: &AutoExecutorConfig) -> Result<Self> {
         let simulator = Simulator::new(
             config.cluster,
@@ -65,26 +71,24 @@ impl TrainingData {
         .map_err(AutoExecutorError::Engine)?;
         let analyzer = SparklensAnalyzer::paper_default();
 
-        let mut examples = Vec::with_capacity(queries.len());
-        for (idx, query) in queries.iter().enumerate() {
-            let run_cfg = ae_engine::scheduler::RunConfig {
-                seed: config.training_run.seed.wrapping_add(idx as u64),
-                capture_task_log: true,
-                ..config.training_run
-            };
-            let result = simulator.run(&query.name, &query.dag, &run_cfg);
-            let log = result
-                .task_log
-                .as_ref()
-                .expect("task log capture was requested");
-            let curve = analyzer.estimate_from_log(log, &config.training_counts);
-            examples.push(Self::example_from_curve(
-                &query.name,
-                &query.plan,
-                &curve,
-                result.elapsed_secs,
-            )?);
-        }
+        let indexed: Vec<(usize, &QueryInstance)> = queries.iter().enumerate().collect();
+        let examples = indexed
+            .into_par_iter()
+            .map(|(idx, query)| {
+                let run_cfg = ae_engine::scheduler::RunConfig {
+                    seed: config.training_run.seed.wrapping_add(idx as u64),
+                    capture_task_log: true,
+                    ..config.training_run
+                };
+                let result = simulator.run(&query.name, &query.dag, &run_cfg);
+                let log = result
+                    .task_log
+                    .as_ref()
+                    .expect("task log capture was requested");
+                let curve = analyzer.estimate_from_log(log, &config.training_counts);
+                Self::example_from_curve(&query.name, &query.plan, &curve, result.elapsed_secs)
+            })
+            .collect::<Result<Vec<_>>>()?;
         Ok(Self { examples })
     }
 
@@ -340,7 +344,9 @@ mod tests {
         let cfg = fast_config();
         let (_, model) = train_from_workload(&queries, &cfg).unwrap();
         for query in &queries {
-            let curve = model.predict_curve(&query.plan, &cfg.candidate_counts()).unwrap();
+            let curve = model
+                .predict_curve(&query.plan, &cfg.candidate_counts())
+                .unwrap();
             for pair in curve.windows(2) {
                 assert!(pair[1].1 <= pair[0].1 + 1e-9, "{}", query.name);
             }
@@ -369,7 +375,8 @@ mod tests {
         // A forest with unrelated target names cannot become a parameter model.
         let mut ds = Dataset::new(vec!["x".into()], vec!["weird".into()]);
         for i in 0..10 {
-            ds.push_row(format!("r{i}"), vec![i as f64], vec![i as f64]).unwrap();
+            ds.push_row(format!("r{i}"), vec![i as f64], vec![i as f64])
+                .unwrap();
         }
         let mut forest = RandomForestRegressor::new(RandomForestConfig {
             n_estimators: 3,

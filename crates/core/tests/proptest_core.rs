@@ -1,10 +1,10 @@
 //! Property-based tests on the AutoExecutor core: featurization invariants,
 //! training-label fitting, and selection behaviour of predicted models.
 
-use autoexecutor::{featurize_plan, full_feature_names, FeatureSet, TrainingData};
 use ae_engine::plan::{OperatorKind, PlanNode, QueryPlan};
 use ae_ppm::model::PpmKind;
 use ae_ppm::selection::slowdown_config;
+use autoexecutor::{featurize_plan, full_feature_names, FeatureSet, TrainingData};
 use proptest::prelude::*;
 
 /// Builds a random chain-shaped plan from a list of operator choices.

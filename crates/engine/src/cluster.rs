@@ -163,10 +163,14 @@ impl ClusterConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.executor.cores == 0 {
-            return Err(EngineError::InvalidConfig("executor cores must be > 0".into()));
+            return Err(EngineError::InvalidConfig(
+                "executor cores must be > 0".into(),
+            ));
         }
         if self.node.cores == 0 || self.max_nodes == 0 {
-            return Err(EngineError::InvalidConfig("cluster must have nodes with cores".into()));
+            return Err(EngineError::InvalidConfig(
+                "cluster must have nodes with cores".into(),
+            ));
         }
         if self.node.executors_per_node(&self.executor) == 0 {
             return Err(EngineError::InvalidConfig(format!(
@@ -178,7 +182,9 @@ impl ClusterConfig {
             || self.lag.grant_delay_secs < 0.0
             || self.lag.executor_startup_secs < 0.0
         {
-            return Err(EngineError::InvalidConfig("allocation lag times must be non-negative".into()));
+            return Err(EngineError::InvalidConfig(
+                "allocation lag times must be non-negative".into(),
+            ));
         }
         Ok(())
     }

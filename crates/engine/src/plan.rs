@@ -148,7 +148,10 @@ pub struct PlanStats {
 impl PlanStats {
     /// Count for a specific operator kind.
     pub fn count_of(&self, kind: OperatorKind) -> usize {
-        let idx = OperatorKind::ALL.iter().position(|k| *k == kind).expect("kind in ALL");
+        let idx = OperatorKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind in ALL");
         self.operator_counts[idx]
     }
 }

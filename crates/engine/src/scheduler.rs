@@ -15,6 +15,30 @@
 //!   executors after a timeout,
 //! * run-to-run noise of a few percent (§5.1) is applied per task from a
 //!   seeded generator.
+//!
+//! ## Hot-loop design
+//!
+//! This is the innermost loop of every offline phase (ground-truth
+//! collection runs the simulator hundreds of thousands of times), so the
+//! implementation is event-driven rather than scan-based:
+//!
+//! * task completions live in a min-heap keyed by `(end_time, seq)`; the
+//!   sequence number reproduces FIFO order for simultaneous completions,
+//! * executor grants live in a min-heap keyed by `(allocated_at, seq)`,
+//! * free core-slots are found through a lazy max-heap over
+//!   `(free_slots, executor)` — the same "most free slots, highest index on
+//!   ties" rule as a linear scan, without rescanning the pool per task,
+//! * stages enter a sorted ready-queue when their last parent finishes, so
+//!   scheduling never rescans finished stages.
+//!
+//! All per-run buffers (noisy durations, per-stage progress, the four
+//! heaps) live in a [`SimScratch`] that callers can reuse across runs via
+//! [`Simulator::run_with_scratch`], eliminating per-run allocation churn in
+//! collection loops. `Simulator::run` allocates a fresh scratch and is
+//! bit-identical to the scratch-reusing path.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -113,14 +137,217 @@ struct ExecutorState {
     removed: bool,
 }
 
-/// Internal running-task record.
+/// A task-completion event in the event queue.
 #[derive(Debug, Clone, Copy)]
-struct RunningTask {
+struct CompletionEvent {
     end_time: f64,
+    /// Monotone sequence number: simultaneous completions pop in the order
+    /// the tasks were scheduled, matching a FIFO scan.
+    seq: u64,
     executor: usize,
     stage: usize,
     start_time: f64,
     duration: f64,
+}
+
+impl PartialEq for CompletionEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.end_time == other.end_time && self.seq == other.seq
+    }
+}
+
+impl Eq for CompletionEvent {}
+
+impl PartialOrd for CompletionEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CompletionEvent {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .end_time
+            .total_cmp(&self.end_time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A pending executor grant (min-heap on `(allocated_at, seq)`).
+#[derive(Debug, Clone, Copy)]
+struct GrantEvent {
+    allocated_at: f64,
+    seq: u64,
+    usable_at: f64,
+}
+
+impl PartialEq for GrantEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.allocated_at == other.allocated_at && self.seq == other.seq
+    }
+}
+
+impl Eq for GrantEvent {}
+
+impl PartialOrd for GrantEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for GrantEvent {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        other
+            .allocated_at
+            .total_cmp(&self.allocated_at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// An executor becoming usable (min-heap on `(usable_at, executor)`).
+#[derive(Debug, Clone, Copy)]
+struct UsableEvent {
+    usable_at: f64,
+    executor: usize,
+}
+
+impl PartialEq for UsableEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.usable_at == other.usable_at && self.executor == other.executor
+    }
+}
+
+impl Eq for UsableEvent {}
+
+impl PartialOrd for UsableEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for UsableEvent {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        other
+            .usable_at
+            .total_cmp(&self.usable_at)
+            .then_with(|| other.executor.cmp(&self.executor))
+    }
+}
+
+/// Reusable per-run simulation state. Collection loops that simulate many
+/// runs should allocate one scratch (per worker thread) and pass it to
+/// [`Simulator::run_with_scratch`]; all buffers are cleared, not freed,
+/// between runs.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    /// Flattened noisy task durations, stage-major.
+    noisy: Vec<f64>,
+    /// Start offset of each stage within `noisy` (plus a final sentinel).
+    stage_offsets: Vec<usize>,
+    /// Next unscheduled task index per stage.
+    next_task: Vec<usize>,
+    /// Completed task count per stage.
+    completed_tasks: Vec<usize>,
+    /// Whether each stage has fully completed.
+    stage_done: Vec<bool>,
+    /// Number of unfinished parent stages per stage.
+    unfinished_parents: Vec<usize>,
+    /// Child adjacency, flattened (`children_offsets` indexes into it).
+    children: Vec<usize>,
+    /// Start offset of each stage's children (plus a final sentinel).
+    children_offsets: Vec<usize>,
+    /// Ready stages with unscheduled tasks, kept sorted ascending.
+    ready: Vec<usize>,
+    /// Executor pool (grows only; `removed` marks released executors).
+    executors: Vec<ExecutorState>,
+    /// Pending grants.
+    pending: BinaryHeap<GrantEvent>,
+    /// Executors that become usable in the future.
+    usable_queue: BinaryHeap<UsableEvent>,
+    /// Lazy max-heap of `(free_slots, executor)` candidates.
+    slot_heap: BinaryHeap<(usize, usize)>,
+    /// In-flight task completions.
+    completions: BinaryHeap<CompletionEvent>,
+    /// Captured task records (only filled when the log is requested).
+    records: Vec<TaskRecord>,
+}
+
+impl SimScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, dag: &StageDag) {
+        let num_stages = dag.num_stages();
+        self.noisy.clear();
+        self.stage_offsets.clear();
+        self.stage_offsets.reserve(num_stages + 1);
+        self.next_task.clear();
+        self.next_task.resize(num_stages, 0);
+        self.completed_tasks.clear();
+        self.completed_tasks.resize(num_stages, 0);
+        self.stage_done.clear();
+        self.stage_done.resize(num_stages, false);
+        self.unfinished_parents.clear();
+        self.unfinished_parents.resize(num_stages, 0);
+        self.children.clear();
+        self.children_offsets.clear();
+        self.ready.clear();
+        self.executors.clear();
+        self.pending.clear();
+        self.usable_queue.clear();
+        self.slot_heap.clear();
+        self.completions.clear();
+        self.records.clear();
+
+        // Dependency bookkeeping: parent counts and child adjacency.
+        for stage in dag.stages() {
+            self.unfinished_parents[stage.id] = stage.parents.len();
+        }
+        // Children, grouped by parent in one flat vector. Stage ids are
+        // 0..n in topological order, so a counting pass suffices.
+        let mut counts = vec![0usize; num_stages];
+        for stage in dag.stages() {
+            for &p in &stage.parents {
+                counts[p] += 1;
+            }
+        }
+        self.children_offsets.reserve(num_stages + 1);
+        let mut offset = 0usize;
+        for &c in &counts {
+            self.children_offsets.push(offset);
+            offset += c;
+        }
+        self.children_offsets.push(offset);
+        self.children.resize(offset, 0);
+        let mut cursor: Vec<usize> = self.children_offsets[..num_stages].to_vec();
+        for stage in dag.stages() {
+            for &p in &stage.parents {
+                self.children[cursor[p]] = stage.id;
+                cursor[p] += 1;
+            }
+        }
+    }
+
+    /// Task count of stage `s`.
+    fn stage_size(&self, s: usize) -> usize {
+        self.stage_offsets[s + 1] - self.stage_offsets[s]
+    }
+
+    /// Noisy duration of task `t` of stage `s`.
+    fn duration(&self, s: usize, t: usize) -> f64 {
+        self.noisy[self.stage_offsets[s] + t]
+    }
+
+    /// Inserts `stage` into the sorted ready queue.
+    fn push_ready(&mut self, stage: usize) {
+        match self.ready.binary_search(&stage) {
+            Ok(_) => {}
+            Err(pos) => self.ready.insert(pos, stage),
+        }
+    }
 }
 
 impl Simulator {
@@ -142,43 +369,60 @@ impl Simulator {
 
     /// Simulates the execution of `dag` and returns timing and occupancy.
     pub fn run(&self, query_name: &str, dag: &StageDag, cfg: &RunConfig) -> QueryRunResult {
+        self.run_with_scratch(query_name, dag, cfg, &mut SimScratch::new())
+    }
+
+    /// Like [`Simulator::run`], but reuses the caller's scratch buffers.
+    ///
+    /// Results are bit-identical to `run`; collection loops that simulate
+    /// thousands of runs avoid re-allocating the event queues and duration
+    /// matrix on every run.
+    pub fn run_with_scratch(
+        &self,
+        query_name: &str,
+        dag: &StageDag,
+        cfg: &RunConfig,
+        scratch: &mut SimScratch,
+    ) -> QueryRunResult {
         let ec = self.cluster.executor.cores.max(1);
         let pool_cap = self.cluster.max_executors().max(1);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
+        scratch.reset(dag);
 
-        // Materialise noisy task durations. The cores-per-executor penalty
-        // keeps ec≠4 configurations slightly off the ec=4 trend (Figure 5).
+        // Materialise noisy task durations (stage-major, same generation
+        // order as the original per-stage matrix). The cores-per-executor
+        // penalty keeps ec≠4 configurations slightly off the ec=4 trend
+        // (Figure 5).
         let ec_penalty = 1.0 + 0.02 * (ec as f64 - 4.0).abs();
-        let noisy: Vec<Vec<f64>> = dag
-            .stages()
-            .iter()
-            .map(|stage| {
-                stage
-                    .tasks
-                    .iter()
-                    .map(|t| t.work_secs * ec_penalty * noise_factor(&mut rng, cfg.noise_cv))
-                    .collect()
-            })
-            .collect();
+        for stage in dag.stages() {
+            scratch.stage_offsets.push(scratch.noisy.len());
+            for task in &stage.tasks {
+                scratch
+                    .noisy
+                    .push(task.work_secs * ec_penalty * noise_factor(&mut rng, cfg.noise_cv));
+            }
+        }
+        scratch.stage_offsets.push(scratch.noisy.len());
 
-        // Per-stage progress tracking.
         let num_stages = dag.num_stages();
-        let mut next_task: Vec<usize> = vec![0; num_stages];
-        let mut completed_tasks: Vec<usize> = vec![0; num_stages];
-        let stage_sizes: Vec<usize> = dag.stages().iter().map(|s| s.tasks.len()).collect();
-        let mut stage_done: Vec<bool> = vec![false; num_stages];
+        let total_tasks: usize = scratch.noisy.len();
+        // Root stages are ready immediately.
+        for stage in 0..num_stages {
+            if scratch.unfinished_parents[stage] == 0 {
+                scratch.ready.push(stage);
+            }
+        }
 
-        // Executor pool.
-        let mut executors: Vec<ExecutorState> = Vec::new();
-        let mut pending_online: Vec<(f64, f64)> = Vec::new(); // (allocated_at, usable_at)
-        let mut requested_target: usize = 0;
         let mut skyline = Skyline::new();
+        let mut requested_target: usize = 0;
+        let mut grant_seq: u64 = 0;
 
         // Issue the initial allocation request at time 0.
         let mut time = 0.0f64;
         let initial = self.policy.initial_executors().min(pool_cap);
         grant(
-            &mut pending_online,
+            &mut scratch.pending,
+            &mut grant_seq,
             &self.cluster,
             time,
             initial,
@@ -196,9 +440,7 @@ impl Simulator {
         };
         let mut next_tick = 0.0f64;
 
-        let mut running: Vec<RunningTask> = Vec::new();
-        let mut records: Vec<TaskRecord> = Vec::new();
-        let total_tasks: usize = stage_sizes.iter().sum();
+        let mut completion_seq: u64 = 0;
         let mut finished_tasks = 0usize;
 
         // Bound the simulation to avoid infinite loops on malformed input.
@@ -206,90 +448,113 @@ impl Simulator {
 
         while finished_tasks < total_tasks && time < max_sim_time {
             // 1. Bring granted executors online.
-            pending_online.retain(|&(allocated_at, usable_at)| {
-                if allocated_at <= time + 1e-9 {
-                    executors.push(ExecutorState {
-                        usable_at,
-                        busy_slots: 0,
-                        idle_since: usable_at,
-                        removed: false,
-                    });
-                    false
-                } else {
-                    true
-                }
-            });
-            record_skyline(&mut skyline, time, &executors, &pending_online);
+            while scratch
+                .pending
+                .peek()
+                .is_some_and(|g| g.allocated_at <= time + 1e-9)
+            {
+                let grant_event = scratch.pending.pop().expect("peeked grant");
+                let idx = scratch.executors.len();
+                scratch.executors.push(ExecutorState {
+                    usable_at: grant_event.usable_at,
+                    busy_slots: 0,
+                    idle_since: grant_event.usable_at,
+                    removed: false,
+                });
+                scratch.usable_queue.push(UsableEvent {
+                    usable_at: grant_event.usable_at,
+                    executor: idx,
+                });
+            }
+            record_skyline(&mut skyline, time, &scratch.executors);
 
             // 2. Policy decisions at tick boundaries.
             if time + 1e-9 >= next_tick {
                 self.policy_tick(
                     time,
-                    dag,
-                    &next_task,
-                    &stage_sizes,
-                    &stage_done,
-                    &completed_tasks,
-                    &mut executors,
-                    &mut pending_online,
+                    scratch,
+                    &mut grant_seq,
                     &mut requested_target,
                     &mut da_next_add,
                     &mut da_last_request,
                     &mut predictive_requested,
                     pool_cap,
                 );
-                record_skyline(&mut skyline, time, &executors, &pending_online);
+                record_skyline(&mut skyline, time, &scratch.executors);
                 next_tick = time + tick_interval;
             }
 
             // 3. Schedule pending tasks of ready stages onto free slots.
             if time + 1e-9 >= cfg.driver_overhead_secs {
-                for stage_idx in 0..num_stages {
-                    if stage_done[stage_idx] || next_task[stage_idx] >= stage_sizes[stage_idx] {
-                        continue;
+                // Executors that became usable by now join the slot heap.
+                while scratch
+                    .usable_queue
+                    .peek()
+                    .is_some_and(|u| u.usable_at <= time + 1e-9)
+                {
+                    let usable = scratch.usable_queue.pop().expect("peeked usable");
+                    let exec = &scratch.executors[usable.executor];
+                    if !exec.removed && exec.busy_slots < ec {
+                        scratch
+                            .slot_heap
+                            .push((ec - exec.busy_slots, usable.executor));
                     }
-                    let ready = dag.stages()[stage_idx]
-                        .parents
-                        .iter()
-                        .all(|&p| stage_done[p]);
-                    if !ready {
-                        continue;
-                    }
-                    while next_task[stage_idx] < stage_sizes[stage_idx] {
-                        let Some(exec_idx) = find_free_slot(&executors, ec, time) else {
+                }
+
+                let mut ready_pos = 0;
+                while ready_pos < scratch.ready.len() {
+                    let stage_idx = scratch.ready[ready_pos];
+                    let stage_size = scratch.stage_size(stage_idx);
+                    let mut exhausted = false;
+                    while scratch.next_task[stage_idx] < stage_size {
+                        let Some(exec_idx) = pop_free_slot(scratch, ec, time) else {
                             break;
                         };
-                        let duration = noisy[stage_idx][next_task[stage_idx]];
-                        next_task[stage_idx] += 1;
-                        executors[exec_idx].busy_slots += 1;
-                        running.push(RunningTask {
+                        let task_idx = scratch.next_task[stage_idx];
+                        let duration = scratch.duration(stage_idx, task_idx);
+                        scratch.next_task[stage_idx] += 1;
+                        let exec = &mut scratch.executors[exec_idx];
+                        exec.busy_slots += 1;
+                        if exec.busy_slots < ec {
+                            scratch.slot_heap.push((ec - exec.busy_slots, exec_idx));
+                        }
+                        scratch.completions.push(CompletionEvent {
                             end_time: time + duration,
+                            seq: completion_seq,
                             executor: exec_idx,
                             stage: stage_idx,
                             start_time: time,
                             duration,
                         });
+                        completion_seq += 1;
+                        if scratch.next_task[stage_idx] == stage_size {
+                            exhausted = true;
+                        }
+                    }
+                    if exhausted {
+                        scratch.ready.remove(ready_pos);
+                    } else {
+                        ready_pos += 1;
                     }
                 }
             }
 
             // 4. Advance time to the next event.
-            let next_completion = running
-                .iter()
-                .map(|r| r.end_time)
-                .fold(f64::INFINITY, f64::min);
-            let next_online = pending_online
-                .iter()
-                .map(|&(a, _)| a)
-                .fold(f64::INFINITY, f64::min);
-            let next_event = next_completion
-                .min(next_online)
-                .min(next_tick)
-                .min(if time < cfg.driver_overhead_secs {
+            let next_completion = scratch
+                .completions
+                .peek()
+                .map_or(f64::INFINITY, |c| c.end_time);
+            let next_online = scratch
+                .pending
+                .peek()
+                .map_or(f64::INFINITY, |g| g.allocated_at);
+            let next_event = next_completion.min(next_online).min(next_tick).min(
+                if time < cfg.driver_overhead_secs {
                     cfg.driver_overhead_secs
                 } else {
                     f64::INFINITY
-                });
+                },
+            );
             if !next_event.is_finite() {
                 // No runnable work and nothing scheduled to change: bail out
                 // (defensive; cannot happen with ≥1 executor kept alive).
@@ -298,38 +563,55 @@ impl Simulator {
             time = next_event.max(time);
 
             // 5. Complete tasks that finished by `time`.
-            let mut still_running = Vec::with_capacity(running.len());
-            for task in running.drain(..) {
-                if task.end_time <= time + 1e-9 {
-                    finished_tasks += 1;
-                    completed_tasks[task.stage] += 1;
-                    if completed_tasks[task.stage] == stage_sizes[task.stage] {
-                        stage_done[task.stage] = true;
+            while scratch
+                .completions
+                .peek()
+                .is_some_and(|c| c.end_time <= time + 1e-9)
+            {
+                let task = scratch.completions.pop().expect("peeked completion");
+                finished_tasks += 1;
+                scratch.completed_tasks[task.stage] += 1;
+                if scratch.completed_tasks[task.stage] == scratch.stage_size(task.stage) {
+                    scratch.stage_done[task.stage] = true;
+                    let (start, end) = (
+                        scratch.children_offsets[task.stage],
+                        scratch.children_offsets[task.stage + 1],
+                    );
+                    for child_pos in start..end {
+                        let child = scratch.children[child_pos];
+                        scratch.unfinished_parents[child] -= 1;
+                        if scratch.unfinished_parents[child] == 0
+                            && scratch.next_task[child] < scratch.stage_size(child)
+                        {
+                            scratch.push_ready(child);
+                        }
                     }
-                    let exec = &mut executors[task.executor];
-                    exec.busy_slots = exec.busy_slots.saturating_sub(1);
-                    if exec.busy_slots == 0 {
-                        exec.idle_since = task.end_time;
-                    }
-                    if cfg.capture_task_log {
-                        records.push(TaskRecord {
-                            stage_id: task.stage,
-                            start_secs: task.start_time,
-                            duration_secs: task.duration,
-                        });
-                    }
-                } else {
-                    still_running.push(task);
+                }
+                let exec = &mut scratch.executors[task.executor];
+                exec.busy_slots = exec.busy_slots.saturating_sub(1);
+                if exec.busy_slots == 0 {
+                    exec.idle_since = task.end_time;
+                }
+                if !exec.removed && exec.usable_at <= time + 1e-9 {
+                    scratch
+                        .slot_heap
+                        .push((ec - exec.busy_slots, task.executor));
+                }
+                if cfg.capture_task_log {
+                    scratch.records.push(TaskRecord {
+                        stage_id: task.stage,
+                        start_secs: task.start_time,
+                        duration_secs: task.duration,
+                    });
                 }
             }
-            running = still_running;
         }
 
         let elapsed = time.max(cfg.driver_overhead_secs);
         skyline.finish(elapsed);
         let auc = skyline.auc_executor_secs();
         let max_exec = skyline.max_executors();
-        let total_task_secs: f64 = noisy.iter().flatten().sum();
+        let total_task_secs: f64 = scratch.noisy.iter().sum();
 
         let task_log = cfg.capture_task_log.then(|| {
             let stages = dag
@@ -339,7 +621,9 @@ impl Simulator {
                 .map(|(idx, s)| StageLog {
                     stage_id: idx,
                     parents: s.parents.clone(),
-                    task_durations_secs: noisy[idx].clone(),
+                    task_durations_secs: scratch.noisy
+                        [scratch.stage_offsets[idx]..scratch.stage_offsets[idx + 1]]
+                        .to_vec(),
                 })
                 .collect();
             TaskLog {
@@ -347,7 +631,7 @@ impl Simulator {
                 executors: max_exec,
                 cores_per_executor: ec,
                 stages,
-                records,
+                records: scratch.records.clone(),
                 driver_overhead_secs: cfg.driver_overhead_secs,
                 elapsed_secs: elapsed,
             }
@@ -370,13 +654,8 @@ impl Simulator {
     fn policy_tick(
         &self,
         time: f64,
-        dag: &StageDag,
-        next_task: &[usize],
-        stage_sizes: &[usize],
-        stage_done: &[bool],
-        completed_tasks: &[usize],
-        executors: &mut [ExecutorState],
-        pending_online: &mut Vec<(f64, f64)>,
+        scratch: &mut SimScratch,
+        grant_seq: &mut u64,
         requested_target: &mut usize,
         da_next_add: &mut usize,
         da_last_request: &mut f64,
@@ -384,17 +663,11 @@ impl Simulator {
         pool_cap: usize,
     ) {
         // Pending tasks of ready (or running) stages.
-        let mut backlog = 0usize;
-        for (idx, stage) in dag.stages().iter().enumerate() {
-            if stage_done[idx] {
-                continue;
-            }
-            let ready = stage.parents.iter().all(|&p| stage_done[p]);
-            if ready {
-                backlog += stage_sizes[idx] - next_task[idx];
-            }
-        }
-        let _ = completed_tasks;
+        let backlog: usize = scratch
+            .ready
+            .iter()
+            .map(|&idx| scratch.stage_size(idx) - scratch.next_task[idx])
+            .sum();
 
         match self.policy {
             AllocationPolicy::Static { .. } => {}
@@ -404,11 +677,13 @@ impl Simulator {
                     // backlog has been sustained since the previous request.
                     let backlog_sustained =
                         time - *da_last_request >= cfg.sustained_backlog_secs - 1e-9;
-                    let desired =
-                        (*requested_target + *da_next_add).min(cfg.max_executors).min(pool_cap);
+                    let desired = (*requested_target + *da_next_add)
+                        .min(cfg.max_executors)
+                        .min(pool_cap);
                     if backlog_sustained && desired > *requested_target {
                         grant(
-                            pending_online,
+                            &mut scratch.pending,
+                            grant_seq,
                             &self.cluster,
                             time,
                             desired - *requested_target,
@@ -421,7 +696,12 @@ impl Simulator {
                 } else {
                     *da_next_add = 1;
                 }
-                remove_idle(executors, time, cfg.idle_timeout_secs, cfg.min_executors.max(1));
+                remove_idle(
+                    &mut scratch.executors,
+                    time,
+                    cfg.idle_timeout_secs,
+                    cfg.min_executors.max(1),
+                );
             }
             AllocationPolicy::Predictive {
                 predicted,
@@ -434,7 +714,8 @@ impl Simulator {
                     let target = predicted.min(pool_cap);
                     if target > *requested_target {
                         grant(
-                            pending_online,
+                            &mut scratch.pending,
+                            grant_seq,
                             &self.cluster,
                             time,
                             target - *requested_target,
@@ -443,10 +724,29 @@ impl Simulator {
                         );
                     }
                 }
-                remove_idle(executors, time, idle_timeout_secs, 1);
+                remove_idle(&mut scratch.executors, time, idle_timeout_secs, 1);
             }
         }
     }
+}
+
+/// Pops the best free slot at `time`: the usable executor with the most
+/// free core-slots, highest index on ties (the historical linear-scan
+/// tie-break). Stale heap entries are discarded or corrected lazily.
+fn pop_free_slot(scratch: &mut SimScratch, ec: usize, time: f64) -> Option<usize> {
+    while let Some((free, exec_idx)) = scratch.slot_heap.pop() {
+        let exec = &scratch.executors[exec_idx];
+        if exec.removed || exec.usable_at > time + 1e-9 || exec.busy_slots >= ec {
+            continue;
+        }
+        let actual_free = ec - exec.busy_slots;
+        if actual_free == free {
+            return Some(exec_idx);
+        }
+        // Stale count: reinsert with the corrected key and keep popping.
+        scratch.slot_heap.push((actual_free, exec_idx));
+    }
+    None
 }
 
 /// Lognormal-ish multiplicative noise with coefficient of variation `cv`,
@@ -463,7 +763,8 @@ fn noise_factor(rng: &mut StdRng, cv: f64) -> f64 {
 /// Schedules grants for `count` additional executors under the cluster's
 /// allocation-lag model and bumps the requested target.
 fn grant(
-    pending_online: &mut Vec<(f64, f64)>,
+    pending: &mut BinaryHeap<GrantEvent>,
+    grant_seq: &mut u64,
     cluster: &ClusterConfig,
     now: f64,
     count: usize,
@@ -487,7 +788,12 @@ fn grant(
         let allocated_at = now + lag.grant_delay_secs + wave as f64 * lag.wave_interval_secs;
         let usable_at = allocated_at + lag.executor_startup_secs;
         for _ in 0..in_this_wave {
-            pending_online.push((allocated_at, usable_at));
+            pending.push(GrantEvent {
+                allocated_at,
+                seq: *grant_seq,
+                usable_at,
+            });
+            *grant_seq += 1;
         }
         granted += in_this_wave;
         wave += 1;
@@ -514,28 +820,12 @@ fn remove_idle(executors: &mut [ExecutorState], time: f64, idle_timeout: f64, ke
     }
 }
 
-/// Finds an executor with a free core-slot that is usable at `time`.
-fn find_free_slot(executors: &[ExecutorState], ec: usize, time: f64) -> Option<usize> {
-    executors
-        .iter()
-        .enumerate()
-        .filter(|(_, e)| !e.removed && e.usable_at <= time + 1e-9 && e.busy_slots < ec)
-        .max_by_key(|(_, e)| ec - e.busy_slots)
-        .map(|(i, _)| i)
-}
-
 /// Records the current allocated-executor count (live executors plus grants
 /// already issued but not yet online are *not* counted until allocated_at).
-fn record_skyline(
-    skyline: &mut Skyline,
-    time: f64,
-    executors: &[ExecutorState],
-    _pending: &[(f64, f64)],
-) {
+fn record_skyline(skyline: &mut Skyline, time: f64, executors: &[ExecutorState]) {
     let count = executors.iter().filter(|e| !e.removed).count();
     skyline.record(time, count);
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -730,7 +1020,8 @@ mod tests {
         ])
         .unwrap();
         let da = Simulator::new(instant_cluster(), AllocationPolicy::dynamic(1, 48)).unwrap();
-        let sa = Simulator::new(instant_cluster(), AllocationPolicy::static_allocation(48)).unwrap();
+        let sa =
+            Simulator::new(instant_cluster(), AllocationPolicy::static_allocation(48)).unwrap();
         let cfg = RunConfig::deterministic();
         let r_da = da.run("tail", &dag, &cfg);
         let r_sa = sa.run("tail", &dag, &cfg);

@@ -71,7 +71,11 @@ pub struct ApplicationSession {
 impl ApplicationSession {
     /// Creates a session over the given cluster. `idle_timeout_secs` is the
     /// reactive-deallocation timeout applied between queries.
-    pub fn new(cluster: ClusterConfig, idle_timeout_secs: f64, run_config: RunConfig) -> Result<Self> {
+    pub fn new(
+        cluster: ClusterConfig,
+        idle_timeout_secs: f64,
+        run_config: RunConfig,
+    ) -> Result<Self> {
         cluster.validate()?;
         Ok(Self {
             cluster,

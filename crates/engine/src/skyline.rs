@@ -184,6 +184,9 @@ mod tests {
         s.record(10.0, 5);
         s.finish(20.0);
         let samples = s.sample(5.0);
-        assert_eq!(samples, vec![(0.0, 2), (5.0, 2), (10.0, 5), (15.0, 5), (20.0, 5)]);
+        assert_eq!(
+            samples,
+            vec![(0.0, 2), (5.0, 2), (10.0, 5), (15.0, 5), (20.0, 5)]
+        );
     }
 }

@@ -45,10 +45,7 @@ impl Stage {
 
     /// Duration of the longest task in the stage.
     pub fn max_task_secs(&self) -> f64 {
-        self.tasks
-            .iter()
-            .map(|t| t.work_secs)
-            .fold(0.0, f64::max)
+        self.tasks.iter().map(|t| t.work_secs).fold(0.0, f64::max)
     }
 }
 
@@ -78,7 +75,11 @@ impl StageDag {
             if stage.tasks.is_empty() {
                 return Err(EngineError::InvalidDag(format!("stage {idx} has no tasks")));
             }
-            if stage.tasks.iter().any(|t| !t.work_secs.is_finite() || t.work_secs <= 0.0) {
+            if stage
+                .tasks
+                .iter()
+                .any(|t| !t.work_secs.is_finite() || t.work_secs <= 0.0)
+            {
                 return Err(EngineError::InvalidDag(format!(
                     "stage {idx} has a task with non-positive duration"
                 )));

@@ -1,8 +1,6 @@
 //! Property-based tests for the execution simulator.
 
-use ae_engine::{
-    AllocationPolicy, ClusterConfig, RunConfig, Simulator, Stage, StageDag, Task,
-};
+use ae_engine::{AllocationPolicy, ClusterConfig, RunConfig, Simulator, Stage, StageDag, Task};
 use proptest::prelude::*;
 
 /// Strategy producing small random stage DAGs (each stage depends on the
@@ -15,7 +13,11 @@ fn dag_strategy() -> impl Strategy<Value = StageDag> {
             .map(|(idx, &(tasks, secs, chain))| Stage {
                 id: idx,
                 tasks: vec![Task::new(secs); tasks],
-                parents: if idx > 0 && chain { vec![idx - 1] } else { vec![] },
+                parents: if idx > 0 && chain {
+                    vec![idx - 1]
+                } else {
+                    vec![]
+                },
             })
             .collect();
         StageDag::new(stages).expect("generated DAG is valid")

@@ -1,0 +1,154 @@
+//! Regression pins for the event-driven scheduler rewrite.
+//!
+//! The elapsed-time / AUC constants below were produced by the original
+//! scan-based simulator loop on a fixed DAG, across every allocation
+//! policy, both allocation-lag models, and noisy and noise-free runs. The
+//! event-queue implementation must reproduce them **bit for bit** — the
+//! rewrite is a pure performance optimization, not a behaviour change.
+
+// The pinned constants keep the full printed precision of the recorded runs.
+#![allow(clippy::excessive_precision)]
+
+use ae_engine::cluster::AllocationLag;
+use ae_engine::scheduler::SimScratch;
+use ae_engine::{AllocationPolicy, ClusterConfig, RunConfig, Simulator, Stage, StageDag, Task};
+
+/// The reference DAG: a wide scan feeding two mid stages that join into a
+/// narrow tail (fan-out/fan-in exercises the ready-queue bookkeeping).
+fn reference_dag() -> StageDag {
+    StageDag::new(vec![
+        Stage {
+            id: 0,
+            tasks: vec![Task::new(5.0); 32],
+            parents: vec![],
+        },
+        Stage {
+            id: 1,
+            tasks: vec![Task::new(8.0); 4],
+            parents: vec![0],
+        },
+        Stage {
+            id: 2,
+            tasks: vec![Task::new(2.5); 16],
+            parents: vec![0],
+        },
+        Stage {
+            id: 3,
+            tasks: vec![Task::new(12.0); 2],
+            parents: vec![1, 2],
+        },
+    ])
+    .unwrap()
+}
+
+fn run(policy: AllocationPolicy, instant: bool, seed: u64, noise_cv: f64) -> (f64, f64, usize) {
+    let cluster = if instant {
+        ClusterConfig {
+            lag: AllocationLag::instant(),
+            ..ClusterConfig::paper_default()
+        }
+    } else {
+        ClusterConfig::paper_default()
+    };
+    let simulator = Simulator::new(cluster, policy).unwrap();
+    let cfg = RunConfig {
+        seed,
+        noise_cv,
+        ..RunConfig::default()
+    };
+    let result = simulator.run("ref", &reference_dag(), &cfg);
+    (
+        result.elapsed_secs,
+        result.auc_executor_secs,
+        result.max_executors,
+    )
+}
+
+#[test]
+fn static_allocation_pins() {
+    // Values recorded from the pre-rewrite scan-based scheduler.
+    assert_eq!(
+        run(AllocationPolicy::static_allocation(8), false, 0, 0.0),
+        (33.0, 232.0, 8)
+    );
+    assert_eq!(
+        run(AllocationPolicy::static_allocation(8), false, 7, 0.05),
+        (35.5519048100705817, 252.415238480564653, 8)
+    );
+    assert_eq!(
+        run(AllocationPolicy::static_allocation(48), true, 0, 0.05),
+        (34.4308491862658599, 1652.68076094076127, 48)
+    );
+}
+
+#[test]
+fn dynamic_allocation_pins() {
+    assert_eq!(
+        run(AllocationPolicy::dynamic(1, 48), false, 0, 0.0),
+        (37.0, 426.0, 18)
+    );
+    assert_eq!(
+        run(AllocationPolicy::dynamic(1, 48), true, 7, 0.05),
+        (35.5519048100705817, 244.415238480564653, 8)
+    );
+}
+
+#[test]
+fn predictive_allocation_pins() {
+    assert_eq!(
+        run(AllocationPolicy::predictive(25), false, 0, 0.0),
+        (33.0, 648.0, 25)
+    );
+    assert_eq!(
+        run(AllocationPolicy::predictive(25), true, 7, 0.05),
+        (35.5519048100705817, 868.797620251764556, 25)
+    );
+}
+
+#[test]
+fn scratch_reuse_is_bit_identical_to_fresh_runs() {
+    let dag = reference_dag();
+    let mut scratch = SimScratch::new();
+    for policy in [
+        AllocationPolicy::static_allocation(12),
+        AllocationPolicy::dynamic(1, 48),
+        AllocationPolicy::predictive(20),
+    ] {
+        let simulator = Simulator::new(ClusterConfig::paper_default(), policy).unwrap();
+        for seed in [0u64, 3, 9] {
+            let cfg = RunConfig::default().with_seed(seed).with_task_log();
+            let fresh = simulator.run("q", &dag, &cfg);
+            let reused = simulator.run_with_scratch("q", &dag, &cfg, &mut scratch);
+            assert_eq!(fresh.elapsed_secs, reused.elapsed_secs);
+            assert_eq!(fresh.auc_executor_secs, reused.auc_executor_secs);
+            assert_eq!(fresh.max_executors, reused.max_executors);
+            assert_eq!(fresh.total_task_secs, reused.total_task_secs);
+            assert_eq!(fresh.skyline.points(), reused.skyline.points());
+            let (fresh_log, reused_log) = (fresh.task_log.unwrap(), reused.task_log.unwrap());
+            assert_eq!(fresh_log.records, reused_log.records);
+            assert_eq!(fresh_log.stages.len(), reused_log.stages.len());
+        }
+    }
+}
+
+#[test]
+fn task_log_capture_off_still_reports_totals() {
+    // Task-log bookkeeping is skipped entirely when capture is off; the
+    // aggregate outputs must not change because of it.
+    let dag = reference_dag();
+    let simulator = Simulator::new(
+        ClusterConfig::paper_default(),
+        AllocationPolicy::static_allocation(8),
+    )
+    .unwrap();
+    let with_log = simulator.run(
+        "q",
+        &dag,
+        &RunConfig::default().with_seed(4).with_task_log(),
+    );
+    let without_log = simulator.run("q", &dag, &RunConfig::default().with_seed(4));
+    assert!(without_log.task_log.is_none());
+    assert_eq!(with_log.elapsed_secs, without_log.elapsed_secs);
+    assert_eq!(with_log.auc_executor_secs, without_log.auc_executor_secs);
+    assert_eq!(with_log.total_task_secs, without_log.total_task_secs);
+}

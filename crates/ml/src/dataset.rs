@@ -40,7 +40,12 @@ impl Dataset {
 
     /// Adds one labelled row. Returns an error if the widths do not match the
     /// declared feature/target names.
-    pub fn push_row(&mut self, id: impl Into<String>, features: Vec<f64>, targets: Vec<f64>) -> Result<()> {
+    pub fn push_row(
+        &mut self,
+        id: impl Into<String>,
+        features: Vec<f64>,
+        targets: Vec<f64>,
+    ) -> Result<()> {
         if features.len() != self.feature_names.len() {
             return Err(MlError::ShapeMismatch {
                 detail: format!(
@@ -258,8 +263,12 @@ mod tests {
     fn toy_dataset(n: usize) -> Dataset {
         let mut d = Dataset::new(vec!["x".into(), "y".into()], vec!["t".into()]);
         for i in 0..n {
-            d.push_row(format!("row{i}"), vec![i as f64, (i * 2) as f64], vec![i as f64 * 0.5])
-                .unwrap();
+            d.push_row(
+                format!("row{i}"),
+                vec![i as f64, (i * 2) as f64],
+                vec![i as f64 * 0.5],
+            )
+            .unwrap();
         }
         d
     }

@@ -6,10 +6,12 @@
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::{derive_stream_seed, Rng, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
+use crate::json::Value;
 use crate::tree::{DecisionTreeConfig, DecisionTreeRegressor};
 use crate::{MlError, Result};
 
@@ -104,6 +106,11 @@ impl RandomForestRegressor {
     }
 
     /// Fits the forest on a [`Dataset`].
+    ///
+    /// Trees are trained in parallel (rayon) with one RNG per tree, seeded
+    /// by `derive_stream_seed(config.seed, tree_index)`. Because no random
+    /// state is shared across trees, the fitted forest is bit-identical for
+    /// any worker-thread count, including 1.
     pub fn fit(&mut self, data: &Dataset) -> Result<()> {
         if data.is_empty() {
             return Err(MlError::EmptyDataset);
@@ -123,31 +130,33 @@ impl RandomForestRegressor {
             .round()
             .clamp(1.0, d as f64) as usize;
 
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        self.trees.clear();
-        self.trees.reserve(self.config.n_estimators);
-        for _ in 0..self.config.n_estimators {
-            let sample: Vec<usize> = if self.config.bootstrap {
-                (0..n).map(|_| rng.gen_range(0..n)).collect()
-            } else {
-                (0..n).collect()
-            };
-            // Each split draws a fresh random subset of feature columns.
-            let mut tree_rng = StdRng::seed_from_u64(rng.gen());
-            let mut picker = move |num_features: usize| {
-                if max_features >= num_features {
-                    (0..num_features).collect::<Vec<_>>()
+        let config = self.config;
+        self.trees = (0..config.n_estimators)
+            .into_par_iter()
+            .map(|tree_idx| {
+                let mut rng =
+                    StdRng::seed_from_u64(derive_stream_seed(config.seed, tree_idx as u64));
+                let sample: Vec<usize> = if config.bootstrap {
+                    (0..n).map(|_| rng.gen_range(0..n)).collect()
                 } else {
-                    let mut cols: Vec<usize> = (0..num_features).collect();
-                    cols.shuffle(&mut tree_rng);
-                    cols.truncate(max_features);
-                    cols
-                }
-            };
-            let mut tree = DecisionTreeRegressor::new(self.config.tree);
-            tree.fit_with(rows, targets, &sample, &mut picker)?;
-            self.trees.push(tree);
-        }
+                    (0..n).collect()
+                };
+                // Each split draws a fresh random subset of feature columns.
+                let mut picker = move |num_features: usize| {
+                    if max_features >= num_features {
+                        (0..num_features).collect::<Vec<_>>()
+                    } else {
+                        let mut cols: Vec<usize> = (0..num_features).collect();
+                        cols.shuffle(&mut rng);
+                        cols.truncate(max_features);
+                        cols
+                    }
+                };
+                let mut tree = DecisionTreeRegressor::new(config.tree);
+                tree.fit_with(rows, targets, &sample, &mut picker)?;
+                Ok(tree)
+            })
+            .collect::<Result<Vec<_>>>()?;
         Ok(())
     }
 
@@ -159,7 +168,7 @@ impl RandomForestRegressor {
         let k = self.trees[0].num_outputs();
         let mut acc = vec![0.0; k];
         for tree in &self.trees {
-            let p = tree.predict(row)?;
+            let p = tree.predict_ref(row)?;
             for (a, v) in acc.iter_mut().zip(p) {
                 *a += v;
             }
@@ -171,15 +180,87 @@ impl RandomForestRegressor {
         Ok(acc)
     }
 
-    /// Predicts target vectors for many rows.
+    /// Predicts target vectors for many rows (output order matches input
+    /// order). Rows are scored in parallel **chunks** — a single row's tree
+    /// walk is microseconds, so per-row task dispatch would cost more than
+    /// the work; one contiguous chunk per worker keeps dispatch overhead
+    /// off the scoring path.
     pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
-        rows.iter().map(|r| self.predict(r)).collect()
+        let workers = rayon::current_num_threads().max(1);
+        if workers <= 1 || rows.len() < 2 * workers {
+            return rows.iter().map(|r| self.predict(r)).collect();
+        }
+        let chunk_size = rows.len().div_ceil(workers);
+        let chunks: Vec<&[Vec<f64>]> = rows.chunks(chunk_size).collect();
+        let nested: Vec<Vec<Vec<f64>>> = chunks
+            .into_par_iter()
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .map(|r| self.predict(r))
+                    .collect::<Result<Vec<_>>>()
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(nested.into_iter().flatten().collect())
     }
 
     /// Maximum depth across the fitted trees (0 before fitting).
     pub fn max_tree_depth(&self) -> usize {
         self.trees.iter().map(|t| t.depth()).max().unwrap_or(0)
     }
+
+    /// Encodes the forest for the portable-model JSON format.
+    pub(crate) fn to_json_value(&self) -> Value {
+        Value::object([
+            ("config", forest_config_to_json(&self.config)),
+            (
+                "trees",
+                Value::Array(self.trees.iter().map(|t| t.to_json_value()).collect()),
+            ),
+            ("feature_names", Value::strings(&self.feature_names)),
+            ("target_names", Value::strings(&self.target_names)),
+        ])
+    }
+
+    /// Decodes a forest from the portable-model JSON format.
+    pub(crate) fn from_json_value(value: &Value) -> Result<Self> {
+        let config = forest_config_from_json(value.field("config")?)?;
+        let trees = value
+            .field("trees")?
+            .as_array()?
+            .iter()
+            .map(DecisionTreeRegressor::from_json_value)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            config,
+            trees,
+            feature_names: value.field("feature_names")?.as_string_vec()?,
+            target_names: value.field("target_names")?.as_string_vec()?,
+        })
+    }
+}
+
+fn forest_config_to_json(config: &RandomForestConfig) -> Value {
+    Value::object([
+        ("n_estimators", Value::Number(config.n_estimators as f64)),
+        ("tree", config.tree.to_json_value()),
+        (
+            "max_features_fraction",
+            Value::Number(config.max_features_fraction),
+        ),
+        ("bootstrap", Value::Bool(config.bootstrap)),
+        ("seed", Value::Number(config.seed as f64)),
+    ])
+}
+
+fn forest_config_from_json(value: &Value) -> Result<RandomForestConfig> {
+    Ok(RandomForestConfig {
+        n_estimators: value.field("n_estimators")?.as_usize()?,
+        tree: crate::tree::DecisionTreeConfig::from_json_value(value.field("tree")?)?,
+        max_features_fraction: value.field("max_features_fraction")?.as_f64()?,
+        bootstrap: value.field("bootstrap")?.as_bool()?,
+        seed: value.field("seed")?.as_u64()?,
+    })
 }
 
 #[cfg(test)]
@@ -197,7 +278,8 @@ mod tests {
             let x1 = (i % 5) as f64;
             let y0 = 3.0 * x0 + 0.5 * x1;
             let y1 = if x1 > 2.0 { 50.0 } else { 10.0 };
-            d.push_row(format!("q{i}"), vec![x0, x1], vec![y0, y1]).unwrap();
+            d.push_row(format!("q{i}"), vec![x0, x1], vec![y0, y1])
+                .unwrap();
         }
         d
     }
@@ -220,7 +302,11 @@ mod tests {
         let p = rf.predict(&[8.0, 4.0]).unwrap();
         // y0 = 26, y1 = 50 for this input.
         assert!((p[0] - 26.0).abs() < 6.0, "y0 prediction too far: {}", p[0]);
-        assert!((p[1] - 50.0).abs() < 10.0, "y1 prediction too far: {}", p[1]);
+        assert!(
+            (p[1] - 50.0).abs() < 10.0,
+            "y1 prediction too far: {}",
+            p[1]
+        );
     }
 
     #[test]
@@ -243,7 +329,10 @@ mod tests {
         b.fit(&data).unwrap();
         // Not a strict requirement per-row, but the node structure should differ.
         assert_ne!(a.total_nodes(), 0);
-        assert!(a.total_nodes() != b.total_nodes() || a.predict(&[3.0, 3.0]).unwrap() != b.predict(&[3.0, 3.0]).unwrap());
+        assert!(
+            a.total_nodes() != b.total_nodes()
+                || a.predict(&[3.0, 3.0]).unwrap() != b.predict(&[3.0, 3.0]).unwrap()
+        );
     }
 
     #[test]

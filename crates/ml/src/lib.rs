@@ -25,6 +25,7 @@
 pub mod dataset;
 pub mod forest;
 pub mod importance;
+pub mod json;
 pub mod linreg;
 pub mod metrics;
 pub mod portable;

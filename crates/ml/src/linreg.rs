@@ -52,7 +52,11 @@ impl SimpleLinearFit {
             sxx += (x - mean_x) * (x - mean_x);
             sxy += (x - mean_x) * (y - mean_y);
         }
-        let slope = if sxx.abs() < f64::EPSILON { 0.0 } else { sxy / sxx };
+        let slope = if sxx.abs() < f64::EPSILON {
+            0.0
+        } else {
+            sxy / sxx
+        };
         let intercept = mean_y - slope * mean_x;
         if !slope.is_finite() || !intercept.is_finite() {
             return Err(MlError::Numerical("non-finite linear fit".into()));

@@ -45,7 +45,11 @@ pub fn total_absolute_error_ratio(predicted: &[f64], actual: &[f64]) -> f64 {
         actual.len(),
         "length mismatch in total_absolute_error_ratio"
     );
-    let num: f64 = predicted.iter().zip(actual).map(|(p, a)| (p - a).abs()).sum();
+    let num: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs())
+        .sum();
     let den: f64 = actual.iter().sum();
     if den.abs() < f64::EPSILON {
         0.0

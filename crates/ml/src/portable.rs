@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use crate::forest::RandomForestRegressor;
+use crate::json::Value;
 use crate::{MlError, Result};
 
 /// Current on-disk format version.
@@ -58,20 +59,34 @@ impl PortableModel {
 
     /// Serialises the model to a JSON byte buffer.
     pub fn to_bytes(&self) -> Result<Vec<u8>> {
-        serde_json::to_vec(self).map_err(|e| MlError::Serialization(e.to_string()))
+        let value = Value::object([
+            ("version", Value::Number(self.version as f64)),
+            ("name", Value::String(self.name.clone())),
+            ("feature_names", Value::strings(&self.feature_names)),
+            ("target_names", Value::strings(&self.target_names)),
+            ("forest", self.forest.to_json_value()),
+        ]);
+        Ok(value.to_json().into_bytes())
     }
 
     /// Deserialises a model from bytes, checking the format version.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
-        let model: PortableModel =
-            serde_json::from_slice(bytes).map_err(|e| MlError::Serialization(e.to_string()))?;
-        if model.version != PORTABLE_FORMAT_VERSION {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|e| MlError::Serialization(format!("invalid UTF-8: {e}")))?;
+        let value = Value::parse(text)?;
+        let version = value.field("version")?.as_usize()? as u32;
+        if version != PORTABLE_FORMAT_VERSION {
             return Err(MlError::Serialization(format!(
-                "unsupported portable-model version {} (expected {})",
-                model.version, PORTABLE_FORMAT_VERSION
+                "unsupported portable-model version {version} (expected {PORTABLE_FORMAT_VERSION})"
             )));
         }
-        Ok(model)
+        Ok(Self {
+            version,
+            name: value.field("name")?.as_str()?.to_string(),
+            feature_names: value.field("feature_names")?.as_string_vec()?,
+            target_names: value.field("target_names")?.as_string_vec()?,
+            forest: RandomForestRegressor::from_json_value(value.field("forest")?)?,
+        })
     }
 
     /// Writes the model to a file (conventionally `*.aex`).
@@ -239,7 +254,10 @@ mod tests {
         let restored = PortableModel::from_bytes(&bytes).unwrap();
         assert_eq!(restored.predict(&[17.0]).unwrap(), direct);
         assert_eq!(restored.feature_names, vec!["x".to_string()]);
-        assert_eq!(restored.target_names, vec!["y".to_string(), "z".to_string()]);
+        assert_eq!(
+            restored.target_names,
+            vec!["y".to_string(), "z".to_string()]
+        );
     }
 
     #[test]
@@ -255,11 +273,10 @@ mod tests {
     fn version_mismatch_is_rejected() {
         let rf = fitted_forest();
         let portable = PortableModel::from_forest("test", rf).unwrap();
-        let mut json: serde_json::Value =
-            serde_json::from_slice(&portable.to_bytes().unwrap()).unwrap();
-        json["version"] = serde_json::json!(999);
-        let bytes = serde_json::to_vec(&json).unwrap();
-        assert!(PortableModel::from_bytes(&bytes).is_err());
+        let text = String::from_utf8(portable.to_bytes().unwrap()).unwrap();
+        assert!(text.contains("\"version\":1"));
+        let tampered = text.replace("\"version\":1", "\"version\":999");
+        assert!(PortableModel::from_bytes(tampered.as_bytes()).is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::json::Value;
 use crate::{MlError, Result};
 
 /// Hyper-parameters for a regression tree.
@@ -163,7 +164,7 @@ impl DecisionTreeRegressor {
             samples: indices.len(),
         });
 
-        let depth_ok = self.config.max_depth.map_or(true, |d| depth < d);
+        let depth_ok = self.config.max_depth.is_none_or(|d| depth < d);
         if !depth_ok || indices.len() < self.config.min_samples_split {
             return node_idx;
         }
@@ -211,36 +212,45 @@ impl DecisionTreeRegressor {
         let parent_sse = sse(targets, indices, &parent_value);
         let mut best: Option<BestSplit> = None;
 
+        // Buffers reused across candidate features (the split search is the
+        // hot loop of forest training; per-feature allocations dominate the
+        // profile otherwise).
+        let n = indices.len();
+        let k = self.num_outputs;
+        let mut keyed: Vec<(f64, usize)> = Vec::with_capacity(n);
+        let mut prefix_sum = vec![0.0f64; k];
+        let mut prefix_sumsq = vec![0.0f64; k];
+        let mut total_sum = vec![0.0f64; k];
+        let mut total_sumsq = vec![0.0f64; k];
+
         for &feature in candidate_features {
-            // Sort sample indices by this feature's value and scan split points.
-            let mut order: Vec<usize> = indices.to_vec();
-            order.sort_by(|&a, &b| {
-                rows[a][feature]
-                    .partial_cmp(&rows[b][feature])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            // Sort sample indices by this feature's value and scan split
+            // points. Keys are materialised once so the (stable) sort does
+            // not chase two levels of indirection per comparison; stability
+            // preserves the historical tie order of `indices`.
+            keyed.clear();
+            keyed.extend(indices.iter().map(|&i| (rows[i][feature], i)));
+            keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let order = &keyed;
             // Prefix sums over outputs allow O(1) SSE-decomposition per split.
-            let n = order.len();
-            let k = self.num_outputs;
-            let mut prefix_sum = vec![0.0f64; k];
-            let mut prefix_sumsq = vec![0.0f64; k];
-            let mut total_sum = vec![0.0f64; k];
-            let mut total_sumsq = vec![0.0f64; k];
-            for &i in &order {
+            prefix_sum.fill(0.0);
+            prefix_sumsq.fill(0.0);
+            total_sum.fill(0.0);
+            total_sumsq.fill(0.0);
+            for &(_, i) in order {
                 for o in 0..k {
                     total_sum[o] += targets[i][o];
                     total_sumsq[o] += targets[i][o] * targets[i][o];
                 }
             }
-            for (pos, &i) in order.iter().enumerate().take(n - 1) {
+            for (pos, &(this_v, i)) in order.iter().enumerate().take(n - 1) {
                 for o in 0..k {
                     prefix_sum[o] += targets[i][o];
                     prefix_sumsq[o] += targets[i][o] * targets[i][o];
                 }
                 let left_n = (pos + 1) as f64;
                 let right_n = (n - pos - 1) as f64;
-                let this_v = rows[i][feature];
-                let next_v = rows[order[pos + 1]][feature];
+                let next_v = order[pos + 1].0;
                 if (next_v - this_v).abs() < 1e-15 {
                     continue; // cannot split between equal values
                 }
@@ -255,7 +265,7 @@ impl DecisionTreeRegressor {
                 }
                 let gain = parent_sse - child_sse;
                 let threshold = 0.5 * (this_v + next_v);
-                if best.as_ref().map_or(true, |b| gain > b.gain) {
+                if best.as_ref().is_none_or(|b| gain > b.gain) {
                     best = Some(BestSplit {
                         feature,
                         threshold,
@@ -269,6 +279,14 @@ impl DecisionTreeRegressor {
 
     /// Predicts the target vector for one feature row.
     pub fn predict(&self, row: &[f64]) -> Result<Vec<f64>> {
+        self.predict_ref(row).map(<[f64]>::to_vec)
+    }
+
+    /// Borrow-returning prediction: walks to the leaf and hands back its
+    /// value slice without allocating. The forest's scoring path averages
+    /// over many trees per call, so avoiding one `Vec` clone per tree
+    /// matters for in-optimizer latency.
+    pub fn predict_ref(&self, row: &[f64]) -> Result<&[f64]> {
         if self.nodes.is_empty() {
             return Err(MlError::NotFitted);
         }
@@ -284,14 +302,18 @@ impl DecisionTreeRegressor {
         let mut idx = 0usize;
         loop {
             match &self.nodes[idx] {
-                Node::Leaf { value, .. } => return Ok(value.clone()),
+                Node::Leaf { value, .. } => return Ok(value),
                 Node::Split {
                     feature,
                     threshold,
                     left,
                     right,
                 } => {
-                    idx = if row[*feature] <= *threshold { *left } else { *right };
+                    idx = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -305,6 +327,110 @@ impl DecisionTreeRegressor {
     /// Number of input features the tree was fitted on.
     pub fn num_features(&self) -> usize {
         self.num_features
+    }
+
+    /// Encodes the fitted tree for the portable-model JSON format.
+    pub(crate) fn to_json_value(&self) -> Value {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|node| match node {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => Value::object([
+                    ("feature", Value::Number(*feature as f64)),
+                    ("threshold", Value::Number(*threshold)),
+                    ("left", Value::Number(*left as f64)),
+                    ("right", Value::Number(*right as f64)),
+                ]),
+                Node::Leaf { value, samples } => Value::object([
+                    ("value", Value::numbers(value)),
+                    ("samples", Value::Number(*samples as f64)),
+                ]),
+            })
+            .collect();
+        Value::object([
+            ("config", self.config.to_json_value()),
+            ("nodes", Value::Array(nodes)),
+            ("num_features", Value::Number(self.num_features as f64)),
+            ("num_outputs", Value::Number(self.num_outputs as f64)),
+        ])
+    }
+
+    /// Decodes a tree from the portable-model JSON format.
+    pub(crate) fn from_json_value(value: &Value) -> Result<Self> {
+        let config = DecisionTreeConfig::from_json_value(value.field("config")?)?;
+        let nodes = value
+            .field("nodes")?
+            .as_array()?
+            .iter()
+            .map(|node| {
+                if let Ok(value_field) = node.field("value") {
+                    Ok(Node::Leaf {
+                        value: value_field.as_f64_vec()?,
+                        samples: node.field("samples")?.as_usize()?,
+                    })
+                } else {
+                    Ok(Node::Split {
+                        feature: node.field("feature")?.as_usize()?,
+                        threshold: node.field("threshold")?.as_f64()?,
+                        left: node.field("left")?.as_usize()?,
+                        right: node.field("right")?.as_usize()?,
+                    })
+                }
+            })
+            .collect::<Result<Vec<Node>>>()?;
+        Ok(Self {
+            config,
+            nodes,
+            num_features: value.field("num_features")?.as_usize()?,
+            num_outputs: value.field("num_outputs")?.as_usize()?,
+        })
+    }
+}
+
+impl DecisionTreeConfig {
+    /// Encodes the configuration for the portable-model JSON format.
+    pub(crate) fn to_json_value(self) -> Value {
+        Value::object([
+            (
+                "max_depth",
+                self.max_depth
+                    .map_or(Value::Null, |d| Value::Number(d as f64)),
+            ),
+            (
+                "min_samples_split",
+                Value::Number(self.min_samples_split as f64),
+            ),
+            (
+                "min_samples_leaf",
+                Value::Number(self.min_samples_leaf as f64),
+            ),
+            (
+                "max_features",
+                self.max_features
+                    .map_or(Value::Null, |d| Value::Number(d as f64)),
+            ),
+        ])
+    }
+
+    /// Decodes the configuration from the portable-model JSON format.
+    pub(crate) fn from_json_value(value: &Value) -> Result<Self> {
+        let optional = |field: &Value| -> Result<Option<usize>> {
+            match field {
+                Value::Null => Ok(None),
+                other => Ok(Some(other.as_usize()?)),
+            }
+        };
+        Ok(DecisionTreeConfig {
+            max_depth: optional(value.field("max_depth")?)?,
+            min_samples_split: value.field("min_samples_split")?.as_usize()?,
+            min_samples_leaf: value.field("min_samples_leaf")?.as_usize()?,
+            max_features: optional(value.field("max_features")?)?,
+        })
     }
 }
 

@@ -86,7 +86,7 @@ pub fn factorize_total_cores(
         .max(lo);
     let mut best: Option<Factorization> = None;
     for ec in lo..=hi {
-        if k % ec != 0 {
+        if !k.is_multiple_of(ec) {
             continue;
         }
         let per_node = constraints.node_cores / ec;
@@ -155,7 +155,8 @@ mod tests {
     #[test]
     fn interpolation_matches_reference_at_equal_cores() {
         // Reference curve over total cores (measured with ec = 4).
-        let reference = PerfCurve::from_samples(&[(4, 400.0), (16, 150.0), (64, 70.0), (192, 50.0)]);
+        let reference =
+            PerfCurve::from_samples(&[(4, 400.0), (16, 150.0), (64, 70.0), (192, 50.0)]);
         // A 2-core × 8-executor config has 16 total cores → same estimate as ec=4, n=4.
         let estimate = interpolate_by_cores(&reference, 8, 2);
         assert!((estimate - 150.0).abs() < 1e-9);

@@ -139,7 +139,10 @@ impl Ppm {
 
     /// Evaluates the model at each integer resource count in `counts`.
     pub fn predict_curve(&self, counts: &[usize]) -> Vec<(usize, f64)> {
-        counts.iter().map(|&n| (n, self.predict(n as f64))).collect()
+        counts
+            .iter()
+            .map(|&n| (n, self.predict(n as f64)))
+            .collect()
     }
 
     /// The parameter vector, ordered as in [`PpmKind::parameter_names`].

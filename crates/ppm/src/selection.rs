@@ -34,8 +34,23 @@ impl SelectionObjective {
     }
 }
 
-/// Sorts a copy of the curve by `n` and drops non-finite times.
-fn normalised(curve: &[(usize, f64)]) -> Vec<(usize, f64)> {
+use std::borrow::Cow;
+
+/// True when the curve is already strictly increasing in `n` with finite
+/// times — the shape every `predict_curve` / interpolation path produces.
+fn is_clean(curve: &[(usize, f64)]) -> bool {
+    curve.iter().all(|&(_, t)| t.is_finite()) && curve.windows(2).all(|w| w[0].0 < w[1].0)
+}
+
+/// Returns the curve sorted by `n`, deduplicated, with non-finite times
+/// dropped. Selection objectives run inside the optimizer rule on every
+/// query, so the common already-clean case **borrows** the input instead of
+/// allocating and re-sorting a copy per call; only genuinely unsorted or
+/// dirty curves pay for a normalising copy.
+fn normalised(curve: &[(usize, f64)]) -> Cow<'_, [(usize, f64)]> {
+    if is_clean(curve) {
+        return Cow::Borrowed(curve);
+    }
     let mut pts: Vec<(usize, f64)> = curve
         .iter()
         .copied()
@@ -43,11 +58,14 @@ fn normalised(curve: &[(usize, f64)]) -> Vec<(usize, f64)> {
         .collect();
     pts.sort_by_key(|&(n, _)| n);
     pts.dedup_by_key(|&mut (n, _)| n);
-    pts
+    Cow::Owned(pts)
 }
 
-/// Smallest `n` whose time equals the minimum time over the curve
-/// (up to a 1e-9 relative tolerance). Equivalent to `slowdown_config(curve, 1.0)`.
+/// Smallest `n` whose time is within the `slowdown_config` tolerance of the
+/// minimum time over the curve. This delegates to `slowdown_config(curve,
+/// 1.0)`, whose threshold is `t_min · (1 + 1e-9)`: the 1e-9 slack is a
+/// *relative* tolerance absorbing floating-point wobble in curves that
+/// saturate to a constant floor, not an absolute one.
 pub fn min_time_config(curve: &[(usize, f64)]) -> Option<usize> {
     slowdown_config(curve, 1.0)
 }
@@ -83,7 +101,10 @@ pub fn elbow_point(curve: &[(usize, f64)]) -> Option<usize> {
     let n_min = pts[0].0 as f64;
     let n_max = pts[pts.len() - 1].0 as f64;
     let t_min = pts.iter().map(|&(_, t)| t).fold(f64::INFINITY, f64::min);
-    let t_max = pts.iter().map(|&(_, t)| t).fold(f64::NEG_INFINITY, f64::max);
+    let t_max = pts
+        .iter()
+        .map(|&(_, t)| t)
+        .fold(f64::NEG_INFINITY, f64::max);
     if (n_max - n_min).abs() < 1e-12 || (t_max - t_min).abs() < 1e-12 {
         // Flat curve (or single n): any extra executor is wasted.
         return Some(pts[0].0);
@@ -125,7 +146,7 @@ pub fn elbow_point(curve: &[(usize, f64)]) -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{AmdahlPpm, Ppm, PowerLawPpm};
+    use crate::model::{AmdahlPpm, PowerLawPpm, Ppm};
 
     fn amdahl_curve() -> Vec<(usize, f64)> {
         let model = Ppm::Amdahl(AmdahlPpm::new(30.0, 470.0));
@@ -195,7 +216,10 @@ mod tests {
             SelectionObjective::BoundedSlowdown(1.2).select(&curve),
             slowdown_config(&curve, 1.2)
         );
-        assert_eq!(SelectionObjective::Elbow.select(&curve), elbow_point(&curve));
+        assert_eq!(
+            SelectionObjective::Elbow.select(&curve),
+            elbow_point(&curve)
+        );
     }
 
     #[test]
@@ -208,10 +232,7 @@ mod tests {
     #[test]
     fn h_below_one_is_clamped() {
         let curve = amdahl_curve();
-        assert_eq!(
-            slowdown_config(&curve, 0.5),
-            slowdown_config(&curve, 1.0)
-        );
+        assert_eq!(slowdown_config(&curve, 0.5), slowdown_config(&curve, 1.0));
     }
 
     #[test]

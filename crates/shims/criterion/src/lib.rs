@@ -1,0 +1,328 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`/`iter_batched`,
+//! `criterion_group!`, `criterion_main!`) backed by a simple wall-clock
+//! harness: a warm-up phase sizes the batch, then `sample_size` batches are
+//! timed and the per-iteration mean / min / max are reported.
+//!
+//! Supported command-line flags (others are ignored for drop-in
+//! compatibility with `cargo bench` invocations):
+//!
+//! * `--quick` — shrink sample count and measurement time (CI smoke runs),
+//! * `<filter>` — positional substring filter on benchmark names.
+//!
+//! When `AE_BENCH_JSON` is set, one JSON line per benchmark
+//! (`{"name": ..., "mean_ns": ..., "min_ns": ..., "max_ns": ...}`) is
+//! appended to that file, which is how `BENCH_baseline.json` is produced.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost; the shim treats all variants
+/// identically (one setup per measured iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Timing statistics of one benchmark.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iterations: u64,
+}
+
+/// The measurement driver passed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a MeasureConfig,
+    sample: Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MeasureConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine` called repeatedly.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up: determine how many iterations fit the warm-up budget.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.config.measurement_time.as_secs_f64();
+        let samples = self.config.sample_size.max(2) as u64;
+        let iters_per_sample =
+            ((budget / samples as f64 / per_iter.max(1e-9)).ceil() as u64).clamp(1, 1_000_000);
+
+        let mut total_ns = 0.0f64;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = 0.0f64;
+        let mut iterations = 0u64;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            total_ns += ns * iters_per_sample as f64;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+            iterations += iters_per_sample;
+        }
+        self.sample = Some(Sample {
+            mean_ns: total_ns / iterations as f64,
+            min_ns,
+            max_ns,
+            iterations,
+        });
+    }
+
+    /// Measures `routine` with a fresh `setup()` input per call; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        // Warm-up (one run also seeds the timing estimate).
+        let input = setup();
+        let warm_start = Instant::now();
+        black_box(routine(input));
+        let per_iter = warm_start.elapsed().as_secs_f64();
+
+        let budget = self.config.measurement_time.as_secs_f64();
+        let samples = self.config.sample_size.max(2) as u64;
+        let per_sample_budget = budget / samples as f64;
+        let iters_per_sample =
+            ((per_sample_budget / per_iter.max(1e-9)).ceil() as u64).clamp(1, 100_000);
+
+        let mut total_ns = 0.0f64;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = 0.0f64;
+        let mut iterations = 0u64;
+        for _ in 0..samples {
+            let mut sample_ns = 0.0f64;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                sample_ns += start.elapsed().as_nanos() as f64;
+            }
+            let ns = sample_ns / iters_per_sample as f64;
+            total_ns += sample_ns;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+            iterations += iters_per_sample;
+        }
+        self.sample = Some(Sample {
+            mean_ns: total_ns / iterations as f64,
+            min_ns,
+            max_ns,
+            iterations,
+        });
+    }
+}
+
+/// The benchmark registry and runner.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let quick = args.iter().any(|a| a == "--quick");
+        // A positional arg is a name filter — but not when it is the value
+        // of a preceding (ignored) `--flag value` pair, so invocations like
+        // `--save-baseline main` don't silently filter out every bench.
+        let mut filter = None;
+        let mut prev_was_value_flag = false;
+        for arg in &args {
+            if arg.starts_with('-') {
+                prev_was_value_flag = arg.starts_with("--") && arg != "--quick";
+                continue;
+            }
+            if !prev_was_value_flag && arg != "bench" {
+                filter = Some(arg.clone());
+                break;
+            }
+            prev_was_value_flag = false;
+        }
+        let (sample_size, measurement, warmup) = if quick {
+            (10, Duration::from_millis(200), Duration::from_millis(50))
+        } else {
+            (30, Duration::from_millis(1500), Duration::from_millis(300))
+        };
+        Self {
+            filter,
+            sample_size,
+            measurement_time: measurement,
+            warm_up_time: warmup,
+        }
+    }
+}
+
+impl Criterion {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Overrides the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher<'_>)) -> &mut Self {
+        let config = MeasureConfig {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        };
+        run_one(name, &self.filter, config, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and optional overrides.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark within the group (name is `group/label`).
+    pub fn bench_function(&mut self, label: &str, f: impl FnMut(&mut Bencher<'_>)) -> &mut Self {
+        let config = MeasureConfig {
+            sample_size: self.sample_size.unwrap_or(self.parent.sample_size),
+            measurement_time: self.parent.measurement_time,
+            warm_up_time: self.parent.warm_up_time,
+        };
+        let full = format!("{}/{}", self.name, label);
+        run_one(&full, &self.parent.filter, config, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    name: &str,
+    filter: &Option<String>,
+    config: MeasureConfig,
+    mut f: impl FnMut(&mut Bencher<'_>),
+) {
+    if let Some(filter) = filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        config: &config,
+        sample: None,
+    };
+    f(&mut bencher);
+    if let Some(sample) = bencher.sample {
+        println!(
+            "bench: {name:<55} mean {:>12}  (min {}, max {}, {} iters)",
+            format_ns(sample.mean_ns),
+            format_ns(sample.min_ns),
+            format_ns(sample.max_ns),
+            sample.iterations
+        );
+        if let Ok(path) = std::env::var("AE_BENCH_JSON") {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(
+                    file,
+                    "{{\"name\": \"{name}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}}}",
+                    sample.mean_ns, sample.min_ns, sample.max_ns
+                );
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

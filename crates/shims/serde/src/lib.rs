@@ -1,0 +1,11 @@
+//! Offline facade for `serde`.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derive markers so that
+//! `use serde::{Deserialize, Serialize};` plus `#[derive(...)]` annotations
+//! compile unchanged without the real crate. Concrete serialization in this
+//! workspace goes through `ae_ml::json` instead.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` as a structural
+//! marker; actual serialization happens through the hand-rolled JSON codec
+//! in `ae-ml` (see `ae_ml::json`). These derives therefore expand to
+//! nothing, which keeps the annotations compiling without the real `serde`
+//! (unavailable offline).
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; marks a type as conceptually serializable.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; marks a type as conceptually deserializable.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -83,7 +83,11 @@ impl SparklensReport {
     pub fn critical_path_secs(&self) -> f64 {
         let mut completion = vec![0.0f64; self.stages.len()];
         for (idx, stage) in self.stages.iter().enumerate() {
-            let ready = stage.parents.iter().map(|&p| completion[p]).fold(0.0, f64::max);
+            let ready = stage
+                .parents
+                .iter()
+                .map(|&p| completion[p])
+                .fold(0.0, f64::max);
             completion[idx] = ready + stage.critical_task_secs;
         }
         completion.into_iter().fold(0.0, f64::max)
@@ -148,7 +152,11 @@ impl SparklensAnalyzer {
         let slots = (executors * self.config.cores_per_executor.max(1)) as f64;
         let mut completion = vec![0.0f64; report.stages.len()];
         for (idx, stage) in report.stages.iter().enumerate() {
-            let ready = stage.parents.iter().map(|&p| completion[p]).fold(0.0, f64::max);
+            let ready = stage
+                .parents
+                .iter()
+                .map(|&p| completion[p])
+                .fold(0.0, f64::max);
             let spread = stage.total_work_secs / slots;
             let waves = (stage.num_tasks as f64 / slots).ceil().max(1.0);
             let stage_time =
@@ -296,7 +304,9 @@ mod tests {
         let analyzer = SparklensAnalyzer::paper_default();
         let report = analyzer.analyze(&toy_log());
         let candidates: Vec<usize> = (1..=48).collect();
-        let rec = analyzer.recommend_executors(&report, &candidates, 1.05).unwrap();
+        let rec = analyzer
+            .recommend_executors(&report, &candidates, 1.05)
+            .unwrap();
         // Stage 0 needs 64 slots = 16 executors for one wave, but the 10 s
         // serial tail dominates, so far fewer executors stay within 5%.
         assert!(rec < 16, "recommended {rec}");

@@ -15,9 +15,13 @@ fn run_once(name: &str, n: usize, sf: ScaleFactor) -> ae_engine::TaskLog {
         AllocationPolicy::static_allocation(n),
     )
     .unwrap();
-    sim.run(name, &query.dag, &RunConfig::deterministic().with_task_log())
-        .task_log
-        .unwrap()
+    sim.run(
+        name,
+        &query.dag,
+        &RunConfig::deterministic().with_task_log(),
+    )
+    .task_log
+    .unwrap()
 }
 
 #[test]

@@ -119,8 +119,13 @@ fn build_plan(template: &QueryTemplate, sf: ScaleFactor) -> QueryPlan {
     let mut joins_used = 0usize;
     for other in sources {
         let rows = (current.estimated_rows + other.estimated_rows) * 0.3;
-        let exchange_l = PlanNode::internal(OperatorKind::Exchange, current.estimated_rows, vec![current]);
-        let exchange_r = PlanNode::internal(OperatorKind::Exchange, other.estimated_rows, vec![other]);
+        let exchange_l = PlanNode::internal(
+            OperatorKind::Exchange,
+            current.estimated_rows,
+            vec![current],
+        );
+        let exchange_r =
+            PlanNode::internal(OperatorKind::Exchange, other.estimated_rows, vec![other]);
         current = PlanNode::internal(OperatorKind::Join, rows, vec![exchange_l, exchange_r]);
         joins_used += 1;
     }
@@ -128,7 +133,11 @@ fn build_plan(template: &QueryTemplate, sf: ScaleFactor) -> QueryPlan {
     // subqueries in real TPC-DS); keep them as Join over an Exchange.
     while joins_used < template.num_joins {
         let rows = current.estimated_rows * 0.6;
-        let exchange = PlanNode::internal(OperatorKind::Exchange, current.estimated_rows, vec![current]);
+        let exchange = PlanNode::internal(
+            OperatorKind::Exchange,
+            current.estimated_rows,
+            vec![current],
+        );
         current = PlanNode::internal(OperatorKind::Join, rows, vec![exchange]);
         joins_used += 1;
     }
@@ -154,7 +163,11 @@ fn build_plan(template: &QueryTemplate, sf: ScaleFactor) -> QueryPlan {
     }
     for i in 0..template.num_aggregates {
         let rows = (current.estimated_rows * 0.05).max(100.0);
-        let exchange = PlanNode::internal(OperatorKind::Exchange, current.estimated_rows, vec![current]);
+        let exchange = PlanNode::internal(
+            OperatorKind::Exchange,
+            current.estimated_rows,
+            vec![current],
+        );
         current = PlanNode::internal(OperatorKind::Aggregate, rows, vec![exchange]);
         if i == 0 && template.num_unions > 0 {
             // Unions appear as siblings of an aggregate branch in many
@@ -283,7 +296,10 @@ mod tests {
             stats.count_of(OperatorKind::Join),
             q.template.num_joins.max(q.template.num_inputs - 1)
         );
-        assert_eq!(stats.count_of(OperatorKind::Aggregate), q.template.num_aggregates);
+        assert_eq!(
+            stats.count_of(OperatorKind::Aggregate),
+            q.template.num_aggregates
+        );
         assert!(stats.max_depth >= 3);
         assert!(stats.total_input_bytes > 0.0);
         assert!(stats.total_rows_processed > 0.0);
@@ -313,7 +329,10 @@ mod tests {
             let expected = q.template.total_work_secs(ScaleFactor::SF100);
             let actual = q.dag.total_work_secs();
             let rel = (actual - expected).abs() / expected;
-            assert!(rel < 0.15, "{name}: dag work {actual} vs template {expected}");
+            assert!(
+                rel < 0.15,
+                "{name}: dag work {actual} vs template {expected}"
+            );
         }
     }
 
@@ -331,7 +350,10 @@ mod tests {
         let total: f64 = tasks.iter().map(|t| t.work_secs).sum();
         assert!((total - 100.0).abs() < 1e-9);
         let max = tasks.iter().map(|t| t.work_secs).fold(0.0, f64::max);
-        let min = tasks.iter().map(|t| t.work_secs).fold(f64::INFINITY, f64::min);
+        let min = tasks
+            .iter()
+            .map(|t| t.work_secs)
+            .fold(f64::INFINITY, f64::min);
         assert!((max / min - 2.0).abs() < 1e-9);
     }
 

@@ -177,7 +177,7 @@ impl ProductionWorkload {
                     let width = if rng.gen_bool(0.6) {
                         2
                     } else {
-                        [4u64, 8, 16, 32, 64][rng.gen_range(0..5)]
+                        [4u64, 8, 16, 32, 64][rng.gen_range(0..5usize)]
                     };
                     Some(DynamicAllocationSetting {
                         min_executors: min,
@@ -230,7 +230,10 @@ impl ProductionWorkload {
 
     /// Values for the Figure 2a CDF: queries per application.
     pub fn queries_per_application(&self) -> Vec<f64> {
-        self.applications.iter().map(|a| a.queries.len() as f64).collect()
+        self.applications
+            .iter()
+            .map(|a| a.queries.len() as f64)
+            .collect()
     }
 
     /// Values for the Figure 2b CDFs: per-application CoV (%) of rows

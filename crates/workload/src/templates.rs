@@ -136,8 +136,10 @@ pub fn template_for(name: &str) -> QueryTemplate {
         input_gb_per_sf.push(gb);
     }
 
-    let num_joins = rng.gen_range(0..=10usize).min(num_inputs.saturating_sub(1) + 4);
-    let num_aggregates = rng.gen_range(1..=6);
+    let num_joins = rng
+        .gen_range(0..=10usize)
+        .min(num_inputs.saturating_sub(1) + 4);
+    let num_aggregates = rng.gen_range(1..=6usize);
     let num_shuffle_stages = (num_joins + num_aggregates).clamp(1, 8);
     let num_filters = rng.gen_range(2..=14);
     let num_projects = rng.gen_range(3..=18);

@@ -43,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let h_values = [1.0, 1.05, 1.1, 1.2, 1.5, 2.0];
     let impacts = selection_impacts(&predictions, &actuals, &h_values, (1, 48));
 
-    println!("slowdown budget sweep over {} queries ({}):", queries.len(), ScaleFactor::SF100);
+    println!(
+        "slowdown budget sweep over {} queries ({}):",
+        queries.len(),
+        ScaleFactor::SF100
+    );
     println!(
         "{:>8} {:>20} {:>22}",
         "H", "mean executors", "mean actual slowdown"

@@ -10,15 +10,17 @@
 
 use std::sync::Arc;
 
+use ae_engine::session::{ApplicationSession, QuerySubmission};
 use autoexecutor::prelude::*;
 use autoexecutor::{AutoExecutorRule, ModelRegistry, Optimizer};
-use ae_engine::session::{ApplicationSession, QuerySubmission};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let generator = WorkloadGenerator::new(ScaleFactor::SF100);
 
     // Train on a broad slice of the suite so the notebook queries are unseen.
-    let training_queries: Vec<_> = (1..=40).map(|i| generator.instance(&format!("q{i}"))).collect();
+    let training_queries: Vec<_> = (1..=40)
+        .map(|i| generator.instance(&format!("q{i}")))
+        .collect();
     let config = AutoExecutorConfig::default();
     let (_, model) = train_from_workload(&training_queries, &config)?;
 
@@ -37,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let query = generator.instance(name);
         let outcome = optimizer.optimize(query.plan.clone())?;
         let predicted = outcome.resource_request.map(|r| r.executors);
-        println!("{:<8} {:>18}", name, predicted.map(|n| n.to_string()).unwrap_or_default());
+        println!(
+            "{:<8} {:>18}",
+            name,
+            predicted.map(|n| n.to_string()).unwrap_or_default()
+        );
         submissions.push(QuerySubmission {
             name: name.to_string(),
             dag: query.dag,
@@ -75,7 +81,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // each query and draining during gaps (the shape of Figure 7).
     println!("\nexecutor skyline (one sample per 30 s):");
     for (t, n) in result.skyline.sample(30.0) {
-        println!("  t={:>6.0}s  executors={:<3} {}", t, n, "#".repeat(n.min(60)));
+        println!(
+            "  t={:>6.0}s  executors={:<3} {}",
+            t,
+            n,
+            "#".repeat(n.min(60))
+        );
     }
     Ok(())
 }

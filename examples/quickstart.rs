@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|name| generator.instance(name))
         .collect();
-    println!("training on {} queries at {}", training_queries.len(), ScaleFactor::SF10);
+    println!(
+        "training on {} queries at {}",
+        training_queries.len(),
+        ScaleFactor::SF10
+    );
 
     // 2. Train the parameter model: each query is run once at n=16, the
     //    run-time curve is extrapolated with the Sparklens-like analyzer, and
@@ -46,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Optimize unseen queries: the rule predicts the price-performance
     //    curve and requests the elbow-point executor count.
-    println!("\n{:<8} {:>10} {:>14} {:>14}", "query", "executors", "t(n) predicted", "t(1) predicted");
+    println!(
+        "\n{:<8} {:>10} {:>14} {:>14}",
+        "query", "executors", "t(n) predicted", "t(1) predicted"
+    );
     for name in ["q6", "q23", "q51", "q77", "q96"] {
         let query = generator.instance(name);
         let outcome = optimizer.optimize(query.plan)?;
@@ -57,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .find(|&&(n, _)| n == request.executors)
             .map(|&(_, t)| t)
             .unwrap_or(f64::NAN);
-        let predicted_at_one = request.predicted_curve.first().map(|&(_, t)| t).unwrap_or(f64::NAN);
+        let predicted_at_one = request
+            .predicted_curve
+            .first()
+            .map(|&(_, t)| t)
+            .unwrap_or(f64::NAN);
         println!(
             "{:<8} {:>10} {:>13.1}s {:>13.1}s",
             name, request.executors, predicted_at_choice, predicted_at_one

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let train_generator = WorkloadGenerator::new(ScaleFactor::SF10);
     let train_queries: Vec<_> = names.iter().map(|n| train_generator.instance(n)).collect();
     let (_, model) = train_from_workload(&train_queries, &config)?;
-    println!("trained at {} on {} queries", ScaleFactor::SF10, train_queries.len());
+    println!(
+        "trained at {} on {} queries",
+        ScaleFactor::SF10,
+        train_queries.len()
+    );
 
     // Test at SF=100: same templates, 10x the input data.
     let test_generator = WorkloadGenerator::new(ScaleFactor::SF100);
@@ -35,7 +39,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let predictions: BTreeMap<String, Vec<(usize, f64)>> = test_queries
         .iter()
         .map(|q| {
-            let curve = model.predict_curve(&q.plan, &counts).expect("prediction succeeds");
+            let curve = model
+                .predict_curve(&q.plan, &counts)
+                .expect("prediction succeeds");
             (q.name.clone(), curve)
         })
         .collect();
@@ -45,7 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stale_predictions: BTreeMap<String, Vec<(usize, f64)>> = train_queries
         .iter()
         .map(|q| {
-            let curve = model.predict_curve(&q.plan, &counts).expect("prediction succeeds");
+            let curve = model
+                .predict_curve(&q.plan, &counts)
+                .expect("prediction succeeds");
             (q.name.clone(), curve)
         })
         .collect();
@@ -54,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stale = error_by_count(&stale_predictions, &actuals, &counts);
 
     println!("\nE(n) on SF=100 test queries (trained at SF=10):");
-    println!("{:>6} {:>22} {:>26}", "n", "size-aware prediction", "stale (SF=10 features)");
+    println!(
+        "{:>6} {:>22} {:>26}",
+        "n", "size-aware prediction", "stale (SF=10 features)"
+    );
     for &n in &counts {
         println!(
             "{:>6} {:>22.3} {:>26.3}",

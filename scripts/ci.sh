@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI gate for the AutoExecutor workspace.
+#
+# Runs the tier-1 verification (release build + tests), lint/format gates,
+# and a quick criterion smoke over the two benches most sensitive to
+# scheduler/training regressions. Pass --full to also run the full bench
+# suite (slow).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> bench smoke (quick samples)"
+cargo bench --offline -p ae-bench --bench bench_simulation -- --quick
+cargo bench --offline -p ae-bench --bench bench_training -- --quick forest_fit
+
+if [[ "${1:-}" == "--full" ]]; then
+    echo "==> full bench suite"
+    cargo bench --offline -p ae-bench
+fi
+
+echo "CI OK"

@@ -1,0 +1,15 @@
+//! Workspace umbrella crate.
+//!
+//! Exists so the repository-level `tests/` (cross-crate integration tests)
+//! and `examples/` have a package to hang off. Re-exports the public crates
+//! for convenience.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use ae_engine;
+pub use ae_ml;
+pub use ae_ppm;
+pub use ae_sparklens;
+pub use ae_workload;
+pub use autoexecutor;

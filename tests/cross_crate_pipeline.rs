@@ -4,10 +4,10 @@
 
 use std::collections::BTreeMap;
 
+use ae_ppm::fit::{fit_amdahl, fit_power_law};
 use autoexecutor::evaluation::{cross_validate, error_by_count, ActualRuns, CrossValidationConfig};
 use autoexecutor::prelude::*;
 use autoexecutor::TrainingData;
-use ae_ppm::fit::{fit_amdahl, fit_power_law};
 
 fn fast_config() -> AutoExecutorConfig {
     let mut config = AutoExecutorConfig::default();
@@ -74,7 +74,10 @@ fn sparklens_estimates_feed_ppm_fits_that_track_actuals() {
 
 #[test]
 fn training_data_to_ml_dataset_to_evaluation_metrics() {
-    let queries = workload(&["q10", "q22", "q35", "q47", "q59", "q71"], ScaleFactor::SF10);
+    let queries = workload(
+        &["q10", "q22", "q35", "q47", "q59", "q71"],
+        ScaleFactor::SF10,
+    );
     let config = fast_config();
     let data = TrainingData::collect(&queries, &config).unwrap();
 
@@ -83,7 +86,10 @@ fn training_data_to_ml_dataset_to_evaluation_metrics() {
         .to_dataset(PpmKind::PowerLaw, autoexecutor::FeatureSet::F0)
         .unwrap();
     assert_eq!(dataset.ids().len(), queries.len());
-    assert_eq!(dataset.feature_names().len(), autoexecutor::full_feature_names().len());
+    assert_eq!(
+        dataset.feature_names().len(),
+        autoexecutor::full_feature_names().len()
+    );
 
     // Evaluation metrics consume predictions keyed by the same names.
     let actuals = ActualRuns::collect(&queries, &[8, 32], 1, &config.cluster, 5).unwrap();
@@ -102,7 +108,9 @@ fn training_data_to_ml_dataset_to_evaluation_metrics() {
 #[test]
 fn cross_validation_report_is_structurally_sound() {
     let queries = workload(
-        &["q13", "q29", "q38", "q46", "q54", "q63", "q72", "q80", "q94"],
+        &[
+            "q13", "q29", "q38", "q46", "q54", "q63", "q72", "q80", "q94",
+        ],
         ScaleFactor::SF10,
     );
     let config = fast_config();
@@ -112,7 +120,11 @@ fn cross_validation_report_is_structurally_sound() {
         &data,
         &actuals,
         &config,
-        &CrossValidationConfig { folds: 3, repeats: 2, seed: 4 },
+        &CrossValidationConfig {
+            folds: 3,
+            repeats: 2,
+            seed: 4,
+        },
         &[1, 16, 48],
     )
     .unwrap();
@@ -122,7 +134,11 @@ fn cross_validation_report_is_structurally_sound() {
     let curves = report.test_curves_by_query();
     assert_eq!(curves.len(), queries.len());
     for (name, per_repeat) in &curves {
-        assert_eq!(per_repeat.len(), 2, "{name} should be held out once per repeat");
+        assert_eq!(
+            per_repeat.len(),
+            2,
+            "{name} should be held out once per repeat"
+        );
     }
     // Train error is (usually) no worse than test error on average; allow a
     // modest margin since both are stochastic.

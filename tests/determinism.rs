@@ -1,0 +1,188 @@
+//! Determinism of the parallel pipeline: every parallelized stage —
+//! training-data collection, ground-truth collection, random-forest
+//! training, and cross-validation — must produce **bit-identical** results
+//! whether it runs on one worker thread or many. The guarantee comes from
+//! per-unit seed streams (`rand::derive_stream_seed`) plus index-ordered
+//! reduction, so this suite pins the property the whole offline phase
+//! relies on.
+
+use ae_engine::ClusterConfig;
+use ae_ml::dataset::Dataset;
+use ae_ml::forest::{RandomForestConfig, RandomForestRegressor};
+use ae_workload::{QueryInstance, ScaleFactor, WorkloadGenerator};
+use autoexecutor::{
+    cross_validate, ActualRuns, AutoExecutorConfig, CrossValidationConfig, TrainingData,
+};
+use rayon::ThreadPoolBuilder;
+
+fn with_pool<R>(threads: usize, op: impl FnOnce() -> R) -> R {
+    ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+        .install(op)
+}
+
+fn workload(n: usize) -> Vec<QueryInstance> {
+    let generator = WorkloadGenerator::new(ScaleFactor::SF10);
+    (1..=n)
+        .map(|i| generator.instance(&format!("q{i}")))
+        .collect()
+}
+
+fn fast_config() -> AutoExecutorConfig {
+    let mut config = AutoExecutorConfig::default();
+    config.forest.n_estimators = 12;
+    config
+}
+
+fn assert_training_data_eq(a: &TrainingData, b: &TrainingData) {
+    assert_eq!(a.len(), b.len());
+    for (ea, eb) in a.examples.iter().zip(&b.examples) {
+        assert_eq!(ea.name, eb.name);
+        // f64 comparisons are intentionally exact: the parallel and
+        // sequential paths must agree bit for bit, not approximately.
+        assert_eq!(ea.full_features, eb.full_features);
+        assert_eq!(ea.sparklens_curve, eb.sparklens_curve);
+        assert_eq!(ea.observed_elapsed_secs, eb.observed_elapsed_secs);
+        assert_eq!(ea.power_law, eb.power_law);
+        assert_eq!(ea.amdahl, eb.amdahl);
+    }
+}
+
+#[test]
+fn training_data_collection_is_thread_count_invariant() {
+    let queries = workload(12);
+    let config = fast_config();
+    let serial = with_pool(1, || TrainingData::collect(&queries, &config).unwrap());
+    let wide = with_pool(8, || TrainingData::collect(&queries, &config).unwrap());
+    assert_training_data_eq(&serial, &wide);
+}
+
+#[test]
+fn ground_truth_collection_is_thread_count_invariant() {
+    let queries = workload(8);
+    let cluster = ClusterConfig::paper_default();
+    let counts = [1usize, 8, 16, 48];
+    let serial = with_pool(1, || {
+        ActualRuns::collect(&queries, &counts, 3, &cluster, 7).unwrap()
+    });
+    let wide = with_pool(8, || {
+        ActualRuns::collect(&queries, &counts, 3, &cluster, 7).unwrap()
+    });
+    assert_eq!(serial.names(), wide.names());
+    for query in &queries {
+        assert_eq!(
+            serial.curve(&query.name).unwrap(),
+            wide.curve(&query.name).unwrap(),
+            "{} ground truth differs across thread counts",
+            query.name
+        );
+    }
+}
+
+#[test]
+fn forest_training_is_thread_count_invariant() {
+    let mut data = Dataset::new(
+        vec!["x0".into(), "x1".into()],
+        vec!["y0".into(), "y1".into()],
+    );
+    for i in 0..80 {
+        let x0 = (i % 17) as f64;
+        let x1 = (i % 5) as f64;
+        data.push_row(
+            format!("r{i}"),
+            vec![x0, x1],
+            vec![3.0 * x0 + x1, 100.0 - x0],
+        )
+        .unwrap();
+    }
+    let config = RandomForestConfig {
+        n_estimators: 40,
+        max_features_fraction: 0.5,
+        seed: 11,
+        ..Default::default()
+    };
+    let serial = with_pool(1, || {
+        let mut rf = RandomForestRegressor::new(config);
+        rf.fit(&data).unwrap();
+        rf
+    });
+    let wide = with_pool(8, || {
+        let mut rf = RandomForestRegressor::new(config);
+        rf.fit(&data).unwrap();
+        rf
+    });
+    assert_eq!(serial.total_nodes(), wide.total_nodes());
+    for i in 0..40 {
+        let row = vec![(i % 19) as f64, (i % 7) as f64];
+        assert_eq!(
+            serial.predict(&row).unwrap(),
+            wide.predict(&row).unwrap(),
+            "forest predictions differ across thread counts at {row:?}"
+        );
+    }
+    // The portable serialization must agree byte for byte as well.
+    let bytes_serial = ae_ml::portable::PortableModel::from_forest("d", serial)
+        .unwrap()
+        .to_bytes()
+        .unwrap();
+    let bytes_wide = ae_ml::portable::PortableModel::from_forest("d", wide)
+        .unwrap()
+        .to_bytes()
+        .unwrap();
+    assert_eq!(bytes_serial, bytes_wide);
+}
+
+#[test]
+fn cross_validation_is_thread_count_invariant() {
+    let queries = workload(8);
+    let config = fast_config();
+    let data = TrainingData::collect(&queries, &config).unwrap();
+    let actuals =
+        ActualRuns::collect(&queries, &[1, 8, 48], 1, &ClusterConfig::paper_default(), 3).unwrap();
+    let cv = CrossValidationConfig::quick(5);
+    let counts = [1usize, 8, 48];
+    let serial = with_pool(1, || {
+        cross_validate(&data, &actuals, &config, &cv, &counts).unwrap()
+    });
+    let wide = with_pool(8, || {
+        cross_validate(&data, &actuals, &config, &cv, &counts).unwrap()
+    });
+    assert_eq!(serial.folds.len(), wide.folds.len());
+    for (fa, fb) in serial.folds.iter().zip(&wide.folds) {
+        assert_eq!((fa.repeat, fa.fold), (fb.repeat, fb.fold));
+        assert_eq!(fa.train_error_by_count, fb.train_error_by_count);
+        assert_eq!(fa.test_error_by_count, fb.test_error_by_count);
+        assert_eq!(fa.test_predictions.len(), fb.test_predictions.len());
+        for (pa, pb) in fa.test_predictions.iter().zip(&fb.test_predictions) {
+            assert_eq!(pa.name, pb.name);
+            assert_eq!(pa.curve, pb.curve);
+        }
+    }
+}
+
+#[test]
+fn permutation_importance_is_thread_count_invariant() {
+    let mut data = Dataset::new(vec!["signal".into(), "noise".into()], vec!["y".into()]);
+    for i in 0..100 {
+        let signal = (i % 13) as f64;
+        let noise = ((i * 7919) % 11) as f64;
+        data.push_row(format!("r{i}"), vec![signal, noise], vec![10.0 * signal])
+            .unwrap();
+    }
+    let mut rf = RandomForestRegressor::new(RandomForestConfig {
+        n_estimators: 10,
+        seed: 2,
+        ..Default::default()
+    });
+    rf.fit(&data).unwrap();
+    let serial = with_pool(1, || {
+        ae_ml::importance::permutation_importance(&rf, &data, 6, 9).unwrap()
+    });
+    let wide = with_pool(8, || {
+        ae_ml::importance::permutation_importance(&rf, &data, 6, 9).unwrap()
+    });
+    assert_eq!(serial.scores, wide.scores);
+    assert_eq!(serial.score_stds, wide.score_stds);
+}

@@ -18,7 +18,9 @@ fn fast_config() -> AutoExecutorConfig {
 fn train_publish_optimize_execute() {
     let generator = WorkloadGenerator::new(ScaleFactor::SF10);
     // Train on 20 queries; hold out q94 entirely.
-    let training: Vec<_> = (1..=20).map(|i| generator.instance(&format!("q{i}"))).collect();
+    let training: Vec<_> = (1..=20)
+        .map(|i| generator.instance(&format!("q{i}")))
+        .collect();
     let config = fast_config();
     let (data, model) = train_from_workload(&training, &config).unwrap();
     assert_eq!(data.len(), 20);
@@ -62,7 +64,9 @@ fn train_publish_optimize_execute() {
 #[test]
 fn predictions_are_in_the_right_ballpark_for_unseen_queries() {
     let generator = WorkloadGenerator::new(ScaleFactor::SF10);
-    let training: Vec<_> = (1..=30).map(|i| generator.instance(&format!("q{i}"))).collect();
+    let training: Vec<_> = (1..=30)
+        .map(|i| generator.instance(&format!("q{i}")))
+        .collect();
     let config = fast_config();
     let (_, model) = train_from_workload(&training, &config).unwrap();
 
@@ -94,7 +98,9 @@ fn elbow_objective_selects_moderate_executor_counts() {
     // (Figure 11); the reproduction should land in the same small-n region
     // rather than at the extremes.
     let generator = WorkloadGenerator::new(ScaleFactor::SF100);
-    let training: Vec<_> = (1..=25).map(|i| generator.instance(&format!("q{i}"))).collect();
+    let training: Vec<_> = (1..=25)
+        .map(|i| generator.instance(&format!("q{i}")))
+        .collect();
     let config = fast_config().with_objective(SelectionObjective::Elbow);
     let (_, model) = train_from_workload(&training, &config).unwrap();
 

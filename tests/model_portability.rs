@@ -17,7 +17,9 @@ fn fast_config() -> AutoExecutorConfig {
 #[test]
 fn exported_model_scores_identically_after_disk_roundtrip() {
     let generator = WorkloadGenerator::new(ScaleFactor::SF10);
-    let training: Vec<_> = (1..=15).map(|i| generator.instance(&format!("q{i}"))).collect();
+    let training: Vec<_> = (1..=15)
+        .map(|i| generator.instance(&format!("q{i}")))
+        .collect();
     let config = fast_config();
     let (_, model) = train_from_workload(&training, &config).unwrap();
 
@@ -43,7 +45,9 @@ fn exported_model_scores_identically_after_disk_roundtrip() {
 #[test]
 fn both_ppm_families_survive_portability_and_drive_the_rule() {
     let generator = WorkloadGenerator::new(ScaleFactor::SF10);
-    let training: Vec<_> = (20..=40).map(|i| generator.instance(&format!("q{i}"))).collect();
+    let training: Vec<_> = (20..=40)
+        .map(|i| generator.instance(&format!("q{i}")))
+        .collect();
 
     for kind in [PpmKind::PowerLaw, PpmKind::Amdahl] {
         let config = fast_config().with_ppm_kind(kind);
@@ -68,12 +72,17 @@ fn model_inference_stays_fast_enough_for_the_query_path() {
     // Generous bounds here (debug builds are slow), but the budget must stay
     // far below query run times.
     let generator = WorkloadGenerator::new(ScaleFactor::SF10);
-    let training: Vec<_> = (1..=15).map(|i| generator.instance(&format!("q{i}"))).collect();
+    let training: Vec<_> = (1..=15)
+        .map(|i| generator.instance(&format!("q{i}")))
+        .collect();
     let config = fast_config();
     let (data, _) = train_from_workload(&training, &config).unwrap();
     let report = autoexecutor::measure_overheads(&training, &data, &config).unwrap();
 
     assert!(report.inference_per_query.as_millis() < 200, "{report:?}");
-    assert!(report.featurization_per_query.as_millis() < 100, "{report:?}");
+    assert!(
+        report.featurization_per_query.as_millis() < 100,
+        "{report:?}"
+    );
     assert!(report.portable_model_bytes > 1_000, "{report:?}");
 }
