@@ -119,19 +119,28 @@ impl FeatureSet {
         }
     }
 
-    /// Projects a full feature vector (ordered as [`full_feature_names`])
-    /// onto this feature set.
-    pub fn project(&self, full_values: &[f64]) -> Vec<f64> {
+    /// Column indices of this set's features within the full feature vector
+    /// (ordered as [`full_feature_names`]). Batched scoring computes this
+    /// once per batch instead of re-resolving names per row.
+    pub fn projection_indices(&self) -> Vec<usize> {
         let full_names = full_feature_names();
         self.feature_names()
             .iter()
             .map(|name| {
-                let idx = full_names
+                full_names
                     .iter()
                     .position(|n| n == name)
-                    .expect("feature-set names are a subset of the full names");
-                full_values[idx]
+                    .expect("feature-set names are a subset of the full names")
             })
+            .collect()
+    }
+
+    /// Projects a full feature vector (ordered as [`full_feature_names`])
+    /// onto this feature set.
+    pub fn project(&self, full_values: &[f64]) -> Vec<f64> {
+        self.projection_indices()
+            .into_iter()
+            .map(|idx| full_values[idx])
             .collect()
     }
 }

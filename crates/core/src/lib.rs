@@ -13,10 +13,14 @@
 //! * [`config`] — end-to-end pipeline configuration.
 //! * [`training`] — training-data collection (single run + Sparklens
 //!   augmentation + PPM label fitting) and the random-forest parameter model.
-//! * [`registry`] — the model registry (ONNX-registry stand-in).
+//! * [`registry`] — the model registry (ONNX-registry stand-in): sharded,
+//!   read-mostly, handing out `Arc` model handles.
 //! * [`optimizer`] — the rule-based optimizer with the AutoExecutor
 //!   extension rule (model load/cache → featurize → predict → select →
 //!   request).
+//! * [`scoring`] — the shared predict/select scoring path driven by both
+//!   the optimizer rule and the `ae-serve` concurrent serving runtime
+//!   (single-query and batched entry points, bit-identical results).
 //! * [`execution`] — running queries under static / dynamic / predictive
 //!   allocation policies for the cost-saving comparisons.
 //! * [`evaluation`] — ground-truth collection, the `E(n)` metric, repeated
@@ -63,6 +67,7 @@ pub mod features;
 pub mod optimizer;
 pub mod overheads;
 pub mod registry;
+pub mod scoring;
 pub mod sizing;
 pub mod training;
 
@@ -123,6 +128,7 @@ pub use optimizer::{
 };
 pub use overheads::{measure_overheads, OverheadReport};
 pub use registry::ModelRegistry;
+pub use scoring::{score_feature_batch, score_features, ScoredQuery};
 pub use sizing::{recommend_sizing, SizingRecommendation};
 pub use training::{train_from_workload, ParameterModel, TrainingData, TrainingExample};
 

@@ -19,6 +19,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ae_engine::plan::{OperatorKind, PlanNode, QueryPlan};
+use ae_ml::portable::PortableModel;
 use ae_ppm::model::Ppm;
 use ae_ppm::selection::SelectionObjective;
 use parking_lot::Mutex;
@@ -27,8 +28,9 @@ use serde::{Deserialize, Serialize};
 use crate::config::AutoExecutorConfig;
 use crate::features::featurize_plan;
 use crate::registry::ModelRegistry;
+use crate::scoring;
 use crate::training::ParameterModel;
-use crate::{AutoExecutorError, Result};
+use crate::Result;
 
 /// The executor request produced by the AutoExecutor rule.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -158,15 +160,21 @@ impl OptimizerRule for CombineFiltersRule {
 }
 
 /// The prediction-based rule: loads the parameter model from the registry
-/// (once — it is cached for subsequent queries), featurizes the optimized
-/// plan, predicts the PPM, selects an executor count for the configured
-/// objective, and records the resource request.
+/// (decoded once and cached; revalidated by handle identity so a re-registered
+/// model is picked up), featurizes the optimized plan, predicts the PPM,
+/// selects an executor count for the configured objective, and records the
+/// resource request.
 pub struct AutoExecutorRule {
     registry: Arc<ModelRegistry>,
     model_name: String,
     objective: SelectionObjective,
     candidate_counts: Vec<usize>,
-    cached_model: Mutex<Option<Arc<ParameterModel>>>,
+    /// `(registry handle, decoded model)`: the handle pins which registry
+    /// version the decoded model came from, so a re-registration (an
+    /// RCU-style `Arc` swap in the registry) is detected by pointer
+    /// identity and picked up on the next query — the same protocol the
+    /// `ae-serve` runtime uses, keeping the two paths in lock-step.
+    cached_model: Mutex<Option<(Arc<PortableModel>, Arc<ParameterModel>)>>,
 }
 
 impl std::fmt::Debug for AutoExecutorRule {
@@ -215,14 +223,34 @@ impl AutoExecutorRule {
         self.cached_model.lock().is_some()
     }
 
+    /// Loads (and caches) the decoded parameter model. Every call fetches
+    /// the current registry handle (a cheap `Arc` clone under a shard read
+    /// lock) and revalidates the cache by pointer identity, so model
+    /// re-registration is observed on the next query. The mutex guards only
+    /// the cache lookup and the final insert — model deserialization runs
+    /// with no lock held, so a cold-start (or model-swap) query cannot
+    /// stall concurrent queries that already hold the current model. If
+    /// several threads race through the decode path, the first insert wins
+    /// and the losers adopt it (double-checked insert).
     fn load_model(&self) -> Result<Arc<ParameterModel>> {
-        if let Some(model) = self.cached_model.lock().as_ref() {
-            return Ok(Arc::clone(model));
-        }
         let portable = self.registry.load(&self.model_name)?;
+        {
+            let cache = self.cached_model.lock();
+            if let Some((handle, model)) = cache.as_ref() {
+                if Arc::ptr_eq(handle, &portable) {
+                    return Ok(Arc::clone(model));
+                }
+            }
+        }
         let model = Arc::new(ParameterModel::from_portable(&portable)?);
-        *self.cached_model.lock() = Some(Arc::clone(&model));
-        Ok(model)
+        let mut cache = self.cached_model.lock();
+        match cache.as_ref() {
+            Some((handle, existing)) if Arc::ptr_eq(handle, &portable) => Ok(Arc::clone(existing)),
+            _ => {
+                *cache = Some((portable, Arc::clone(&model)));
+                Ok(model)
+            }
+        }
     }
 }
 
@@ -242,31 +270,16 @@ impl OptimizerRule for AutoExecutorRule {
         let features = featurize_plan(&ctx.plan);
         let featurization = feat_start.elapsed();
 
-        // Step 3: PPM parameter prediction.
-        let infer_start = Instant::now();
-        let ppm = model.predict_ppm_from_full_features(&features)?;
-        let inference = infer_start.elapsed();
-
-        // Step 4: configuration selection (elbow by default).
-        let select_start = Instant::now();
-        let curve = ppm.predict_curve(&self.candidate_counts);
-        let executors = self
-            .objective
-            .select(&curve)
-            .ok_or_else(|| AutoExecutorError::InvalidModel("empty candidate range".into()))?;
-        let selection = select_start.elapsed();
-
-        // Step 5: resource request.
-        ctx.resource_request = Some(ResourceRequest {
-            executors,
-            predicted_ppm: ppm,
-            predicted_curve: curve,
-        });
+        // Steps 3–5: prediction, selection, resource request — the shared
+        // scoring path, also driven (batched) by the `ae-serve` runtime.
+        let scored =
+            scoring::score_features(&model, &features, self.objective, &self.candidate_counts)?;
+        ctx.resource_request = Some(scored.request);
         ctx.rule_timings = Some(RuleTimings {
             model_load,
             featurization,
-            inference,
-            selection,
+            inference: scored.inference,
+            selection: scored.selection,
         });
         Ok(())
     }
@@ -324,6 +337,7 @@ impl Optimizer {
 mod tests {
     use super::*;
     use crate::training::train_from_workload;
+    use crate::AutoExecutorError;
     use ae_workload::{ScaleFactor, WorkloadGenerator};
 
     fn nested_projects_plan() -> QueryPlan {
@@ -383,6 +397,41 @@ mod tests {
         let ctx2 = optimizer.optimize(generator.instance("q27").plan).unwrap();
         let t2 = ctx2.rule_timings.unwrap();
         assert!(t2.model_load <= timings.model_load);
+    }
+
+    #[test]
+    fn reregistered_model_is_picked_up_by_the_rule() {
+        let generator = WorkloadGenerator::new(ScaleFactor::SF10);
+        let queries: Vec<_> = ["q3", "q19", "q55", "q68", "q79", "q94"]
+            .iter()
+            .map(|n| generator.instance(n))
+            .collect();
+        let mut config = AutoExecutorConfig::default();
+        config.forest.n_estimators = 8;
+        config.training_run.noise_cv = 0.0;
+        let (_, model_a) = train_from_workload(&queries, &config).unwrap();
+        let (_, model_b) = train_from_workload(&queries, &config.with_seed(99)).unwrap();
+
+        let registry = Arc::new(ModelRegistry::in_memory());
+        registry
+            .register("ppm", model_a.to_portable("ppm").unwrap())
+            .unwrap();
+        let rule = AutoExecutorRule::from_config(Arc::clone(&registry), "ppm", &config);
+        let optimizer = Optimizer::empty().with_rule(Box::new(rule));
+
+        let plan = generator.instance("q11").plan;
+        let before = optimizer.optimize(plan.clone()).unwrap();
+
+        // An RCU swap in the registry must reach the cached rule too.
+        registry
+            .register("ppm", model_b.to_portable("ppm").unwrap())
+            .unwrap();
+        let after = optimizer.optimize(plan).unwrap();
+        assert_ne!(
+            before.resource_request.unwrap().predicted_ppm.parameters(),
+            after.resource_request.unwrap().predicted_ppm.parameters(),
+            "a different forest must predict different parameters"
+        );
     }
 
     #[test]

@@ -5,20 +5,60 @@
 //! being loaded and cached in-process. [`ModelRegistry`] fills that role: a
 //! thread-safe store of [`PortableModel`]s addressable by name, optionally
 //! backed by a directory of `.aex` files so models survive process restarts.
+//!
+//! ## Serving-path design
+//!
+//! The registry sits on the critical path of every scored query, so it is
+//! built read-mostly:
+//!
+//! * models are stored behind `Arc<PortableModel>` handles and [`load`]
+//!   returns a cheap handle clone — the pre-refactor deep copy of the whole
+//!   forest per call survives only as the explicit [`load_owned`] shim;
+//! * the name → model map is split into [`SHARD_COUNT`] shards, each behind
+//!   its own `RwLock`, so concurrent lookups of different models never
+//!   contend and lookups of the same model share a read lock;
+//! * re-registration is an RCU-style swap: the shard briefly takes a write
+//!   lock to replace the `Arc`, while every handle already given out keeps
+//!   scoring against the old model until dropped. Readers never block
+//!   writers for longer than a handle clone.
+//!
+//! [`load`]: ModelRegistry::load
+//! [`load_owned`]: ModelRegistry::load_owned
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use ae_ml::portable::PortableModel;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 use crate::{AutoExecutorError, Result};
 
+/// Number of independent shards in the in-memory map. A small power of two
+/// is plenty: contention is per-name, and serving deployments hold a handful
+/// of models (one per workload family).
+pub const SHARD_COUNT: usize = 8;
+
+type Shard = RwLock<HashMap<String, Arc<PortableModel>>>;
+
 /// A named store of portable parameter models.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ModelRegistry {
     directory: Option<PathBuf>,
-    memory: Mutex<HashMap<String, PortableModel>>,
+    shards: Vec<Shard>,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self {
+            directory: None,
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
 }
 
 impl ModelRegistry {
@@ -36,43 +76,80 @@ impl ModelRegistry {
         })?;
         Ok(Self {
             directory: Some(dir),
-            memory: Mutex::new(HashMap::new()),
+            ..Self::default()
         })
+    }
+
+    fn shard_for(&self, name: &str) -> &Shard {
+        let mut hasher = DefaultHasher::new();
+        name.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
     }
 
     /// Registers (or replaces) a model under `name`. Directory-backed
     /// registries also persist it to `<dir>/<name>.aex`.
+    ///
+    /// Replacement is RCU-style: handles returned by earlier [`load`] calls
+    /// remain valid and keep pointing at the previous model; only new loads
+    /// observe the replacement.
+    ///
+    /// [`load`]: Self::load
     pub fn register(&self, name: &str, model: PortableModel) -> Result<()> {
         if let Some(dir) = &self.directory {
             model
                 .save(dir.join(format!("{name}.aex")))
                 .map_err(AutoExecutorError::Ml)?;
         }
-        self.memory.lock().insert(name.to_string(), model);
+        let handle = Arc::new(model);
+        self.shard_for(name)
+            .write()
+            .insert(name.to_string(), handle);
         Ok(())
     }
 
-    /// Loads a model by name: the in-memory cache is consulted first, then
-    /// the backing directory (if any).
-    pub fn load(&self, name: &str) -> Result<PortableModel> {
-        if let Some(model) = self.memory.lock().get(name) {
-            return Ok(model.clone());
+    /// Loads a model by name, returning a shared handle: the in-memory cache
+    /// is consulted first (read lock only), then the backing directory (if
+    /// any). Disk deserialization happens without any lock held; a
+    /// double-checked insert resolves the race when several threads fault
+    /// the same model in simultaneously.
+    pub fn load(&self, name: &str) -> Result<Arc<PortableModel>> {
+        let shard = self.shard_for(name);
+        if let Some(model) = shard.read().get(name) {
+            return Ok(Arc::clone(model));
         }
         if let Some(dir) = &self.directory {
             let path = dir.join(format!("{name}.aex"));
             if path.exists() {
+                // Deserialize outside the lock — models are megabytes of
+                // JSON and this must not stall concurrent lookups.
                 let model = PortableModel::load(&path).map_err(AutoExecutorError::Ml)?;
-                self.memory.lock().insert(name.to_string(), model.clone());
-                return Ok(model);
+                let mut guard = shard.write();
+                let entry = guard
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(model));
+                return Ok(Arc::clone(entry));
             }
         }
         Err(AutoExecutorError::ModelNotFound(name.to_string()))
     }
 
+    /// Loads a model by name and returns an owned deep copy — the
+    /// pre-refactor `load` semantics, kept for callers that genuinely need
+    /// to mutate or re-serialize the model. The serving path should use
+    /// [`load`](Self::load); cloning a trained forest costs roughly as much
+    /// as scoring hundreds of queries.
+    pub fn load_owned(&self, name: &str) -> Result<PortableModel> {
+        Ok((*self.load(name)?).clone())
+    }
+
     /// Names of all models currently known to the registry (in-memory plus
     /// any `.aex` files in the backing directory).
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.memory.lock().keys().cloned().collect();
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.read().keys().cloned().collect::<Vec<_>>())
+            .collect();
         if let Some(dir) = &self.directory {
             if let Ok(entries) = std::fs::read_dir(dir) {
                 for entry in entries.flatten() {
@@ -91,9 +168,10 @@ impl ModelRegistry {
         names
     }
 
-    /// Removes a model from the registry (memory and disk).
+    /// Removes a model from the registry (memory and disk). Handles already
+    /// given out stay usable until dropped.
     pub fn remove(&self, name: &str) -> Result<()> {
-        self.memory.lock().remove(name);
+        self.shard_for(name).write().remove(name);
         if let Some(dir) = &self.directory {
             let path = dir.join(format!("{name}.aex"));
             if path.exists() {
@@ -136,6 +214,30 @@ mod tests {
     }
 
     #[test]
+    fn load_returns_shared_handles_not_copies() {
+        let registry = ModelRegistry::in_memory();
+        registry.register("shared", dummy_model("shared")).unwrap();
+        let a = registry.load("shared").unwrap();
+        let b = registry.load("shared").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "load must hand out the same Arc");
+        let owned = registry.load_owned("shared").unwrap();
+        assert_eq!(owned.name, a.name);
+    }
+
+    #[test]
+    fn reregistration_swaps_rcu_style() {
+        let registry = ModelRegistry::in_memory();
+        registry.register("m", dummy_model("v1")).unwrap();
+        let old = registry.load("m").unwrap();
+        registry.register("m", dummy_model("v2")).unwrap();
+        let new = registry.load("m").unwrap();
+        assert!(!Arc::ptr_eq(&old, &new));
+        // The old handle keeps working after the swap.
+        assert_eq!(old.name, "v1");
+        assert_eq!(new.name, "v2");
+    }
+
+    #[test]
     fn missing_model_is_an_error() {
         let registry = ModelRegistry::in_memory();
         assert!(matches!(
@@ -157,6 +259,9 @@ mod tests {
         assert!(fresh.names().contains(&"persisted".to_string()));
         let loaded = fresh.load("persisted").unwrap();
         assert_eq!(loaded.name, "persisted");
+        // The disk fault-in is cached: the next load shares the handle.
+        let again = fresh.load("persisted").unwrap();
+        assert!(Arc::ptr_eq(&loaded, &again));
 
         registry.remove("persisted").unwrap();
         std::fs::remove_dir_all(&dir).ok();
@@ -169,5 +274,22 @@ mod tests {
         registry.remove("a").unwrap();
         assert!(registry.names().is_empty());
         assert!(registry.load("a").is_err());
+    }
+
+    #[test]
+    fn concurrent_loads_share_one_model() {
+        let registry = Arc::new(ModelRegistry::in_memory());
+        registry.register("hot", dummy_model("hot")).unwrap();
+        let reference = registry.load("hot").unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let registry = Arc::clone(&registry);
+                std::thread::spawn(move || registry.load("hot").unwrap())
+            })
+            .collect();
+        for h in handles {
+            let loaded = h.join().unwrap();
+            assert!(Arc::ptr_eq(&reference, &loaded));
+        }
     }
 }

@@ -1,0 +1,190 @@
+//! The shared scoring path of the AutoExecutor rule (Figure 6, steps 3–5).
+//!
+//! Historically these steps lived inline in
+//! [`AutoExecutorRule::apply`](crate::optimizer::AutoExecutorRule); the
+//! serving runtime (`ae-serve`) needs the identical arithmetic without the
+//! optimizer-rule wrapper, so they are factored out here and both callers
+//! funnel through these functions. That sharing is what makes the serving
+//! runtime's deterministic-mode guarantee ("bit-identical
+//! [`ResourceRequest`]s to the sequential rule") a structural property
+//! rather than a test-enforced coincidence.
+//!
+//! Two entry points:
+//!
+//! * [`score_features`] — one query: predict the PPM, evaluate the candidate
+//!   curve, select an executor count. Returns per-step timings for the
+//!   Section 5.6 overhead accounting.
+//! * [`score_feature_batch`] — a micro-batch of queries laid out in one
+//!   [`FeatureMatrix`]: batched forest inference
+//!   ([`ParameterModel::predict_ppm_batch`]) followed by batched selection
+//!   ([`SelectionObjective::select_batch`]). Per-row results are
+//!   bit-identical to [`score_features`].
+
+use std::time::{Duration, Instant};
+
+use ae_ml::matrix::FeatureMatrix;
+use ae_ppm::selection::SelectionObjective;
+
+use crate::optimizer::ResourceRequest;
+use crate::training::ParameterModel;
+use crate::{AutoExecutorError, Result};
+
+/// A scored query plus the per-step latencies of producing it.
+#[derive(Debug, Clone)]
+pub struct ScoredQuery {
+    /// The resource request the optimizer (or serving client) receives.
+    pub request: ResourceRequest,
+    /// Time spent in parameter-model inference.
+    pub inference: Duration,
+    /// Time spent in curve evaluation + configuration selection.
+    pub selection: Duration,
+}
+
+/// Scores one query from its full (Table 2) feature vector.
+pub fn score_features(
+    model: &ParameterModel,
+    full_features: &[f64],
+    objective: SelectionObjective,
+    candidate_counts: &[usize],
+) -> Result<ScoredQuery> {
+    let infer_start = Instant::now();
+    let ppm = model.predict_ppm_from_full_features(full_features)?;
+    let inference = infer_start.elapsed();
+
+    let select_start = Instant::now();
+    let curve = ppm.predict_curve(candidate_counts);
+    let executors = objective
+        .select(&curve)
+        .ok_or_else(|| AutoExecutorError::InvalidModel("empty candidate range".into()))?;
+    let selection = select_start.elapsed();
+
+    Ok(ScoredQuery {
+        request: ResourceRequest {
+            executors,
+            predicted_ppm: ppm,
+            predicted_curve: curve,
+        },
+        inference,
+        selection,
+    })
+}
+
+/// Scores a micro-batch of queries whose full feature vectors are laid out
+/// row-major in `features`. Output order matches row order.
+pub fn score_feature_batch(
+    model: &ParameterModel,
+    features: &FeatureMatrix,
+    objective: SelectionObjective,
+    candidate_counts: &[usize],
+) -> Result<Vec<ResourceRequest>> {
+    let ppms = model.predict_ppm_batch(features)?;
+    let curves: Vec<Vec<(usize, f64)>> = ppms
+        .iter()
+        .map(|ppm| ppm.predict_curve(candidate_counts))
+        .collect();
+    let selected = objective.select_batch(&curves);
+    ppms.into_iter()
+        .zip(curves)
+        .zip(selected)
+        .map(|((ppm, curve), executors)| {
+            let executors = executors
+                .ok_or_else(|| AutoExecutorError::InvalidModel("empty candidate range".into()))?;
+            Ok(ResourceRequest {
+                executors,
+                predicted_ppm: ppm,
+                predicted_curve: curve,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AutoExecutorConfig;
+    use crate::features::featurize_plan;
+    use crate::training::train_from_workload;
+    use ae_workload::{ScaleFactor, WorkloadGenerator};
+
+    fn trained_fixture() -> (
+        ParameterModel,
+        AutoExecutorConfig,
+        Vec<ae_engine::QueryPlan>,
+    ) {
+        let generator = WorkloadGenerator::new(ScaleFactor::SF10);
+        let queries: Vec<_> = ["q3", "q19", "q55", "q68", "q79", "q94"]
+            .iter()
+            .map(|n| generator.instance(n))
+            .collect();
+        let mut config = AutoExecutorConfig::default();
+        config.forest.n_estimators = 10;
+        config.training_run.noise_cv = 0.0;
+        let (_, model) = train_from_workload(&queries, &config).unwrap();
+        let plans = ["q11", "q27", "q42", "q7"]
+            .iter()
+            .map(|n| generator.instance(n).plan)
+            .collect();
+        (model, config, plans)
+    }
+
+    #[test]
+    fn batch_scoring_is_bit_identical_to_single_scoring() {
+        let (model, config, plans) = trained_fixture();
+        let counts = config.candidate_counts();
+        let mut matrix = FeatureMatrix::new(crate::features::full_feature_names().len());
+        let mut singles = Vec::new();
+        for plan in &plans {
+            let features = featurize_plan(plan);
+            singles.push(
+                score_features(&model, &features, config.objective, &counts)
+                    .unwrap()
+                    .request,
+            );
+            matrix.push_row(&features).unwrap();
+        }
+        let batched = score_feature_batch(&model, &matrix, config.objective, &counts).unwrap();
+        assert_eq!(batched.len(), singles.len());
+        for (single, batch) in singles.iter().zip(&batched) {
+            assert_eq!(single.executors, batch.executors);
+            assert_eq!(
+                single.predicted_ppm.parameters(),
+                batch.predicted_ppm.parameters()
+            );
+            let single_bits: Vec<(usize, u64)> = single
+                .predicted_curve
+                .iter()
+                .map(|&(n, t)| (n, t.to_bits()))
+                .collect();
+            let batch_bits: Vec<(usize, u64)> = batch
+                .predicted_curve
+                .iter()
+                .map(|&(n, t)| (n, t.to_bits()))
+                .collect();
+            assert_eq!(single_bits, batch_bits);
+        }
+    }
+
+    #[test]
+    fn empty_candidate_range_is_an_error() {
+        let (model, _, plans) = trained_fixture();
+        let features = featurize_plan(&plans[0]);
+        assert!(score_features(&model, &features, SelectionObjective::Elbow, &[]).is_err());
+        let mut matrix = FeatureMatrix::new(features.len());
+        matrix.push_row(&features).unwrap();
+        assert!(score_feature_batch(&model, &matrix, SelectionObjective::Elbow, &[]).is_err());
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_results() {
+        let (model, config, _) = trained_fixture();
+        let matrix = FeatureMatrix::new(crate::features::full_feature_names().len());
+        let out = score_feature_batch(
+            &model,
+            &matrix,
+            config.objective,
+            &config.candidate_counts(),
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+}

@@ -16,6 +16,7 @@ use ae_engine::plan::QueryPlan;
 use ae_engine::scheduler::Simulator;
 use ae_ml::dataset::Dataset;
 use ae_ml::forest::{RandomForestConfig, RandomForestRegressor};
+use ae_ml::matrix::FeatureMatrix;
 use ae_ml::portable::PortableModel;
 use ae_ppm::fit::{fit_amdahl, fit_power_law};
 use ae_ppm::model::{AmdahlPpm, PowerLawPpm, Ppm, PpmKind};
@@ -227,6 +228,32 @@ impl ParameterModel {
             .predict(&projected)
             .map_err(AutoExecutorError::Ml)?;
         Ok(Ppm::from_parameters(self.kind, &params))
+    }
+
+    /// Predicts PPMs for a whole batch of *full* feature vectors at once —
+    /// the inference stage of the batched serving path. The projection
+    /// indices are resolved once for the batch and rows are laid out in one
+    /// flat matrix, so per-request overhead is amortized; each returned PPM
+    /// is bit-identical to what [`predict_ppm_from_full_features`] yields
+    /// for the same row.
+    ///
+    /// [`predict_ppm_from_full_features`]: Self::predict_ppm_from_full_features
+    pub fn predict_ppm_batch(&self, full_rows: &FeatureMatrix) -> Result<Vec<Ppm>> {
+        let indices = self.feature_set.projection_indices();
+        let mut projected = FeatureMatrix::with_capacity(indices.len(), full_rows.len());
+        for row in full_rows.rows() {
+            projected
+                .push_row_from(indices.iter().map(|&i| row[i]))
+                .map_err(AutoExecutorError::Ml)?;
+        }
+        let params = self
+            .forest
+            .predict_matrix(&projected)
+            .map_err(AutoExecutorError::Ml)?;
+        Ok(params
+            .iter()
+            .map(|p| Ppm::from_parameters(self.kind, p))
+            .collect())
     }
 
     /// Predicts the run-time curve for a plan over candidate executor counts.

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
 use crate::json::Value;
+use crate::matrix::FeatureMatrix;
 use crate::tree::{DecisionTreeConfig, DecisionTreeRegressor};
 use crate::{MlError, Result};
 
@@ -165,19 +166,58 @@ impl RandomForestRegressor {
         if self.trees.is_empty() {
             return Err(MlError::NotFitted);
         }
+        let mut acc = vec![0.0; self.trees[0].num_outputs()];
+        self.predict_into(row, &mut acc)?;
+        Ok(acc)
+    }
+
+    /// Predicts one row into a caller-provided output buffer (`out.len()`
+    /// must equal the number of targets). This is the shared scoring core:
+    /// [`predict`](Self::predict) and the batched entry points all funnel
+    /// through it, so single-row and batched inference accumulate tree
+    /// outputs in exactly the same order and are bit-identical.
+    pub fn predict_into(&self, row: &[f64], out: &mut [f64]) -> Result<()> {
+        if self.trees.is_empty() {
+            return Err(MlError::NotFitted);
+        }
         let k = self.trees[0].num_outputs();
-        let mut acc = vec![0.0; k];
+        if out.len() != k {
+            return Err(MlError::ShapeMismatch {
+                detail: format!("output buffer has {} slots, forest predicts {k}", out.len()),
+            });
+        }
+        out.fill(0.0);
         for tree in &self.trees {
             let p = tree.predict_ref(row)?;
-            for (a, v) in acc.iter_mut().zip(p) {
+            for (a, v) in out.iter_mut().zip(p) {
                 *a += v;
             }
         }
         let nt = self.trees.len() as f64;
-        for a in &mut acc {
+        for a in out.iter_mut() {
             *a /= nt;
         }
-        Ok(acc)
+        Ok(())
+    }
+
+    /// Predicts every row of a [`FeatureMatrix`] (output order matches row
+    /// order). This is the batched-inference entry point of the serving
+    /// path: the caller lays all concurrently submitted feature rows out in
+    /// one flat buffer and the forest walks them without any per-row input
+    /// allocation. Results are bit-identical to calling
+    /// [`predict`](Self::predict) row by row.
+    pub fn predict_matrix(&self, matrix: &FeatureMatrix) -> Result<Vec<Vec<f64>>> {
+        if self.trees.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        let k = self.trees[0].num_outputs();
+        let mut outputs = Vec::with_capacity(matrix.len());
+        for row in matrix.rows() {
+            let mut out = vec![0.0; k];
+            self.predict_into(row, &mut out)?;
+            outputs.push(out);
+        }
+        Ok(outputs)
     }
 
     /// Predicts target vectors for many rows (output order matches input
@@ -382,5 +422,36 @@ mod tests {
         let batch = rf.predict_batch(&rows).unwrap();
         assert_eq!(batch[0], rf.predict(&rows[0]).unwrap());
         assert_eq!(batch[1], rf.predict(&rows[1]).unwrap());
+    }
+
+    #[test]
+    fn matrix_prediction_is_bit_identical_to_per_row_calls() {
+        let data = synthetic_dataset(50);
+        let mut rf = RandomForestRegressor::new(small_forest(11));
+        rf.fit(&data).unwrap();
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, (i % 5) as f64]).collect();
+        let matrix = FeatureMatrix::from_rows(&rows).unwrap();
+        let batched = rf.predict_matrix(&matrix).unwrap();
+        assert_eq!(batched.len(), rows.len());
+        for (row, out) in rows.iter().zip(&batched) {
+            let single = rf.predict(row).unwrap();
+            let single_bits: Vec<u64> = single.iter().map(|v| v.to_bits()).collect();
+            let out_bits: Vec<u64> = out.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(single_bits, out_bits);
+        }
+    }
+
+    #[test]
+    fn predict_into_validates_buffer_width() {
+        let data = synthetic_dataset(30);
+        let mut rf = RandomForestRegressor::new(small_forest(2));
+        rf.fit(&data).unwrap();
+        let mut too_small = vec![0.0; 1];
+        assert!(rf.predict_into(&[1.0, 1.0], &mut too_small).is_err());
+        let unfitted = RandomForestRegressor::new(RandomForestConfig::default());
+        assert!(matches!(
+            unfitted.predict_matrix(&FeatureMatrix::new(2)),
+            Err(MlError::NotFitted)
+        ));
     }
 }

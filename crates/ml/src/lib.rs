@@ -13,6 +13,8 @@
 //! * [`forest`] — bagged random forests over those trees (the parameter
 //!   model), mirroring scikit-learn's defaults (100 estimators).
 //! * [`importance`] — permutation feature importance (Figure 15).
+//! * [`matrix`] — flat row-major feature matrices for the batched serving
+//!   path (one contiguous buffer per batch instead of a `Vec` per request).
 //! * [`portable`] — a compact, serialisable model format plus an in-process
 //!   scoring runtime, standing in for the ONNX export/score path.
 //! * [`metrics`] — the error metrics used throughout the evaluation.
@@ -27,6 +29,7 @@ pub mod forest;
 pub mod importance;
 pub mod json;
 pub mod linreg;
+pub mod matrix;
 pub mod metrics;
 pub mod portable;
 pub mod tree;
@@ -35,6 +38,7 @@ pub use dataset::{Dataset, FoldSplit, KFold, RepeatedKFold};
 pub use forest::{RandomForestConfig, RandomForestRegressor};
 pub use importance::{permutation_importance, ImportanceReport};
 pub use linreg::{LinearRegression, SimpleLinearFit};
+pub use matrix::FeatureMatrix;
 pub use portable::{PortableModel, ScoringRuntime};
 pub use tree::{DecisionTreeConfig, DecisionTreeRegressor};
 

@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::forest::RandomForestRegressor;
 use crate::json::Value;
+use crate::matrix::FeatureMatrix;
 use crate::{MlError, Result};
 
 /// Current on-disk format version.
@@ -117,6 +118,12 @@ impl PortableModel {
     pub fn predict(&self, row: &[f64]) -> Result<Vec<f64>> {
         self.forest.predict(row)
     }
+
+    /// Scores every row of a feature matrix (the batched serving entry
+    /// point); bit-identical to calling [`predict`](Self::predict) per row.
+    pub fn predict_matrix(&self, matrix: &FeatureMatrix) -> Result<Vec<Vec<f64>>> {
+        self.forest.predict_matrix(matrix)
+    }
 }
 
 /// Timing breakdown collected by the scoring runtime, mirroring the
@@ -217,6 +224,16 @@ impl ScoringRuntime {
         Ok(out)
     }
 
+    /// Scores a whole feature matrix in one call, counting each row as one
+    /// inference in the statistics.
+    pub fn score_matrix(&mut self, matrix: &FeatureMatrix) -> Result<Vec<Vec<f64>>> {
+        let start = Instant::now();
+        let out = self.model.predict_matrix(matrix)?;
+        self.stats.total_inference_time += start.elapsed();
+        self.stats.inferences += matrix.len() as u64;
+        Ok(out)
+    }
+
     /// The accumulated timing statistics.
     pub fn stats(&self) -> ScoringStats {
         self.stats
@@ -295,6 +312,20 @@ mod tests {
         }
         assert_eq!(rt.stats().inferences, 5);
         assert!(rt.stats().mean_inference_time() <= rt.stats().total_inference_time);
+    }
+
+    #[test]
+    fn score_matrix_matches_per_row_scoring() {
+        let rf = fitted_forest();
+        let portable = PortableModel::from_forest("batch", rf).unwrap();
+        let mut rt = ScoringRuntime::from_model(portable.clone()).unwrap();
+        let rows = vec![vec![3.0], vec![7.0], vec![21.0]];
+        let matrix = FeatureMatrix::from_rows(&rows).unwrap();
+        let batched = rt.score_matrix(&matrix).unwrap();
+        assert_eq!(rt.stats().inferences, 3);
+        for (row, out) in rows.iter().zip(&batched) {
+            assert_eq!(out, &portable.predict(row).unwrap());
+        }
     }
 
     #[test]

@@ -32,6 +32,14 @@ impl SelectionObjective {
             SelectionObjective::Elbow => elbow_point(curve),
         }
     }
+
+    /// Applies the objective to many curves at once — the selection stage of
+    /// the batched serving path, where one micro-batch of predicted curves
+    /// is resolved to executor counts in a single call. Each result is
+    /// exactly what [`select`](Self::select) returns for that curve.
+    pub fn select_batch<C: AsRef<[(usize, f64)]>>(&self, curves: &[C]) -> Vec<Option<usize>> {
+        curves.iter().map(|c| self.select(c.as_ref())).collect()
+    }
 }
 
 use std::borrow::Cow;
@@ -220,6 +228,28 @@ mod tests {
             SelectionObjective::Elbow.select(&curve),
             elbow_point(&curve)
         );
+    }
+
+    #[test]
+    fn select_batch_matches_per_curve_select() {
+        let a = amdahl_curve();
+        let b: Vec<(usize, f64)> = (1..=48).map(|n| (n, 100.0)).collect();
+        let c: Vec<(usize, f64)> = Vec::new();
+        for objective in [
+            SelectionObjective::MinTime,
+            SelectionObjective::BoundedSlowdown(1.2),
+            SelectionObjective::Elbow,
+        ] {
+            let batch = objective.select_batch(&[a.clone(), b.clone(), c.clone()]);
+            assert_eq!(
+                batch,
+                vec![
+                    objective.select(&a),
+                    objective.select(&b),
+                    objective.select(&c)
+                ]
+            );
+        }
     }
 
     #[test]

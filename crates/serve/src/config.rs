@@ -1,0 +1,161 @@
+//! Configuration of the scoring runtime.
+
+use std::time::Duration;
+
+use ae_ppm::selection::SelectionObjective;
+use autoexecutor::config::AutoExecutorConfig;
+
+/// Tuning knobs of a [`crate::ScoringRuntime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of batching worker threads. `0` is allowed (requests queue
+    /// until shutdown — only useful for tests exercising backpressure).
+    pub workers: usize,
+    /// Maximum requests scored per forest call.
+    pub max_batch: usize,
+    /// After the first request of a batch arrives, how long a worker tops
+    /// the batch up before scoring. `Duration::ZERO` drains whatever is
+    /// queued immediately (pure FIFO micro-batching).
+    pub batch_window: Duration,
+    /// Bound on the admission queue. Blocking submitters wait when it is
+    /// full ([`crate::ScoringRuntime::score`]); non-blocking submitters are
+    /// rejected with [`crate::ServeError::Saturated`]
+    /// ([`crate::ScoringRuntime::try_score`]).
+    pub queue_capacity: usize,
+    /// Score on the submitting thread while the system is lightly loaded,
+    /// skipping the queue round-trip so an idle runtime serves single
+    /// queries at sequential-rule latency.
+    pub inline_when_idle: bool,
+    /// How many requests may be in flight (inline + queued + batching)
+    /// before submitters stop inlining and overflow into the batching
+    /// queue. Inline scoring skips the queue round-trip entirely (the slot
+    /// is claimed with a CAS; the model lookup takes brief read locks) and
+    /// is cheapest while cores are available; the queue exists to absorb
+    /// and amortize load beyond that.
+    pub inline_max_in_flight: usize,
+    /// Selection objective applied to every predicted curve.
+    pub objective: SelectionObjective,
+    /// Candidate executor counts evaluated per query.
+    pub candidate_counts: Vec<usize>,
+}
+
+impl RuntimeConfig {
+    /// Concurrent serving defaults derived from a pipeline configuration:
+    /// one worker per available core (at most 8), batches of up to 32, a
+    /// 100 µs batch window, and a 1024-deep admission queue.
+    pub fn from_auto_executor(config: &AutoExecutorConfig) -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self {
+            workers: cores.clamp(1, 8),
+            max_batch: 32,
+            batch_window: Duration::from_micros(100),
+            queue_capacity: 1024,
+            inline_when_idle: true,
+            inline_max_in_flight: (2 * cores).max(6),
+            objective: config.objective,
+            candidate_counts: config.candidate_counts(),
+        }
+    }
+
+    /// Deterministic mode: a single worker draining the queue strictly FIFO
+    /// with no batch window and no inline shortcut. Output is bit-identical
+    /// to the sequential `AutoExecutorRule` (pinned by the regression test),
+    /// and side effects (stats, completion order) are reproducible.
+    pub fn deterministic(config: &AutoExecutorConfig) -> Self {
+        Self {
+            workers: 1,
+            max_batch: 32,
+            batch_window: Duration::ZERO,
+            queue_capacity: 1024,
+            inline_when_idle: false,
+            inline_max_in_flight: 0,
+            objective: config.objective,
+            candidate_counts: config.candidate_counts(),
+        }
+    }
+
+    /// Overrides the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Overrides the maximum batch size (clamped to at least 1).
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Overrides the batch window.
+    pub fn with_batch_window(mut self, window: Duration) -> Self {
+        self.batch_window = window;
+        self
+    }
+
+    /// Overrides the admission-queue capacity (clamped to at least 1).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Enables or disables the inline-when-idle shortcut.
+    pub fn with_inline_when_idle(mut self, inline: bool) -> Self {
+        self.inline_when_idle = inline;
+        self
+    }
+
+    /// Overrides the in-flight bound below which submitters score inline.
+    pub fn with_inline_max_in_flight(mut self, limit: usize) -> Self {
+        self.inline_max_in_flight = limit;
+        self
+    }
+
+    /// Clamps nonsensical values (zero batch size or queue capacity).
+    pub(crate) fn sanitized(mut self) -> Self {
+        self.max_batch = self.max_batch.max(1);
+        self.queue_capacity = self.queue_capacity.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = AutoExecutorConfig::default();
+        let rt = RuntimeConfig::from_auto_executor(&cfg);
+        assert!(rt.workers >= 1);
+        assert!(rt.max_batch >= 1);
+        assert!(rt.queue_capacity >= 1);
+        assert!(rt.inline_when_idle);
+        assert_eq!(rt.candidate_counts, cfg.candidate_counts());
+    }
+
+    #[test]
+    fn deterministic_mode_is_single_worker_fifo() {
+        let cfg = AutoExecutorConfig::default();
+        let rt = RuntimeConfig::deterministic(&cfg);
+        assert_eq!(rt.workers, 1);
+        assert_eq!(rt.batch_window, Duration::ZERO);
+        assert!(!rt.inline_when_idle);
+    }
+
+    #[test]
+    fn builders_clamp_and_override() {
+        let cfg = AutoExecutorConfig::default();
+        let rt = RuntimeConfig::deterministic(&cfg)
+            .with_workers(3)
+            .with_max_batch(0)
+            .with_queue_capacity(0)
+            .with_batch_window(Duration::from_millis(1))
+            .with_inline_when_idle(true);
+        assert_eq!(rt.workers, 3);
+        assert_eq!(rt.max_batch, 1);
+        assert_eq!(rt.queue_capacity, 1);
+        assert!(rt.inline_when_idle);
+        let s = rt.sanitized();
+        assert_eq!(s.max_batch, 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! # ae-serve — concurrent batched scoring runtime for the serving path
+//!
+//! The paper's AutoExecutor extension scores one plan at a time inside the
+//! optimizer of a single Spark session. A serving deployment — the
+//! ROADMAP's "heavy traffic from millions of users" — instead sees many
+//! concurrent scoring requests against a shared model. This crate provides
+//! the runtime that sits between the two:
+//!
+//! * **[`ScoringRuntime`]** accepts scoring requests from any number of
+//!   threads, places them on a bounded queue (backpressure), and has worker
+//!   threads drain the queue in **micro-batches**: whatever is queued — up
+//!   to `max_batch`, topped up for at most `batch_window` — is featurized
+//!   into one flat [`ae_ml::matrix::FeatureMatrix`] and pushed through the
+//!   batched forest/selection path
+//!   ([`autoexecutor::scoring::score_feature_batch`]).
+//! * When the runtime is **idle** the submitting thread scores **inline**
+//!   instead of paying a queue round-trip, so single-query latency never
+//!   regresses relative to the sequential rule.
+//! * The model comes from the sharded, read-mostly
+//!   [`autoexecutor::registry::ModelRegistry`] as an `Arc` handle; the
+//!   decoded model is cached per runtime and re-resolved by pointer
+//!   identity, so re-registering a model (RCU-style swap) is picked up by
+//!   the next batch without ever blocking scoring.
+//! * In **deterministic mode** ([`RuntimeConfig::deterministic`]: one
+//!   worker, FIFO drain, no batch window, no inline shortcut) the runtime
+//!   produces bit-identical [`autoexecutor::optimizer::ResourceRequest`]s
+//!   to the sequential `AutoExecutorRule`, because both funnel through the
+//!   same [`autoexecutor::scoring`] entry points. The regression test in
+//!   `tests/determinism.rs` pins this.
+//!
+//! Admission control, SLA tiers, and multi-tenant pricing (PixelsDB-style
+//! per-query service levels) are future ROADMAP work that will hang off
+//! this runtime.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod runtime;
+pub mod stats;
+
+pub use config::RuntimeConfig;
+pub use runtime::ScoringRuntime;
+pub use stats::{LatencyRecorder, LatencySummary, RuntimeStats};
+
+/// Errors surfaced by the serving runtime.
+///
+/// Scoring and model failures carry rendered messages (not the source
+/// errors) because one failure may have to be delivered to every request of
+/// a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// `try_score` found the admission queue full (the request was counted
+    /// as dropped; the caller may retry, shed load, or fall back).
+    Saturated,
+    /// The runtime is shutting down; the request was not scored.
+    ShutDown,
+    /// The model could not be fetched from the registry or decoded.
+    Model(String),
+    /// Scoring itself failed (e.g. an empty candidate range).
+    Scoring(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Saturated => write!(f, "scoring queue is saturated"),
+            ServeError::ShutDown => write!(f, "scoring runtime is shut down"),
+            ServeError::Model(s) => write!(f, "model error: {s}"),
+            ServeError::Scoring(s) => write!(f, "scoring error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, ServeError>;

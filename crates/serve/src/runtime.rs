@@ -1,0 +1,499 @@
+//! The concurrent batched scoring runtime.
+//!
+//! Request flow:
+//!
+//! ```text
+//!  client threads                 workers (config.workers)
+//!  ──────────────                 ────────────────────────
+//!  featurize plan                 wait for first request
+//!  idle? → score inline ─────┐    top batch up (batch_window, max_batch)
+//!  else: bounded queue ──────┼──▶ lay rows out in one FeatureMatrix
+//!  wait on completion ◀──────┘    score_feature_batch → fulfill each
+//! ```
+//!
+//! Scoring is pure (no RNG, no shared mutable state), so results are a
+//! function of the submitted plan and the registered model only — batching,
+//! worker count, and scheduling order cannot change any individual
+//! [`ResourceRequest`]. Concurrency affects *throughput*, never *answers*.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use ae_engine::plan::QueryPlan;
+use ae_ml::matrix::FeatureMatrix;
+use ae_ml::portable::PortableModel;
+use autoexecutor::features::{featurize_plan, full_feature_names};
+use autoexecutor::optimizer::ResourceRequest;
+use autoexecutor::registry::ModelRegistry;
+use autoexecutor::scoring;
+use autoexecutor::training::ParameterModel;
+use parking_lot::RwLock;
+
+use crate::config::RuntimeConfig;
+use crate::stats::{RuntimeStats, StatsInner};
+use crate::{Result, ServeError};
+
+/// Locks a std mutex, recovering from poisoning (a panicking worker must
+/// not wedge every client).
+fn lock<T>(mutex: &StdMutex<T>) -> StdMutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// One queued scoring request: the featurized plan plus its completion slot.
+struct Request {
+    features: Vec<f64>,
+    done: Arc<Completion>,
+}
+
+/// A one-shot completion slot the submitting thread blocks on.
+#[derive(Default)]
+struct Completion {
+    slot: StdMutex<Option<Result<ResourceRequest>>>,
+    ready: Condvar,
+}
+
+impl Completion {
+    fn fulfill(&self, result: Result<ResourceRequest>) {
+        *lock(&self.slot) = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<ResourceRequest> {
+        let mut guard = lock(&self.slot);
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            guard = self
+                .ready
+                .wait(guard)
+                .unwrap_or_else(|poison| poison.into_inner());
+        }
+    }
+}
+
+/// State shared between the handle, submitters, and workers.
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    model_name: String,
+    config: RuntimeConfig,
+    feature_width: usize,
+    queue: StdMutex<VecDeque<Request>>,
+    /// Signalled when a request is enqueued (workers and batch top-up wait
+    /// on it) and on shutdown.
+    not_empty: Condvar,
+    /// Signalled when a batch is drained (blocked submitters wait on it)
+    /// and on shutdown.
+    not_full: Condvar,
+    /// Queued-but-undrained request count (the reported queue depth).
+    pending: AtomicUsize,
+    /// Requests anywhere in the system: being scored inline, queued, or in
+    /// a batch currently being scored. The idle shortcut reads this —
+    /// "idle" must mean *nothing in flight*, not merely "queue empty",
+    /// otherwise concurrent submitters all take the inline path and the
+    /// batcher never engages.
+    in_flight: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Decoded-model cache: `(registry handle, decoded model)`. Re-resolved
+    /// by `Arc` pointer identity so an RCU re-registration in the registry
+    /// is picked up by the next batch; scoring threads holding the old
+    /// decoded model finish their batch against it unperturbed.
+    model: RwLock<Option<(Arc<PortableModel>, Arc<ParameterModel>)>>,
+    stats: StatsInner,
+}
+
+impl Shared {
+    /// Returns the decoded parameter model, fetching/decoding it if the
+    /// registry holds a model the cache has not seen (never holds a cache
+    /// lock across registry access or deserialization).
+    fn resolve_model(&self) -> Result<Arc<ParameterModel>> {
+        let portable = self
+            .registry
+            .load(&self.model_name)
+            .map_err(|e| ServeError::Model(e.to_string()))?;
+        {
+            let cached = self.model.read();
+            if let Some((handle, decoded)) = cached.as_ref() {
+                if Arc::ptr_eq(handle, &portable) {
+                    return Ok(Arc::clone(decoded));
+                }
+            }
+        }
+        let decoded = Arc::new(
+            ParameterModel::from_portable(&portable)
+                .map_err(|e| ServeError::Model(e.to_string()))?,
+        );
+        *self.model.write() = Some((portable, Arc::clone(&decoded)));
+        Ok(decoded)
+    }
+
+    fn score_one(&self, features: &[f64]) -> Result<ResourceRequest> {
+        let model = self.resolve_model()?;
+        scoring::score_features(
+            &model,
+            features,
+            self.config.objective,
+            &self.config.candidate_counts,
+        )
+        .map(|scored| scored.request)
+        .map_err(|e| ServeError::Scoring(e.to_string()))
+    }
+
+    /// Scores one drained batch and fulfills every completion.
+    fn process_batch(&self, matrix: &mut FeatureMatrix, batch: Vec<Request>) {
+        debug_assert!(!batch.is_empty());
+        if batch.len() == 1 {
+            let result = self.score_one(&batch[0].features);
+            self.stats.record_batch(1, result.is_err());
+            batch[0].done.fulfill(result);
+            return;
+        }
+        let model = match self.resolve_model() {
+            Ok(model) => model,
+            Err(e) => {
+                self.stats.record_batch(batch.len(), true);
+                for request in &batch {
+                    request.done.fulfill(Err(e.clone()));
+                }
+                return;
+            }
+        };
+        matrix.clear();
+        for request in &batch {
+            matrix
+                .push_row(&request.features)
+                .expect("featurize_plan emits fixed-width rows");
+        }
+        match scoring::score_feature_batch(
+            &model,
+            matrix,
+            self.config.objective,
+            &self.config.candidate_counts,
+        ) {
+            Ok(requests) => {
+                self.stats.record_batch(batch.len(), false);
+                for (request, outcome) in batch.iter().zip(requests) {
+                    request.done.fulfill(Ok(outcome));
+                }
+            }
+            Err(e) => {
+                self.stats.record_batch(batch.len(), true);
+                let err = ServeError::Scoring(e.to_string());
+                for request in &batch {
+                    request.done.fulfill(Err(err.clone()));
+                }
+            }
+        }
+    }
+}
+
+/// Worker loop: wait for work, top the batch up within the window, drain
+/// FIFO, score, repeat.
+fn worker_loop(shared: Arc<Shared>) {
+    let mut matrix = FeatureMatrix::with_capacity(shared.feature_width, shared.config.max_batch);
+    loop {
+        let batch = {
+            let mut queue = lock(&shared.queue);
+            // Wait for the first request (or shutdown).
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if !queue.is_empty() {
+                    break;
+                }
+                queue = shared
+                    .not_empty
+                    .wait(queue)
+                    .unwrap_or_else(|poison| poison.into_inner());
+            }
+            // Top the batch up: wait at most `batch_window` for more
+            // requests, but never past `max_batch`.
+            // A batch can only grow to whichever bound is tighter: the
+            // batch size, or the queue capacity (a full queue cannot
+            // receive the requests the window would wait for).
+            let window = shared.config.batch_window;
+            let fill_target = shared.config.max_batch.min(shared.config.queue_capacity);
+            if !window.is_zero() && queue.len() < fill_target {
+                let deadline = Instant::now() + window;
+                while queue.len() < fill_target && !shared.shutdown.load(Ordering::Acquire) {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, _timeout) = shared
+                        .not_empty
+                        .wait_timeout(queue, deadline - now)
+                        .unwrap_or_else(|poison| poison.into_inner());
+                    queue = guard;
+                }
+            }
+            let take = queue.len().min(shared.config.max_batch);
+            let batch: Vec<Request> = queue.drain(..take).collect();
+            shared.pending.fetch_sub(batch.len(), Ordering::AcqRel);
+            shared.not_full.notify_all();
+            batch
+        };
+        if !batch.is_empty() {
+            let size = batch.len();
+            shared.process_batch(&mut matrix, batch);
+            shared.in_flight.fetch_sub(size, Ordering::AcqRel);
+        }
+    }
+}
+
+/// A shared, concurrent, micro-batching scoring service over one registered
+/// model. See the crate docs for the architecture; construct with
+/// [`ScoringRuntime::new`], score from any thread with
+/// [`score`](Self::score) / [`try_score`](Self::try_score), inspect with
+/// [`stats`](Self::stats), and stop with [`shutdown`](Self::shutdown) (or
+/// drop the handle).
+pub struct ScoringRuntime {
+    shared: Arc<Shared>,
+    worker_count: usize,
+    workers: StdMutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ScoringRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScoringRuntime")
+            .field("model_name", &self.shared.model_name)
+            .field("workers", &self.worker_count)
+            .field("queue_depth", &self.queue_depth())
+            .finish()
+    }
+}
+
+impl ScoringRuntime {
+    /// Spawns the runtime over a registry and model name. The model is
+    /// resolved lazily (first score), mirroring the optimizer rule, so the
+    /// runtime may be built before the model is registered.
+    pub fn new(
+        registry: Arc<ModelRegistry>,
+        model_name: impl Into<String>,
+        config: RuntimeConfig,
+    ) -> Self {
+        let config = config.sanitized();
+        let shared = Arc::new(Shared {
+            registry,
+            model_name: model_name.into(),
+            feature_width: full_feature_names().len(),
+            queue: StdMutex::new(VecDeque::with_capacity(config.queue_capacity)),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            pending: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            model: RwLock::new(None),
+            stats: StatsInner::new(config.max_batch),
+            config,
+        });
+        let workers: Vec<JoinHandle<()>> = (0..shared.config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ae-serve-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawning a scoring worker")
+            })
+            .collect();
+        Self {
+            shared,
+            worker_count: workers.len(),
+            workers: StdMutex::new(workers),
+        }
+    }
+
+    /// Pre-resolves (fetches and decodes) the model so the first scored
+    /// query does not pay the cold-start cost.
+    pub fn warm(&self) -> Result<()> {
+        self.shared.resolve_model().map(|_| ())
+    }
+
+    /// Scores a plan, blocking while the admission queue is full
+    /// (backpressure) and until the result is ready.
+    pub fn score(&self, plan: &QueryPlan) -> Result<ResourceRequest> {
+        self.score_features(featurize_plan(plan))
+    }
+
+    /// Scores a plan, failing fast with [`ServeError::Saturated`] (and
+    /// counting the request as dropped) instead of blocking on a full queue.
+    pub fn try_score(&self, plan: &QueryPlan) -> Result<ResourceRequest> {
+        self.try_score_features(featurize_plan(plan))
+    }
+
+    /// Rejects feature vectors of the wrong width up front: past this point
+    /// a malformed row would only surface inside a worker batch, where a
+    /// panic would kill the worker and strand every completion in the batch.
+    fn validate_width(&self, features: &[f64]) -> Result<()> {
+        if features.len() != self.shared.feature_width {
+            return Err(ServeError::Scoring(format!(
+                "feature vector has {} columns, the model expects {}",
+                features.len(),
+                self.shared.feature_width
+            )));
+        }
+        Ok(())
+    }
+
+    /// [`score`](Self::score) for a caller that already featurized the plan.
+    pub fn score_features(&self, features: Vec<f64>) -> Result<ResourceRequest> {
+        self.validate_width(&features)?;
+        if self.try_claim_inline() {
+            return self.score_inline_claimed(&features);
+        }
+        let done = {
+            let mut queue = lock(&self.shared.queue);
+            loop {
+                if self.shared.shutdown.load(Ordering::Acquire) {
+                    return Err(ServeError::ShutDown);
+                }
+                if queue.len() < self.shared.config.queue_capacity {
+                    break;
+                }
+                queue = self
+                    .shared
+                    .not_full
+                    .wait(queue)
+                    .unwrap_or_else(|poison| poison.into_inner());
+            }
+            self.enqueue(&mut queue, features)
+        };
+        self.shared.not_empty.notify_one();
+        done.wait()
+    }
+
+    /// [`try_score`](Self::try_score) for a caller that already featurized
+    /// the plan.
+    pub fn try_score_features(&self, features: Vec<f64>) -> Result<ResourceRequest> {
+        self.validate_width(&features)?;
+        if self.try_claim_inline() {
+            return self.score_inline_claimed(&features);
+        }
+        let done = {
+            let mut queue = lock(&self.shared.queue);
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return Err(ServeError::ShutDown);
+            }
+            if queue.len() >= self.shared.config.queue_capacity {
+                self.shared.stats.record_dropped();
+                return Err(ServeError::Saturated);
+            }
+            self.enqueue(&mut queue, features)
+        };
+        self.shared.not_empty.notify_one();
+        done.wait()
+    }
+
+    fn enqueue(
+        &self,
+        queue: &mut StdMutexGuard<'_, VecDeque<Request>>,
+        features: Vec<f64>,
+    ) -> Arc<Completion> {
+        let done = Arc::new(Completion::default());
+        queue.push_back(Request {
+            features,
+            done: Arc::clone(&done),
+        });
+        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        done
+    }
+
+    /// Attempts to claim an inline-scoring slot: succeeds only when the
+    /// shortcut is enabled, workers exist to drain the queue otherwise, and
+    /// fewer than `inline_max_in_flight` requests are in flight anywhere.
+    /// Lightly loaded traffic is judged on the *in-flight* count, not on
+    /// "queue empty" — under concurrent submission the queue stays empty
+    /// exactly because everyone would take the shortcut. Load beyond the
+    /// bound overflows into the queue, where the batch window amortizes it.
+    /// On success the caller holds one in-flight slot and must score and
+    /// release via [`score_inline_claimed`](Self::score_inline_claimed).
+    fn try_claim_inline(&self) -> bool {
+        if !self.shared.config.inline_when_idle
+            || self.worker_count == 0
+            || self.shared.shutdown.load(Ordering::Acquire)
+        {
+            return false;
+        }
+        let limit = self.shared.config.inline_max_in_flight;
+        let mut current = self.shared.in_flight.load(Ordering::Acquire);
+        while current < limit {
+            match self.shared.in_flight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+        false
+    }
+
+    /// Scores on the submitting thread; the caller must hold an in-flight
+    /// claim from [`try_claim_inline`](Self::try_claim_inline).
+    fn score_inline_claimed(&self, features: &[f64]) -> Result<ResourceRequest> {
+        let result = self.shared.score_one(features);
+        self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        if result.is_ok() {
+            self.shared.stats.record_inline();
+        } else {
+            self.shared.stats.record_error();
+        }
+        result
+    }
+
+    /// A point-in-time snapshot of the runtime counters.
+    pub fn stats(&self) -> RuntimeStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Requests currently queued (excludes batches being scored).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.pending.load(Ordering::Acquire)
+    }
+
+    /// The model name this runtime serves.
+    pub fn model_name(&self) -> &str {
+        &self.shared.model_name
+    }
+
+    /// Stops the runtime: in-flight batches finish, queued-but-undrained
+    /// requests fail with [`ServeError::ShutDown`], workers are joined.
+    /// Callable on a shared handle (e.g. through an `Arc`); subsequent
+    /// calls are no-ops, and dropping the runtime shuts it down too.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        let abandoned: Vec<Request> = {
+            let mut queue = lock(&self.shared.queue);
+            let abandoned: Vec<Request> = queue.drain(..).collect();
+            self.shared
+                .pending
+                .fetch_sub(abandoned.len(), Ordering::AcqRel);
+            self.shared
+                .in_flight
+                .fetch_sub(abandoned.len(), Ordering::AcqRel);
+            abandoned
+        };
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for request in abandoned {
+            self.shared.stats.record_error();
+            request.done.fulfill(Err(ServeError::ShutDown));
+        }
+        for worker in lock(&self.workers).drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ScoringRuntime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

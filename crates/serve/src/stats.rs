@@ -1,0 +1,250 @@
+//! Runtime counters, batch-size accounting, and latency summaries.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex as StdMutex;
+use std::time::Duration;
+
+/// Interior counters shared between workers and submitters.
+#[derive(Debug, Default)]
+pub(crate) struct StatsInner {
+    completed: AtomicU64,
+    inline_scored: AtomicU64,
+    batches: AtomicU64,
+    dropped: AtomicU64,
+    errors: AtomicU64,
+    /// `histogram[i]` counts worker batches of size `i + 1`; sizes beyond
+    /// the vector (after a config change) land in the last bucket.
+    histogram: StdMutex<Vec<u64>>,
+}
+
+impl StatsInner {
+    pub(crate) fn new(max_batch: usize) -> Self {
+        Self {
+            histogram: StdMutex::new(vec![0; max_batch.max(1)]),
+            ..Default::default()
+        }
+    }
+
+    pub(crate) fn record_inline(&self) {
+        self.inline_scored.fetch_add(1, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self, size: usize, failed: bool) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if failed {
+            self.errors.fetch_add(size as u64, Ordering::Relaxed);
+        } else {
+            self.completed.fetch_add(size as u64, Ordering::Relaxed);
+        }
+        let mut hist = self
+            .histogram
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        let bucket = size.clamp(1, hist.len()) - 1;
+        hist[bucket] += 1;
+    }
+
+    pub(crate) fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_dropped(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> RuntimeStats {
+        RuntimeStats {
+            completed: self.completed.load(Ordering::Relaxed),
+            inline_scored: self.inline_scored.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            batch_size_histogram: self
+                .histogram
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner())
+                .clone(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the runtime's counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Successfully scored requests (inline + batched).
+    pub completed: u64,
+    /// Requests served on the submitting thread via the idle shortcut.
+    pub inline_scored: u64,
+    /// Worker batches processed.
+    pub batches: u64,
+    /// Requests rejected by `try_score` because the queue was full.
+    pub dropped: u64,
+    /// Requests that completed with an error.
+    pub errors: u64,
+    /// `batch_size_histogram[i]` = number of worker batches of size `i + 1`.
+    pub batch_size_histogram: Vec<u64>,
+}
+
+impl RuntimeStats {
+    /// Requests that went through worker batches (completed minus inline).
+    pub fn batched(&self) -> u64 {
+        self.completed.saturating_sub(self.inline_scored)
+    }
+
+    /// Mean worker-batch size (0.0 when no batches ran).
+    pub fn mean_batch_size(&self) -> f64 {
+        let batches: u64 = self.batch_size_histogram.iter().sum();
+        if batches == 0 {
+            return 0.0;
+        }
+        let requests: u64 = self
+            .batch_size_histogram
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| (i as u64 + 1) * count)
+            .sum();
+        requests as f64 / batches as f64
+    }
+}
+
+/// Client-side latency collector: each load-generator thread records its
+/// per-request latencies, then recorders are merged and summarized into
+/// p50/p99 for the serving benchmark.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples_ns: Vec<u64>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty recorder with room for `n` samples.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            samples_ns: Vec::with_capacity(n),
+        }
+    }
+
+    /// Records one request latency.
+    pub fn record(&mut self, latency: Duration) {
+        self.samples_ns.push(latency.as_nanos() as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ns.is_empty()
+    }
+
+    /// Moves another recorder's samples into this one.
+    pub fn merge(&mut self, other: LatencyRecorder) {
+        self.samples_ns.extend(other.samples_ns);
+    }
+
+    /// Sorts the samples and computes count/mean/p50/p99/max.
+    pub fn summarize(mut self) -> LatencySummary {
+        if self.samples_ns.is_empty() {
+            return LatencySummary::default();
+        }
+        self.samples_ns.sort_unstable();
+        let count = self.samples_ns.len();
+        let total: u128 = self.samples_ns.iter().map(|&ns| ns as u128).sum();
+        let at = |p: f64| {
+            // Nearest-rank percentile.
+            let rank = ((p * count as f64).ceil() as usize).clamp(1, count);
+            Duration::from_nanos(self.samples_ns[rank - 1])
+        };
+        LatencySummary {
+            count,
+            mean: Duration::from_nanos((total / count as u128) as u64),
+            p50: at(0.50),
+            p99: at(0.99),
+            max: Duration::from_nanos(*self.samples_ns.last().expect("non-empty")),
+        }
+    }
+}
+
+/// Percentile summary of a set of request latencies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Median (nearest-rank).
+    pub p50: Duration,
+    /// 99th percentile (nearest-rank).
+    pub p99: Duration,
+    /// Worst observed latency.
+    pub max: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_and_mean_batch_size() {
+        let inner = StatsInner::new(4);
+        inner.record_batch(1, false);
+        inner.record_batch(3, false);
+        inner.record_batch(3, false);
+        inner.record_batch(9, false); // clamped into the last bucket
+        let snap = inner.snapshot();
+        assert_eq!(snap.batch_size_histogram, vec![1, 0, 2, 1]);
+        assert_eq!(snap.completed, 16);
+        assert_eq!(snap.batches, 4);
+        // Mean over the histogram uses clamped sizes: (1 + 3 + 3 + 4) / 4.
+        assert!((snap.mean_batch_size() - 2.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inline_and_batched_accounting() {
+        let inner = StatsInner::new(8);
+        inner.record_inline();
+        inner.record_inline();
+        inner.record_batch(5, false);
+        inner.record_batch(2, true);
+        inner.record_error();
+        inner.record_dropped();
+        let snap = inner.snapshot();
+        assert_eq!(snap.completed, 7);
+        assert_eq!(snap.inline_scored, 2);
+        assert_eq!(snap.batched(), 5);
+        assert_eq!(snap.errors, 3);
+        assert_eq!(snap.dropped, 1);
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let mut rec = LatencyRecorder::with_capacity(100);
+        for i in 1..=100u64 {
+            rec.record(Duration::from_micros(i));
+        }
+        let mut other = LatencyRecorder::new();
+        other.record(Duration::from_micros(1000));
+        rec.merge(other);
+        assert_eq!(rec.len(), 101);
+        let summary = rec.summarize();
+        assert_eq!(summary.count, 101);
+        assert_eq!(summary.p50, Duration::from_micros(51));
+        assert_eq!(summary.p99, Duration::from_micros(100));
+        assert_eq!(summary.max, Duration::from_micros(1000));
+        assert!(summary.mean >= Duration::from_micros(50));
+    }
+
+    #[test]
+    fn empty_recorder_summarizes_to_zero() {
+        let summary = LatencyRecorder::new().summarize();
+        assert_eq!(summary.count, 0);
+        assert_eq!(summary.p99, Duration::ZERO);
+    }
+}

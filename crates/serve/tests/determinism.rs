@@ -1,0 +1,196 @@
+//! Regression tests pinning the serving runtime against the sequential
+//! `AutoExecutorRule`:
+//!
+//! * deterministic mode produces **bit-identical** `ResourceRequest`s to
+//!   the sequential rule over the synthetic suite, and
+//! * N threads × M queries through one concurrent runtime produce the same
+//!   per-query results as the sequential rule (determinism under
+//!   concurrency).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ae_serve::{RuntimeConfig, ScoringRuntime};
+use ae_workload::{QueryInstance, ScaleFactor, WorkloadGenerator};
+use autoexecutor::optimizer::ResourceRequest;
+use autoexecutor::prelude::*;
+use autoexecutor::ModelRegistry;
+
+fn fixture() -> (Arc<ModelRegistry>, AutoExecutorConfig, Vec<QueryInstance>) {
+    let generator = WorkloadGenerator::new(ScaleFactor::SF10);
+    let training: Vec<QueryInstance> = ["q1", "q5", "q12", "q42", "q69", "q94", "q23b", "q77"]
+        .iter()
+        .map(|n| generator.instance(n))
+        .collect();
+    let mut config = AutoExecutorConfig::default();
+    config.forest.n_estimators = 12;
+    config.training_run.noise_cv = 0.0;
+    let (_, model) = train_from_workload(&training, &config).unwrap();
+    let registry = Arc::new(ModelRegistry::in_memory());
+    registry
+        .register("ppm", model.to_portable("ppm").unwrap())
+        .unwrap();
+    // A disjoint scoring set, large enough to form real batches.
+    let scoring: Vec<QueryInstance> = [
+        "q3", "q7", "q11", "q19", "q27", "q34", "q39a", "q46", "q55", "q59", "q64", "q68", "q72",
+        "q79", "q88", "q96", "q14b", "q2", "q31", "q50", "q65", "q80", "q93", "q99",
+    ]
+    .iter()
+    .map(|n| generator.instance(n))
+    .collect();
+    (registry, config, scoring)
+}
+
+/// Scores every query through the pre-PR-equivalent sequential path: an
+/// `Optimizer` with the `AutoExecutorRule` registered last, one query at a
+/// time.
+fn sequential_requests(
+    registry: &Arc<ModelRegistry>,
+    config: &AutoExecutorConfig,
+    queries: &[QueryInstance],
+) -> Vec<ResourceRequest> {
+    let rule = AutoExecutorRule::from_config(Arc::clone(registry), "ppm", config);
+    let optimizer = Optimizer::with_default_rules().with_rule(Box::new(rule));
+    queries
+        .iter()
+        .map(|q| {
+            optimizer
+                .optimize(q.plan.clone())
+                .unwrap()
+                .resource_request
+                .unwrap()
+        })
+        .collect()
+}
+
+/// Bit-level comparison of two resource requests (executor count, PPM
+/// parameters, and every point of the predicted curve).
+fn assert_bit_identical(name: &str, sequential: &ResourceRequest, served: &ResourceRequest) {
+    assert_eq!(sequential.executors, served.executors, "{name}: executors");
+    let seq_params: Vec<u64> = sequential
+        .predicted_ppm
+        .parameters()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let srv_params: Vec<u64> = served
+        .predicted_ppm
+        .parameters()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    assert_eq!(seq_params, srv_params, "{name}: ppm parameters");
+    let seq_curve: Vec<(usize, u64)> = sequential
+        .predicted_curve
+        .iter()
+        .map(|&(n, t)| (n, t.to_bits()))
+        .collect();
+    let srv_curve: Vec<(usize, u64)> = served
+        .predicted_curve
+        .iter()
+        .map(|&(n, t)| (n, t.to_bits()))
+        .collect();
+    assert_eq!(seq_curve, srv_curve, "{name}: predicted curve");
+}
+
+#[test]
+fn deterministic_mode_is_bit_identical_to_sequential_rule() {
+    let (registry, config, queries) = fixture();
+    let sequential = sequential_requests(&registry, &config, &queries);
+
+    // The rule's optimizer pipeline applies CollapseProjects/CombineFilters
+    // before the AutoExecutor rule; mirror it for the serving path, which
+    // scores already-optimized plans.
+    let rewriter = Optimizer::with_default_rules();
+    let runtime = ScoringRuntime::new(
+        Arc::clone(&registry),
+        "ppm",
+        RuntimeConfig::deterministic(&config),
+    );
+    for (query, seq) in queries.iter().zip(&sequential) {
+        let optimized = rewriter.optimize(query.plan.clone()).unwrap().plan;
+        let served = runtime.score(&optimized).unwrap();
+        assert_bit_identical(&query.name, seq, &served);
+    }
+    let stats = runtime.stats();
+    assert_eq!(stats.completed, queries.len() as u64);
+    assert_eq!(stats.dropped, 0);
+    assert_eq!(stats.errors, 0);
+    // Deterministic mode routes everything through the single FIFO worker.
+    assert_eq!(stats.inline_scored, 0);
+    runtime.shutdown();
+}
+
+#[test]
+fn concurrent_scoring_matches_sequential_results() {
+    let (registry, config, queries) = fixture();
+    let sequential = sequential_requests(&registry, &config, &queries);
+    let expected: HashMap<String, ResourceRequest> = queries
+        .iter()
+        .zip(&sequential)
+        .map(|(q, r)| (q.name.clone(), r.clone()))
+        .collect();
+
+    let rewriter = Optimizer::with_default_rules();
+    let optimized: Vec<(String, ae_engine::plan::QueryPlan)> = queries
+        .iter()
+        .map(|q| {
+            (
+                q.name.clone(),
+                rewriter.optimize(q.plan.clone()).unwrap().plan,
+            )
+        })
+        .collect();
+
+    // A deliberately batching-heavy configuration: 2 workers, small window,
+    // inline shortcut enabled (both paths must agree anyway).
+    let runtime = Arc::new(ScoringRuntime::new(
+        Arc::clone(&registry),
+        "ppm",
+        RuntimeConfig::from_auto_executor(&config)
+            .with_workers(2)
+            .with_max_batch(8),
+    ));
+    runtime.warm().unwrap();
+
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 3;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let runtime = Arc::clone(&runtime);
+            let optimized = optimized.clone();
+            std::thread::spawn(move || {
+                let mut results = Vec::new();
+                for round in 0..ROUNDS {
+                    // Each thread walks the suite from a different offset so
+                    // batches mix queries.
+                    for i in 0..optimized.len() {
+                        let (name, plan) = &optimized[(i + t * 3 + round) % optimized.len()];
+                        let request = runtime.score(plan).unwrap();
+                        results.push((name.clone(), request));
+                    }
+                }
+                results
+            })
+        })
+        .collect();
+
+    let mut total = 0usize;
+    for handle in handles {
+        for (name, served) in handle.join().unwrap() {
+            assert_bit_identical(&name, &expected[&name], &served);
+            total += 1;
+        }
+    }
+    assert_eq!(total, THREADS * ROUNDS * optimized.len());
+
+    let stats = runtime.stats();
+    assert_eq!(stats.completed, total as u64);
+    assert_eq!(stats.dropped, 0);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(
+        stats.inline_scored + stats.batched(),
+        stats.completed,
+        "every request is either inline or batched"
+    );
+}

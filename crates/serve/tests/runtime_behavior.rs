@@ -1,0 +1,204 @@
+//! Behavioural tests of the serving runtime: the inline idle shortcut,
+//! backpressure and saturation, shutdown semantics, missing models, and
+//! RCU-style pickup of model re-registration.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ae_serve::{RuntimeConfig, ScoringRuntime, ServeError};
+use ae_workload::{QueryInstance, ScaleFactor, WorkloadGenerator};
+use autoexecutor::prelude::*;
+use autoexecutor::ModelRegistry;
+
+fn fixture(seed: u64) -> (Arc<ModelRegistry>, AutoExecutorConfig, Vec<QueryInstance>) {
+    let generator = WorkloadGenerator::new(ScaleFactor::SF10);
+    let training: Vec<QueryInstance> = ["q3", "q19", "q55", "q68", "q79", "q94"]
+        .iter()
+        .map(|n| generator.instance(n))
+        .collect();
+    let mut config = AutoExecutorConfig::default();
+    config.forest.n_estimators = 8;
+    config.forest.seed = seed;
+    config.training_run.noise_cv = 0.0;
+    let (_, model) = train_from_workload(&training, &config).unwrap();
+    let registry = Arc::new(ModelRegistry::in_memory());
+    registry
+        .register("ppm", model.to_portable("ppm").unwrap())
+        .unwrap();
+    let scoring = ["q7", "q11", "q27"]
+        .iter()
+        .map(|n| generator.instance(n))
+        .collect();
+    (registry, config, scoring)
+}
+
+#[test]
+fn idle_runtime_scores_inline() {
+    let (registry, config, queries) = fixture(1);
+    let runtime = ScoringRuntime::new(registry, "ppm", RuntimeConfig::from_auto_executor(&config));
+    runtime.warm().unwrap();
+    for query in &queries {
+        let request = runtime.score(&query.plan).unwrap();
+        assert!((1..=48).contains(&request.executors));
+    }
+    let stats = runtime.stats();
+    // A single uncontended submitter always finds the queue empty.
+    assert_eq!(stats.inline_scored, queries.len() as u64);
+    assert_eq!(stats.batches, 0);
+}
+
+#[test]
+fn missing_model_surfaces_as_model_error() {
+    let registry = Arc::new(ModelRegistry::in_memory());
+    let config = AutoExecutorConfig::default();
+    let runtime = ScoringRuntime::new(
+        Arc::clone(&registry),
+        "absent",
+        RuntimeConfig::deterministic(&config),
+    );
+    let plan = WorkloadGenerator::new(ScaleFactor::SF10)
+        .instance("q7")
+        .plan;
+    match runtime.score(&plan) {
+        Err(ServeError::Model(msg)) => assert!(msg.contains("absent")),
+        other => panic!("expected a model error, got {other:?}"),
+    }
+    assert_eq!(runtime.stats().errors, 1);
+}
+
+#[test]
+fn saturation_rejects_and_counts_dropped_requests() {
+    let (registry, config, queries) = fixture(2);
+    // No workers and no inline shortcut: requests queue and stay queued, so
+    // the admission bound is exercised deterministically.
+    let runtime = Arc::new(ScoringRuntime::new(
+        registry,
+        "ppm",
+        RuntimeConfig::deterministic(&config)
+            .with_workers(0)
+            .with_queue_capacity(2),
+    ));
+    let blocked: Vec<_> = (0..2)
+        .map(|_| {
+            let runtime = Arc::clone(&runtime);
+            let plan = queries[0].plan.clone();
+            std::thread::spawn(move || runtime.score(&plan))
+        })
+        .collect();
+    // Wait until both requests sit in the queue.
+    while runtime.queue_depth() < 2 {
+        std::thread::yield_now();
+    }
+    assert!(matches!(
+        runtime.try_score(&queries[1].plan),
+        Err(ServeError::Saturated)
+    ));
+    assert_eq!(runtime.stats().dropped, 1);
+
+    // Shutdown (on the shared handle) fails the parked requests instead of
+    // leaking them.
+    runtime.shutdown();
+    for handle in blocked {
+        assert!(matches!(handle.join().unwrap(), Err(ServeError::ShutDown)));
+    }
+}
+
+#[test]
+fn malformed_feature_width_is_rejected_up_front() {
+    let (registry, config, queries) = fixture(6);
+    let runtime = ScoringRuntime::new(registry, "ppm", RuntimeConfig::deterministic(&config));
+    // Wrong-width rows must be rejected at submission (both entry points),
+    // not panic inside a worker batch.
+    for bad in [vec![], vec![1.0; 3]] {
+        assert!(matches!(
+            runtime.score_features(bad.clone()),
+            Err(ServeError::Scoring(_))
+        ));
+        assert!(matches!(
+            runtime.try_score_features(bad),
+            Err(ServeError::Scoring(_))
+        ));
+    }
+    // The runtime stays fully operational afterwards.
+    assert!(runtime.score(&queries[0].plan).is_ok());
+}
+
+#[test]
+fn scoring_after_shutdown_fails_cleanly() {
+    let (registry, config, queries) = fixture(3);
+    let runtime = ScoringRuntime::new(
+        Arc::clone(&registry),
+        "ppm",
+        RuntimeConfig::deterministic(&config),
+    );
+    runtime.score(&queries[0].plan).unwrap();
+    // Shutdown consumes the runtime; re-create and drop to exercise Drop.
+    runtime.shutdown();
+    let runtime = ScoringRuntime::new(registry, "ppm", RuntimeConfig::deterministic(&config));
+    drop(runtime);
+}
+
+#[test]
+fn reregistration_is_picked_up_without_restart() {
+    let (registry, config, queries) = fixture(4);
+    let runtime = ScoringRuntime::new(
+        Arc::clone(&registry),
+        "ppm",
+        RuntimeConfig::deterministic(&config),
+    );
+    let before = runtime.score(&queries[0].plan).unwrap();
+
+    // Re-register a model trained with a different seed (an RCU swap in the
+    // registry); the runtime must serve the new model on the next request.
+    let (registry2, _, _) = fixture(99);
+    let replacement = registry2.load("ppm").unwrap();
+    registry.register("ppm", (*replacement).clone()).unwrap();
+    let after = runtime.score(&queries[0].plan).unwrap();
+
+    assert_ne!(
+        before.predicted_ppm.parameters(),
+        after.predicted_ppm.parameters(),
+        "a different forest must predict different parameters"
+    );
+}
+
+#[test]
+fn batch_window_forms_batches_under_load() {
+    let (registry, config, queries) = fixture(5);
+    let runtime = Arc::new(ScoringRuntime::new(
+        registry,
+        "ppm",
+        RuntimeConfig::from_auto_executor(&config)
+            .with_workers(1)
+            .with_max_batch(16)
+            .with_batch_window(Duration::from_millis(2))
+            .with_inline_when_idle(false),
+    ));
+    runtime.warm().unwrap();
+    let handles: Vec<_> = (0..6)
+        .map(|t| {
+            let runtime = Arc::clone(&runtime);
+            let plan = queries[t % queries.len()].plan.clone();
+            std::thread::spawn(move || {
+                let mut served = 0usize;
+                for _ in 0..10 {
+                    runtime.score(&plan).unwrap();
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+    let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total, 60);
+    let stats = runtime.stats();
+    assert_eq!(stats.completed, 60);
+    assert_eq!(stats.errors, 0);
+    // With 6 competing submitters and a batch window, at least one batch
+    // must have scored more than one request.
+    assert!(
+        stats.mean_batch_size() > 1.0,
+        "expected micro-batching, histogram {:?}",
+        stats.batch_size_histogram
+    );
+}

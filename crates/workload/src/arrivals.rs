@@ -1,0 +1,178 @@
+//! Request-arrival generators for the serving path.
+//!
+//! The offline evaluation replays the suite once, query after query. A
+//! serving benchmark instead needs a *request process*: which query arrives
+//! when, at what rate, from how many clients. Two standard load shapes are
+//! provided (both fully deterministic given a seed):
+//!
+//! * **Open loop** ([`OpenLoop`]) — requests arrive on a Poisson process at
+//!   a target rate regardless of how fast the system responds (exponential
+//!   inter-arrival times), the shape used by PixelsDB-style per-query
+//!   service-level evaluations. Queues grow when the system falls behind —
+//!   exactly the behaviour a latency benchmark must expose.
+//! * **Closed loop** ([`ClosedLoop`]) — a fixed number of clients each
+//!   submit their next request as soon as the previous one completes,
+//!   measuring sustained throughput under full backpressure.
+//!
+//! Query indices refer to positions in whatever suite the caller replays
+//! (usually [`crate::WorkloadGenerator::suite`]).
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{derive_stream_seed, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One scheduled request of an open-loop run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Arrival {
+    /// Offset from the start of the run at which the request is issued.
+    pub at: Duration,
+    /// Index of the query to score (into the replayed suite).
+    pub query_index: usize,
+}
+
+/// An open-loop (Poisson) arrival process at a target request rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpenLoop {
+    /// Target arrival rate in requests per second (must be positive).
+    pub rate_qps: f64,
+    /// Total number of requests to schedule.
+    pub requests: usize,
+    /// Seed for inter-arrival and query-choice randomness.
+    pub seed: u64,
+}
+
+impl OpenLoop {
+    /// Creates an open-loop process.
+    pub fn new(rate_qps: f64, requests: usize, seed: u64) -> Self {
+        Self {
+            rate_qps,
+            requests,
+            seed,
+        }
+    }
+
+    /// Materialises the full arrival schedule over a suite of
+    /// `num_queries` queries: exponential inter-arrival gaps at
+    /// `rate_qps`, uniformly random query choice. Arrival times are
+    /// strictly non-decreasing.
+    ///
+    /// Inter-arrival and query-choice randomness draw from independent
+    /// seed streams, so changing the request count never reshuffles which
+    /// queries earlier requests map to.
+    pub fn schedule(&self, num_queries: usize) -> Vec<Arrival> {
+        assert!(self.rate_qps > 0.0, "open-loop rate must be positive");
+        assert!(num_queries > 0, "cannot schedule over an empty suite");
+        let mut gaps = StdRng::seed_from_u64(derive_stream_seed(self.seed, 0));
+        let mut picks = StdRng::seed_from_u64(derive_stream_seed(self.seed, 1));
+        let mut at = 0.0f64;
+        (0..self.requests)
+            .map(|_| {
+                // Inverse-CDF exponential sample; 1 - u keeps the argument
+                // of ln strictly positive (u is in [0, 1)).
+                let u: f64 = gaps.gen();
+                at += -(1.0 - u).ln() / self.rate_qps;
+                Arrival {
+                    at: Duration::from_secs_f64(at),
+                    query_index: picks.gen_range(0..num_queries),
+                }
+            })
+            .collect()
+    }
+}
+
+/// A closed-loop load shape: `clients` concurrent clients, each issuing
+/// `requests_per_client` back-to-back requests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClosedLoop {
+    /// Number of concurrent clients.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Seed for the per-client query sequences.
+    pub seed: u64,
+}
+
+impl ClosedLoop {
+    /// Creates a closed-loop shape.
+    pub fn new(clients: usize, requests_per_client: usize, seed: u64) -> Self {
+        Self {
+            clients,
+            requests_per_client,
+            seed,
+        }
+    }
+
+    /// The query sequence of each client: uniformly random indices into a
+    /// suite of `num_queries`, one independent seed stream per client so
+    /// sequences do not depend on client scheduling or count.
+    pub fn sequences(&self, num_queries: usize) -> Vec<Vec<usize>> {
+        assert!(num_queries > 0, "cannot schedule over an empty suite");
+        (0..self.clients)
+            .map(|client| {
+                let mut rng = StdRng::seed_from_u64(derive_stream_seed(self.seed, client as u64));
+                (0..self.requests_per_client)
+                    .map(|_| rng.gen_range(0..num_queries))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_loop_schedule_is_deterministic_and_ordered() {
+        let process = OpenLoop::new(500.0, 200, 7);
+        let a = process.schedule(103);
+        let b = process.schedule(103);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        for pair in a.windows(2) {
+            assert!(pair[0].at <= pair[1].at, "arrivals must be ordered");
+        }
+        assert!(a.iter().all(|arr| arr.query_index < 103));
+    }
+
+    #[test]
+    fn open_loop_rate_is_roughly_respected() {
+        let process = OpenLoop::new(1000.0, 5000, 42);
+        let schedule = process.schedule(10);
+        let span = schedule.last().unwrap().at.as_secs_f64();
+        let empirical_rate = schedule.len() as f64 / span;
+        assert!(
+            (empirical_rate / 1000.0 - 1.0).abs() < 0.1,
+            "empirical rate {empirical_rate} too far from 1000"
+        );
+    }
+
+    #[test]
+    fn open_loop_prefix_is_stable_across_request_counts() {
+        let short = OpenLoop::new(100.0, 50, 3).schedule(20);
+        let long = OpenLoop::new(100.0, 500, 3).schedule(20);
+        assert_eq!(&long[..50], &short[..]);
+    }
+
+    #[test]
+    fn closed_loop_sequences_are_per_client_stable() {
+        let shape = ClosedLoop::new(4, 25, 11);
+        let seqs = shape.sequences(103);
+        assert_eq!(seqs.len(), 4);
+        assert!(seqs.iter().all(|s| s.len() == 25));
+        assert!(seqs.iter().flatten().all(|&i| i < 103));
+        // Client 2's sequence does not depend on how many clients run.
+        let fewer = ClosedLoop::new(3, 25, 11).sequences(103);
+        assert_eq!(seqs[2], fewer[2]);
+        // Distinct clients draw distinct streams.
+        assert_ne!(seqs[0], seqs[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty suite")]
+    fn empty_suite_is_rejected() {
+        OpenLoop::new(10.0, 1, 0).schedule(0);
+    }
+}

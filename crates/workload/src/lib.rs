@@ -16,14 +16,20 @@
 //!
 //! Both generators are seeded and fully deterministic, so every experiment
 //! in the benchmark harness is reproducible.
+//!
+//! For the serving path, [`arrivals`] turns either suite into a *request
+//! process*: open-loop Poisson arrivals at a target rate, or closed-loop
+//! per-client request sequences (both deterministic given a seed).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod arrivals;
 pub mod generator;
 pub mod production;
 pub mod templates;
 
+pub use arrivals::{Arrival, ClosedLoop, OpenLoop};
 pub use generator::{QueryInstance, WorkloadGenerator};
 pub use production::{ApplicationTelemetry, ProductionWorkload, ProductionWorkloadConfig};
 pub use templates::{QueryTemplate, ScaleFactor, TPCDS_QUERY_COUNT};

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # CI gate for the AutoExecutor workspace.
 #
-# Runs the tier-1 verification (release build + tests), lint/format gates,
-# and a quick criterion smoke over the two benches most sensitive to
-# scheduler/training regressions. Pass --full to also run the full bench
-# suite (slow).
+# Runs the tier-1 verification (release build + tests), lint/format gates
+# over every workspace crate (including ae-serve), a quick criterion smoke
+# over the two benches most sensitive to scheduler/training regressions,
+# and a serving smoke (short fixed-duration bench_serving run that must
+# sustain qps > 0 with zero dropped requests). Pass --full to also run the
+# full bench suite (slow).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,6 +25,9 @@ cargo fmt --all -- --check
 echo "==> bench smoke (quick samples)"
 cargo bench --offline -p ae-bench --bench bench_simulation -- --quick
 cargo bench --offline -p ae-bench --bench bench_training -- --quick forest_fit
+
+echo "==> serving smoke (fixed-duration run; asserts qps > 0, zero dropped)"
+cargo run --offline --release -p ae-bench --bin bench_serving -- --smoke
 
 if [[ "${1:-}" == "--full" ]]; then
     echo "==> full bench suite"

@@ -10,6 +10,7 @@
 pub use ae_engine;
 pub use ae_ml;
 pub use ae_ppm;
+pub use ae_serve;
 pub use ae_sparklens;
 pub use ae_workload;
 pub use autoexecutor;
