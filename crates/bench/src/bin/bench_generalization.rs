@@ -1,0 +1,221 @@
+//! Cross-family generalization benchmark: trains the parameter model on each
+//! workload family in turn and scores every family's suite, emitting the
+//! full train-family × test-family accuracy matrix.
+//!
+//! Families covered (the builtin registry): `tpcds` (deep,
+//! aggregation-heavy), `tpch` (shallow, scan/join-heavy), `skew`
+//! (heavy-tailed sizes, stragglers, extreme elbows). Matrix entries are the
+//! mean of the paper's `E(n)` metric over the evaluation executor counts;
+//! the diagonal is the in-family reference, the off-diagonal cells measure
+//! transfer to a family the model never saw.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ae-bench --bin bench_generalization                 # full run
+//! cargo run --release -p ae-bench --bin bench_generalization -- --smoke     # CI gate
+//! cargo run --release -p ae-bench --bin bench_generalization -- --json BENCH_generalization.json
+//! ```
+//!
+//! `--smoke` shrinks every knob (query subsets, one ground-truth repeat, a
+//! small forest, three evaluation counts) and exits non-zero unless the
+//! matrix covers every family pair with finite errors — in particular the
+//! train-on-TPC-DS-like / score-TPC-H-like cell the CI gate is about.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use ae_bench::experiments::generalization::print_matrix;
+use ae_workload::{BuiltinFamily, ScaleFactor, WorkloadGenerator};
+use autoexecutor::evaluation::{
+    generalization_matrix, ActualRuns, FamilyEvalSet, GeneralizationMatrix,
+};
+use autoexecutor::{AutoExecutorConfig, TrainingData};
+
+struct Args {
+    smoke: bool,
+    sf: u32,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        sf: 10,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--sf" => {
+                args.sf = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--sf needs a number");
+            }
+            "--json" => args.json = it.next(),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    args
+}
+
+/// Ground-truth repeats (full mode matches the experiment harness).
+const FULL_REPEATS: usize = 3;
+
+fn build_eval_sets(
+    config: &AutoExecutorConfig,
+    sf: ScaleFactor,
+    eval_counts: &[usize],
+    smoke: bool,
+) -> Vec<FamilyEvalSet> {
+    BuiltinFamily::ALL
+        .into_iter()
+        .map(|family| {
+            let mut suite = WorkloadGenerator::builtin(family, sf).suite();
+            if smoke {
+                // An evenly-strided subset keeps each family's diversity
+                // (the skew suite alternates its bimodal draws, so a prefix
+                // would be lopsided).
+                suite = suite.into_iter().step_by(2).take(12).collect();
+            }
+            eprintln!(
+                "==> {family}: collecting training data + ground truth ({} queries)",
+                suite.len()
+            );
+            let data = TrainingData::collect(&suite, config).expect("training-data collection");
+            let repeats = if smoke { 1 } else { FULL_REPEATS };
+            let actuals =
+                ActualRuns::collect(&suite, eval_counts, repeats, &config.cluster, 0xAE_2023)
+                    .expect("ground-truth collection");
+            FamilyEvalSet {
+                family: family.key().to_string(),
+                suite,
+                data,
+                actuals,
+            }
+        })
+        .collect()
+}
+
+fn write_json(path: &str, sf: u32, matrix: &GeneralizationMatrix) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"comment\": \"Cross-family generalization: the parameter model is trained on each \
+         workload family's full suite and scored on every family's suite. Entries are the mean \
+         E(n) (Equation 6) over the evaluation executor counts; diagonal = in-family reference, \
+         off-diagonal = transfer to an unseen family. Regenerate with: cargo run --release -p \
+         ae-bench --bin bench_generalization -- --json BENCH_generalization.json\",\n",
+    );
+    out.push_str(&format!(
+        "  \"host\": \"{}-core container (release profile)\",\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    out.push_str(&format!("  \"scale_factor\": {sf},\n"));
+    out.push_str(&format!(
+        "  \"families\": [{}],\n",
+        matrix
+            .families
+            .iter()
+            .map(|f| format!("\"{f}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!("  \"eval_counts\": {:?},\n", matrix.eval_counts));
+    out.push_str(&format!(
+        "  \"generalization_gap\": {:.4},\n",
+        matrix.generalization_gap()
+    ));
+    out.push_str("  \"matrix\": [\n");
+    for (i, cell) in matrix.cells.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!(
+            "      \"train_family\": \"{}\",\n      \"test_family\": \"{}\",\n",
+            cell.train_family, cell.test_family
+        ));
+        out.push_str(&format!("      \"mean_error\": {:.4},\n", cell.mean_error));
+        let per_count: Vec<String> = cell
+            .error_by_count
+            .iter()
+            .map(|(n, e)| format!("\"{n}\": {e:.4}"))
+            .collect();
+        out.push_str(&format!(
+            "      \"error_by_count\": {{{}}}\n",
+            per_count.join(", ")
+        ));
+        out.push_str("    }");
+        out.push_str(if i + 1 < matrix.cells.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    let mut file = std::fs::File::create(path).expect("create json output");
+    file.write_all(out.as_bytes()).expect("write json output");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let args = parse_args();
+    let sf = ScaleFactor(args.sf);
+    let start = Instant::now();
+
+    let mut config = AutoExecutorConfig::default();
+    let eval_counts: Vec<usize> = if args.smoke {
+        config.forest.n_estimators = 16;
+        config.training_run.noise_cv = 0.0;
+        vec![1, 8, 48]
+    } else {
+        config.training_counts.to_vec()
+    };
+
+    let sets = build_eval_sets(&config, sf, &eval_counts, args.smoke);
+    eprintln!(
+        "==> training one model per family and scoring the {0}x{0} matrix",
+        sets.len()
+    );
+    let matrix =
+        generalization_matrix(&sets, &config, &eval_counts).expect("generalization matrix");
+    print_matrix(&matrix);
+    println!(
+        "completed in {:.1}s ({} queries per family at {sf})",
+        start.elapsed().as_secs_f64(),
+        sets.iter()
+            .map(|s| s.suite.len().to_string())
+            .collect::<Vec<_>>()
+            .join("/"),
+    );
+
+    if let Some(path) = &args.json {
+        write_json(path, args.sf, &matrix);
+    }
+
+    if args.smoke {
+        let mut failures = Vec::new();
+        let expected: Vec<&str> = BuiltinFamily::ALL.iter().map(|f| f.key()).collect();
+        if matrix.families != expected {
+            failures.push(format!("families {:?} != {expected:?}", matrix.families));
+        }
+        if matrix.cells.len() != expected.len() * expected.len() {
+            failures.push(format!(
+                "{} cells, expected {}",
+                matrix.cells.len(),
+                expected.len() * expected.len()
+            ));
+        }
+        if !matrix.is_finite() {
+            failures.push("matrix contains non-finite errors".to_string());
+        }
+        if matrix.cell("tpcds", "tpch").is_none() {
+            failures.push("missing the train=tpcds/test=tpch cell".to_string());
+        }
+        if !failures.is_empty() {
+            eprintln!("generalization smoke FAILED: {}", failures.join("; "));
+            std::process::exit(1);
+        }
+        println!("generalization smoke OK (full finite matrix over {expected:?})");
+    }
+}

@@ -23,10 +23,14 @@
 //! cargo run --release -p ae-bench --bin bench_serving            # full run
 //! cargo run --release -p ae-bench --bin bench_serving -- --smoke # CI gate
 //! cargo run --release -p ae-bench --bin bench_serving -- --json BENCH_serving.json
+//! cargo run --release -p ae-bench --bin bench_serving -- --family mixed
 //! ```
 //!
 //! `--smoke` shortens every phase and exits non-zero unless the runtime
 //! sustained qps > 0 with zero dropped requests and zero errors.
+//! `--family` selects which workload family's suite is trained on and
+//! replayed (`tpcds` by default, any registered family key, or `mixed` for
+//! a request stream spanning every builtin family).
 
 use std::io::Write as _;
 use std::sync::{Arc, Mutex};
@@ -34,7 +38,10 @@ use std::time::{Duration, Instant};
 
 use ae_engine::plan::QueryPlan;
 use ae_serve::{LatencyRecorder, LatencySummary, RuntimeConfig, RuntimeStats, ScoringRuntime};
-use ae_workload::{ClosedLoop, OpenLoop, ScaleFactor, WorkloadGenerator};
+use ae_workload::{
+    mixed_suite, ClosedLoop, FamilyRegistry, OpenLoop, QueryInstance, ScaleFactor,
+    WorkloadGenerator,
+};
 use autoexecutor::prelude::*;
 use autoexecutor::scoring;
 use autoexecutor::ModelRegistry;
@@ -43,6 +50,7 @@ struct Args {
     smoke: bool,
     threads: usize,
     seconds: f64,
+    family: String,
     json: Option<String>,
 }
 
@@ -51,6 +59,7 @@ fn parse_args() -> Args {
         smoke: false,
         threads: 8,
         seconds: 4.0,
+        family: "tpcds".to_string(),
         json: None,
     };
     let mut it = std::env::args().skip(1);
@@ -69,6 +78,9 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .expect("--seconds needs a number");
             }
+            "--family" => {
+                args.family = it.next().expect("--family needs a family key or 'mixed'");
+            }
             "--json" => args.json = it.next(),
             other => panic!("unknown argument: {other}"),
         }
@@ -77,6 +89,26 @@ fn parse_args() -> Args {
         args.seconds = args.seconds.min(0.6);
     }
     args
+}
+
+/// Resolves `--family` into the suite the benchmark trains on and replays:
+/// one registered family's suite, or `mixed` — the concatenation of every
+/// builtin family, so the request stream spans families.
+fn resolve_suite(family: &str) -> Vec<QueryInstance> {
+    let registry = FamilyRegistry::builtin();
+    if family == "mixed" {
+        return mixed_suite(registry.families(), ScaleFactor::SF10);
+    }
+    match registry.get(family) {
+        Some(f) => WorkloadGenerator::for_family(f, ScaleFactor::SF10).suite(),
+        None => {
+            eprintln!(
+                "unknown family '{family}' — expected one of {:?} or 'mixed'",
+                registry.names()
+            );
+            std::process::exit(2);
+        }
+    }
 }
 
 /// One measured serving mode.
@@ -260,9 +292,12 @@ fn main() {
     let args = parse_args();
     let duration = Duration::from_secs_f64(args.seconds);
 
-    println!("==> training the parameter model (103-query SF10 suite)");
-    let generator = WorkloadGenerator::new(ScaleFactor::SF10);
-    let suite = generator.suite();
+    let suite = resolve_suite(&args.family);
+    println!(
+        "==> training the parameter model ({}-query SF10 '{}' suite)",
+        suite.len(),
+        args.family
+    );
     let mut config = AutoExecutorConfig::default();
     config.training_run.noise_cv = 0.0;
     let (_, model) = train_from_workload(&suite, &config).expect("training");

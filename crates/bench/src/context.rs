@@ -1,97 +1,89 @@
 //! Shared, lazily-computed inputs for the experiment harness.
 //!
-//! Several figures consume the same expensive artifacts: the 103-query
-//! suites at SF=10 and SF=100, training data collected from single runs at
-//! n=16 plus Sparklens augmentation, and ground-truth ("Actual") run-time
-//! curves measured at the evaluation executor counts. The context computes
-//! each of these at most once per process.
+//! Several figures consume the same expensive artifacts: the per-family
+//! query suites at SF=10 and SF=100, training data collected from single
+//! runs at n=16 plus Sparklens augmentation, and ground-truth ("Actual")
+//! run-time curves measured at the evaluation executor counts. The context
+//! computes each of these at most once per `(family, scale factor)` pair
+//! per process.
+//!
+//! The paper's figures use the TPC-DS-like family; the no-argument
+//! accessors default to `config.workload_family` so those experiments read
+//! unchanged, while the cross-family generalization experiment asks for
+//! other families explicitly.
 
-use ae_workload::{QueryInstance, ScaleFactor, WorkloadGenerator};
+use std::collections::BTreeMap;
+
+use ae_workload::{BuiltinFamily, QueryInstance, ScaleFactor, WorkloadGenerator};
 use autoexecutor::evaluation::ActualRuns;
 use autoexecutor::{AutoExecutorConfig, TrainingData};
 
 /// Number of repeated runs used when measuring ground-truth curves.
 pub const ACTUAL_RUN_REPEATS: usize = 3;
 
+/// Cache key: one artifact per family per scale factor.
+type Key = (BuiltinFamily, u32);
+
 /// Lazily-built shared state for all experiments.
+#[derive(Default)]
 pub struct ExperimentContext {
     /// Pipeline configuration shared by the experiments (paper defaults).
     pub config: AutoExecutorConfig,
-    suite_sf10: Option<Vec<QueryInstance>>,
-    suite_sf100: Option<Vec<QueryInstance>>,
-    training_sf10: Option<TrainingData>,
-    training_sf100: Option<TrainingData>,
-    actuals_sf10: Option<ActualRuns>,
-    actuals_sf100: Option<ActualRuns>,
-}
-
-impl Default for ExperimentContext {
-    fn default() -> Self {
-        Self::new()
-    }
+    suites: BTreeMap<Key, Vec<QueryInstance>>,
+    training: BTreeMap<Key, TrainingData>,
+    actuals: BTreeMap<Key, ActualRuns>,
 }
 
 impl ExperimentContext {
     /// Creates an empty context with the paper-default configuration.
     pub fn new() -> Self {
-        Self {
-            config: AutoExecutorConfig::default(),
-            suite_sf10: None,
-            suite_sf100: None,
-            training_sf10: None,
-            training_sf100: None,
-            actuals_sf10: None,
-            actuals_sf100: None,
-        }
+        Self::default()
     }
 
-    /// The full 103-query suite at the given scale factor (cached).
-    pub fn suite(&mut self, sf: ScaleFactor) -> &[QueryInstance] {
-        let slot = if sf == ScaleFactor::SF10 {
-            &mut self.suite_sf10
-        } else {
-            &mut self.suite_sf100
-        };
-        slot.get_or_insert_with(|| {
-            eprintln!("[context] generating {sf} suite ...");
-            WorkloadGenerator::new(sf).suite()
+    /// The full suite of one family at the given scale factor (cached).
+    pub fn suite_for(&mut self, family: BuiltinFamily, sf: ScaleFactor) -> &[QueryInstance] {
+        self.suites.entry((family, sf.0)).or_insert_with(|| {
+            eprintln!("[context] generating {family} {sf} suite ...");
+            WorkloadGenerator::builtin(family, sf).suite()
         })
     }
 
+    /// The default family's suite at the given scale factor (cached).
+    pub fn suite(&mut self, sf: ScaleFactor) -> &[QueryInstance] {
+        self.suite_for(self.config.workload_family, sf)
+    }
+
     /// Training data (single n=16 run + Sparklens augmentation + PPM labels)
-    /// for the given scale factor (cached).
-    pub fn training_data(&mut self, sf: ScaleFactor) -> TrainingData {
-        if self.training_for(sf).is_none() {
+    /// for one family and scale factor (cached).
+    pub fn training_data_for(&mut self, family: BuiltinFamily, sf: ScaleFactor) -> TrainingData {
+        if !self.training.contains_key(&(family, sf.0)) {
             let config = self.config;
-            let suite = self.suite(sf).to_vec();
+            let suite = self.suite_for(family, sf).to_vec();
             eprintln!(
-                "[context] collecting training data at {sf} ({} queries) ...",
+                "[context] collecting {family} training data at {sf} ({} queries) ...",
                 suite.len()
             );
             let data = TrainingData::collect(&suite, &config).expect("training-data collection");
-            *self.training_for(sf) = Some(data);
+            self.training.insert((family, sf.0), data);
         }
-        self.training_for(sf).clone().expect("just inserted")
+        self.training[&(family, sf.0)].clone()
     }
 
-    fn training_for(&mut self, sf: ScaleFactor) -> &mut Option<TrainingData> {
-        if sf == ScaleFactor::SF10 {
-            &mut self.training_sf10
-        } else {
-            &mut self.training_sf100
-        }
+    /// The default family's training data (cached).
+    pub fn training_data(&mut self, sf: ScaleFactor) -> TrainingData {
+        self.training_data_for(self.config.workload_family, sf)
     }
 
-    /// Ground-truth run-time curves at the training counts for the given
-    /// scale factor (cached). Uses [`ACTUAL_RUN_REPEATS`] repeats with
+    /// Ground-truth run-time curves at the training counts for one family
+    /// and scale factor (cached). Uses [`ACTUAL_RUN_REPEATS`] repeats with
     /// outlier-filtered means, as in Section 5.1.
-    pub fn actuals(&mut self, sf: ScaleFactor) -> ActualRuns {
-        if self.actuals_for(sf).is_none() {
+    pub fn actuals_for(&mut self, family: BuiltinFamily, sf: ScaleFactor) -> ActualRuns {
+        if !self.actuals.contains_key(&(family, sf.0)) {
             let config = self.config;
             let counts = config.training_counts;
-            let suite = self.suite(sf).to_vec();
+            let suite = self.suite_for(family, sf).to_vec();
             eprintln!(
-                "[context] measuring ground truth at {sf} ({} queries x {} counts x {} repeats) ...",
+                "[context] measuring {family} ground truth at {sf} ({} queries x {} counts x {} repeats) ...",
                 suite.len(),
                 counts.len(),
                 ACTUAL_RUN_REPEATS
@@ -104,22 +96,20 @@ impl ExperimentContext {
                 0xAE_2023,
             )
             .expect("ground-truth collection");
-            *self.actuals_for(sf) = Some(actuals);
+            self.actuals.insert((family, sf.0), actuals);
         }
-        self.actuals_for(sf).clone().expect("just inserted")
+        self.actuals[&(family, sf.0)].clone()
     }
 
-    fn actuals_for(&mut self, sf: ScaleFactor) -> &mut Option<ActualRuns> {
-        if sf == ScaleFactor::SF10 {
-            &mut self.actuals_sf10
-        } else {
-            &mut self.actuals_sf100
-        }
+    /// The default family's ground truth (cached).
+    pub fn actuals(&mut self, sf: ScaleFactor) -> ActualRuns {
+        self.actuals_for(self.config.workload_family, sf)
     }
 
-    /// One query instance by name at a scale factor (no caching needed).
+    /// One query instance by name from the default family at a scale factor
+    /// (no caching needed).
     pub fn query(&self, name: &str, sf: ScaleFactor) -> QueryInstance {
-        WorkloadGenerator::new(sf).instance(name)
+        WorkloadGenerator::builtin(self.config.workload_family, sf).instance(name)
     }
 }
 
@@ -134,6 +124,36 @@ mod tests {
         let len_second = ctx.suite(ScaleFactor::SF10).len();
         assert_eq!(len_first, 103);
         assert_eq!(len_second, 103);
+    }
+
+    #[test]
+    fn per_family_suites_are_distinct_cache_entries() {
+        let mut ctx = ExperimentContext::new();
+        assert_eq!(
+            ctx.suite_for(BuiltinFamily::Tpch, ScaleFactor::SF10).len(),
+            22
+        );
+        assert_eq!(
+            ctx.suite_for(BuiltinFamily::Skew, ScaleFactor::SF10).len(),
+            24
+        );
+        assert_eq!(
+            ctx.suite_for(BuiltinFamily::Tpcds, ScaleFactor::SF10).len(),
+            103
+        );
+        assert!(ctx
+            .suite_for(BuiltinFamily::Tpch, ScaleFactor::SF10)
+            .iter()
+            .all(|q| q.family == "tpch"));
+    }
+
+    #[test]
+    fn default_family_follows_config() {
+        let mut ctx = ExperimentContext::new();
+        ctx.config = ctx.config.with_workload_family(BuiltinFamily::Tpch);
+        assert_eq!(ctx.suite(ScaleFactor::SF10).len(), 22);
+        let q = ctx.query("h3", ScaleFactor::SF10);
+        assert_eq!(q.family, "tpch");
     }
 
     #[test]

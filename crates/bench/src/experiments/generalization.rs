@@ -1,0 +1,71 @@
+//! Cross-family generalization: train the parameter model on one workload
+//! family, score every other family, and report the full train × test
+//! accuracy matrix.
+//!
+//! This is the paper's "predicts unseen queries" claim stressed across
+//! *workload families* rather than across held-out queries of the same
+//! suite: TPC-DS-like (deep, aggregation-heavy), TPC-H-like (shallow,
+//! scan/join-heavy), and the skew-adversarial suite (heavy tails,
+//! stragglers, extreme elbows). Off-diagonal cells show what accuracy
+//! transfer costs; the gap between them and the diagonal is the measured
+//! cross-family generalization gap.
+
+use ae_workload::{BuiltinFamily, ScaleFactor};
+use autoexecutor::evaluation::{generalization_matrix, FamilyEvalSet, GeneralizationMatrix};
+
+use crate::context::ExperimentContext;
+use crate::table;
+
+/// Builds the per-family evaluation bundles (suite, training data, ground
+/// truth) for every builtin family at one scale factor, via the context's
+/// caches.
+pub fn family_eval_sets(ctx: &mut ExperimentContext, sf: ScaleFactor) -> Vec<FamilyEvalSet> {
+    BuiltinFamily::ALL
+        .into_iter()
+        .map(|family| FamilyEvalSet {
+            family: family.key().to_string(),
+            suite: ctx.suite_for(family, sf).to_vec(),
+            data: ctx.training_data_for(family, sf),
+            actuals: ctx.actuals_for(family, sf),
+        })
+        .collect()
+}
+
+/// Prints a generalization matrix as a train-rows × test-columns table of
+/// mean `E(n)` values.
+pub fn print_matrix(matrix: &GeneralizationMatrix) {
+    let mut header = vec!["train \\ test".to_string()];
+    header.extend(matrix.families.iter().cloned());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    table::header(&header_refs);
+    for train in &matrix.families {
+        let mut row = vec![train.clone()];
+        for test in &matrix.families {
+            let cell = matrix.cell(train, test).expect("cell present");
+            row.push(table::fmt(cell.mean_error, 3));
+        }
+        table::row(&row);
+    }
+    println!(
+        "cross-family generalization gap (mean off-diagonal - mean diagonal): {}",
+        table::fmt(matrix.generalization_gap(), 3)
+    );
+}
+
+/// The `generalization` experiment: full matrix over the three builtin
+/// families at SF=10, evaluated at the training counts.
+pub fn cross_family_matrix(ctx: &mut ExperimentContext) {
+    table::section(
+        "Generalization",
+        "train-family x test-family mean E(n) (all builtin families, SF=10)",
+    );
+    let counts = ctx.config.training_counts;
+    let sets = family_eval_sets(ctx, ScaleFactor::SF10);
+    let config = ctx.config;
+    let matrix = generalization_matrix(&sets, &config, &counts).expect("generalization matrix");
+    print_matrix(&matrix);
+    println!(
+        "expected shape: diagonal lowest; tpcds<->tpch transfer moderate; the skew row/column \
+         worst (heavy tails and extreme elbows are out of distribution for both benchmarks)."
+    );
+}

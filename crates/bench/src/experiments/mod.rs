@@ -8,6 +8,7 @@
 use crate::context::ExperimentContext;
 
 pub mod allocation;
+pub mod generalization;
 pub mod model_accuracy;
 pub mod motivation;
 pub mod selection;
@@ -31,6 +32,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig15",
     "ablation",
     "overheads",
+    "generalization",
 ];
 
 /// Runs one experiment by id. Returns `false` for an unknown id.
@@ -52,6 +54,7 @@ pub fn run(id: &str, ctx: &mut ExperimentContext) -> bool {
         "fig15" => model_accuracy::fig15_feature_importance(ctx),
         "ablation" => model_accuracy::ablation_feature_sets(ctx),
         "overheads" => model_accuracy::overheads(ctx),
+        "generalization" => generalization::cross_family_matrix(ctx),
         _ => return false,
     }
     true

@@ -388,6 +388,140 @@ pub fn fitted_ppm_curves(
         .collect()
 }
 
+/// One family's evaluation bundle for the cross-family generalization
+/// harness: its suite, the training data collected from it, and its
+/// ground-truth curves.
+#[derive(Debug, Clone)]
+pub struct FamilyEvalSet {
+    /// Registry key of the family (e.g. `"tpcds"`).
+    pub family: String,
+    /// The family's query instances (plans drive test-time predictions).
+    pub suite: Vec<QueryInstance>,
+    /// Training data collected from the suite.
+    pub data: TrainingData,
+    /// Ground-truth curves measured on the suite.
+    pub actuals: ActualRuns,
+}
+
+/// One cell of the cross-family generalization matrix: the `E(n)` profile of
+/// a model trained on `train_family` and evaluated on `test_family`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneralizationCell {
+    /// Family the model was trained on.
+    pub train_family: String,
+    /// Family the model was evaluated on.
+    pub test_family: String,
+    /// `E(n)` at each evaluation count.
+    pub error_by_count: BTreeMap<usize, f64>,
+    /// Mean of `E(n)` over the evaluation counts (the matrix entry).
+    pub mean_error: f64,
+}
+
+/// The full train-family × test-family accuracy matrix.
+///
+/// Diagonal cells measure in-family accuracy (train and test draw from the
+/// same suite — a fit-style reference); off-diagonal cells measure transfer
+/// to a family the model never saw, which is the paper's central
+/// generalization claim stressed across workload families instead of
+/// across held-out queries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneralizationMatrix {
+    /// Family keys, in evaluation order (rows and columns).
+    pub families: Vec<String>,
+    /// Executor counts the errors were evaluated at.
+    pub eval_counts: Vec<usize>,
+    /// All train × test cells, row-major in `families` order.
+    pub cells: Vec<GeneralizationCell>,
+}
+
+impl GeneralizationMatrix {
+    /// The cell for a train/test family pair.
+    pub fn cell(&self, train: &str, test: &str) -> Option<&GeneralizationCell> {
+        self.cells
+            .iter()
+            .find(|c| c.train_family == train && c.test_family == test)
+    }
+
+    /// True when every recorded error is finite (the CI smoke gate).
+    pub fn is_finite(&self) -> bool {
+        self.cells
+            .iter()
+            .all(|c| c.mean_error.is_finite() && c.error_by_count.values().all(|e| e.is_finite()))
+    }
+
+    /// The measured cross-family generalization gap: mean off-diagonal
+    /// error minus mean diagonal error (how much accuracy transfer costs).
+    /// `NaN` for a single-family matrix, which has no off-diagonal cells
+    /// and therefore no transfer to measure.
+    pub fn generalization_gap(&self) -> f64 {
+        let (mut diag, mut off) = (Vec::new(), Vec::new());
+        for cell in &self.cells {
+            if cell.train_family == cell.test_family {
+                diag.push(cell.mean_error);
+            } else {
+                off.push(cell.mean_error);
+            }
+        }
+        if off.is_empty() || diag.is_empty() {
+            return f64::NAN;
+        }
+        mean_and_std(&off).0 - mean_and_std(&diag).0
+    }
+}
+
+/// Evaluates an already-trained model against one family's suite: per-query
+/// predicted curves from the plans, `E(n)` against the family's ground
+/// truth.
+pub fn cross_family_error(
+    model: &ParameterModel,
+    suite: &[QueryInstance],
+    actuals: &ActualRuns,
+    eval_counts: &[usize],
+) -> Result<BTreeMap<usize, f64>> {
+    let predictions = suite
+        .iter()
+        .map(|q| Ok((q.name.clone(), model.predict_curve(&q.plan, eval_counts)?)))
+        .collect::<Result<BTreeMap<_, _>>>()?;
+    Ok(error_by_count(&predictions, actuals, eval_counts))
+}
+
+/// Builds the full train-family × test-family accuracy matrix: one model
+/// per training family (trained on that family's whole suite), evaluated
+/// on every family's suite.
+pub fn generalization_matrix(
+    sets: &[FamilyEvalSet],
+    config: &AutoExecutorConfig,
+    eval_counts: &[usize],
+) -> Result<GeneralizationMatrix> {
+    if sets.is_empty() {
+        return Err(AutoExecutorError::EmptyWorkload);
+    }
+    let mut cells = Vec::with_capacity(sets.len() * sets.len());
+    for train in sets {
+        if train.data.is_empty() {
+            return Err(AutoExecutorError::EmptyWorkload);
+        }
+        let model = ParameterModel::train(&train.data, config)?;
+        for test in sets {
+            let error_by_count =
+                cross_family_error(&model, &test.suite, &test.actuals, eval_counts)?;
+            let errors: Vec<f64> = error_by_count.values().copied().collect();
+            let (mean_error, _) = mean_and_std(&errors);
+            cells.push(GeneralizationCell {
+                train_family: train.family.clone(),
+                test_family: test.family.clone(),
+                error_by_count,
+                mean_error,
+            });
+        }
+    }
+    Ok(GeneralizationMatrix {
+        families: sets.iter().map(|s| s.family.clone()).collect(),
+        eval_counts: eval_counts.to_vec(),
+        cells,
+    })
+}
+
 /// Outcome of bounded-slowdown configuration selection for one `H`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SelectionImpact {
@@ -631,5 +765,93 @@ mod tests {
     #[test]
     fn ratio_averages_empty_is_default() {
         assert_eq!(ratio_averages(&[]), RatioAverages::default());
+    }
+
+    fn eval_set(family: ae_workload::BuiltinFamily, names: &[&str]) -> FamilyEvalSet {
+        let generator = WorkloadGenerator::builtin(family, ScaleFactor::SF10);
+        let suite: Vec<QueryInstance> = names.iter().map(|n| generator.instance(n)).collect();
+        let data = TrainingData::collect(&suite, &fast_config()).unwrap();
+        let actuals = quick_actuals(&suite);
+        FamilyEvalSet {
+            family: family.key().to_string(),
+            suite,
+            data,
+            actuals,
+        }
+    }
+
+    #[test]
+    fn generalization_matrix_covers_all_family_pairs() {
+        use ae_workload::BuiltinFamily;
+        let sets = [
+            eval_set(
+                BuiltinFamily::Tpcds,
+                &["q2", "q17", "q33", "q49", "q61", "q94"],
+            ),
+            eval_set(
+                BuiltinFamily::Tpch,
+                &["h1", "h5", "h9", "h13", "h18", "h21"],
+            ),
+        ];
+        let counts = [1usize, 8, 16, 48];
+        let matrix = generalization_matrix(&sets, &fast_config(), &counts).unwrap();
+
+        assert_eq!(
+            matrix.families,
+            vec!["tpcds".to_string(), "tpch".to_string()]
+        );
+        assert_eq!(matrix.cells.len(), 4);
+        assert!(matrix.is_finite());
+        for train in ["tpcds", "tpch"] {
+            for test in ["tpcds", "tpch"] {
+                let cell = matrix.cell(train, test).expect("cell present");
+                assert_eq!(cell.error_by_count.len(), counts.len());
+                assert!(cell.mean_error >= 0.0);
+            }
+        }
+        assert!(matrix.cell("tpcds", "skew").is_none());
+        assert!(matrix.generalization_gap().is_finite());
+    }
+
+    #[test]
+    fn single_family_matrix_has_no_gap() {
+        use ae_workload::BuiltinFamily;
+        let sets = [eval_set(BuiltinFamily::Tpcds, &["q2", "q17", "q33", "q49"])];
+        let matrix = generalization_matrix(&sets, &fast_config(), &[1, 8, 48]).unwrap();
+        assert_eq!(matrix.cells.len(), 1);
+        assert!(matrix.is_finite());
+        assert!(matrix.generalization_gap().is_nan());
+    }
+
+    #[test]
+    fn generalization_matrix_rejects_empty_input() {
+        assert!(matches!(
+            generalization_matrix(&[], &fast_config(), &[1, 8]),
+            Err(AutoExecutorError::EmptyWorkload)
+        ));
+    }
+
+    #[test]
+    fn cross_family_error_matches_in_family_reference() {
+        // A model evaluated through cross_family_error on its own training
+        // family must reproduce the plain predict-and-score path.
+        let queries = small_queries();
+        let config = fast_config();
+        let data = TrainingData::collect(&queries, &config).unwrap();
+        let actuals = quick_actuals(&queries);
+        let model = ParameterModel::train(&data, &config).unwrap();
+        let counts = [1usize, 8, 48];
+        let via_harness = cross_family_error(&model, &queries, &actuals, &counts).unwrap();
+        let predictions: BTreeMap<String, Vec<(usize, f64)>> = queries
+            .iter()
+            .map(|q| {
+                (
+                    q.name.clone(),
+                    model.predict_curve(&q.plan, &counts).unwrap(),
+                )
+            })
+            .collect();
+        let direct = error_by_count(&predictions, &actuals, &counts);
+        assert_eq!(via_harness, direct);
     }
 }

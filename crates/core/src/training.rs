@@ -35,6 +35,9 @@ use crate::{AutoExecutorError, Result};
 pub struct TrainingExample {
     /// Query name.
     pub name: String,
+    /// Registry key of the workload family the query came from (e.g.
+    /// `"tpcds"`); empty for curves supplied without family provenance.
+    pub family: String,
     /// Full Table-2 feature vector (ordered as
     /// [`crate::features::full_feature_names`]).
     pub full_features: Vec<f64>,
@@ -87,7 +90,13 @@ impl TrainingData {
                     .as_ref()
                     .expect("task log capture was requested");
                 let curve = analyzer.estimate_from_log(log, &config.training_counts);
-                Self::example_from_curve(&query.name, &query.plan, &curve, result.elapsed_secs)
+                Self::example_from_curve(
+                    &query.name,
+                    &query.family,
+                    &query.plan,
+                    &curve,
+                    result.elapsed_secs,
+                )
             })
             .collect::<Result<Vec<_>>>()?;
         Ok(Self { examples })
@@ -97,6 +106,7 @@ impl TrainingData {
     /// (Sparklens estimates or actual runs — the paper supports both).
     pub fn example_from_curve(
         name: &str,
+        family: &str,
         plan: &QueryPlan,
         curve: &[(usize, f64)],
         observed_elapsed_secs: f64,
@@ -105,6 +115,7 @@ impl TrainingData {
         let amdahl = fit_amdahl(curve).map_err(AutoExecutorError::Fit)?;
         Ok(TrainingExample {
             name: name.to_string(),
+            family: family.to_string(),
             full_features: featurize_plan(plan),
             sparklens_curve: curve.to_vec(),
             observed_elapsed_secs,
@@ -128,6 +139,36 @@ impl TrainingData {
         TrainingData {
             examples: indices.iter().map(|&i| self.examples[i].clone()).collect(),
         }
+    }
+
+    /// The distinct workload families represented in the data, in first-seen
+    /// order (one entry for single-family data, several after merging).
+    pub fn families(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for example in &self.examples {
+            if !seen.contains(&example.family) {
+                seen.push(example.family.clone());
+            }
+        }
+        seen
+    }
+
+    /// Restricts the data to the examples of one workload family.
+    pub fn family_subset(&self, family: &str) -> TrainingData {
+        TrainingData {
+            examples: self
+                .examples
+                .iter()
+                .filter(|e| e.family == family)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Concatenates another collection's examples onto this one (mixed-family
+    /// training sets).
+    pub fn merge(&mut self, other: TrainingData) {
+        self.examples.extend(other.examples);
     }
 
     /// The PPM fitted to a given example for the requested family.
@@ -342,6 +383,7 @@ mod tests {
         let data = TrainingData::collect(&queries, &fast_config()).unwrap();
         assert_eq!(data.len(), queries.len());
         for example in &data.examples {
+            assert_eq!(example.family, "tpcds");
             assert_eq!(example.sparklens_curve.len(), 6);
             assert_eq!(example.full_features.len(), feature_dimensions());
             assert!(example.observed_elapsed_secs > 0.0);
@@ -412,6 +454,35 @@ mod tests {
         forest.fit(&ds).unwrap();
         let portable = PortableModel::from_forest("weird", forest).unwrap();
         assert!(ParameterModel::from_portable(&portable).is_err());
+    }
+
+    #[test]
+    fn family_identity_threads_through_collection_and_merging() {
+        use ae_workload::BuiltinFamily;
+        let cfg = fast_config();
+        let tpcds = TrainingData::collect(&small_workload(), &cfg).unwrap();
+        let tpch_suite: Vec<QueryInstance> = {
+            let generator = WorkloadGenerator::builtin(BuiltinFamily::Tpch, ScaleFactor::SF10);
+            ["h1", "h4", "h9", "h17"]
+                .iter()
+                .map(|n| generator.instance(n))
+                .collect()
+        };
+        let tpch = TrainingData::collect(&tpch_suite, &cfg).unwrap();
+        assert_eq!(tpch.families(), vec!["tpch".to_string()]);
+
+        let mut mixed = tpcds.clone();
+        mixed.merge(tpch);
+        assert_eq!(
+            mixed.families(),
+            vec!["tpcds".to_string(), "tpch".to_string()]
+        );
+        assert_eq!(mixed.family_subset("tpch").len(), 4);
+        assert_eq!(mixed.family_subset("tpcds").len(), tpcds.len());
+        assert!(mixed.family_subset("nope").is_empty());
+        // A mixed-family dataset still trains.
+        let model = ParameterModel::train(&mixed, &cfg).unwrap();
+        assert_eq!(model.kind(), cfg.ppm_kind);
     }
 
     #[test]

@@ -75,7 +75,7 @@ proptest! {
             .iter()
             .map(|&n| (n, (scale / n as f64).max(floor) + floor))
             .collect();
-        let example = TrainingData::example_from_curve("prop", &plan, &curve, curve[0].1).unwrap();
+        let example = TrainingData::example_from_curve("prop", "prop-family", &plan, &curve, curve[0].1).unwrap();
         for kind in [PpmKind::PowerLaw, PpmKind::Amdahl] {
             let data = TrainingData { examples: vec![example.clone()] };
             let ppm = data.fitted_ppm(0, kind);
@@ -104,7 +104,7 @@ proptest! {
             .map(|&n| (n, (scale / n as f64).max(floor) + floor))
             .collect();
         let plan = QueryPlan::new("sel", PlanNode::leaf(OperatorKind::TableScan, 10.0, 100.0));
-        let example = TrainingData::example_from_curve("sel", &plan, &curve, curve[0].1).unwrap();
+        let example = TrainingData::example_from_curve("sel", "prop-family", &plan, &curve, curve[0].1).unwrap();
         let data = TrainingData { examples: vec![example] };
         let ppm = data.fitted_ppm(0, PpmKind::PowerLaw);
         let dense = ppm.predict_curve(&(1..=48).collect::<Vec<_>>());

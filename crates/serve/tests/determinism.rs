@@ -32,7 +32,7 @@ fn fixture() -> (Arc<ModelRegistry>, AutoExecutorConfig, Vec<QueryInstance>) {
         .unwrap();
     // A disjoint scoring set, large enough to form real batches.
     let scoring: Vec<QueryInstance> = [
-        "q3", "q7", "q11", "q19", "q27", "q34", "q39a", "q46", "q55", "q59", "q64", "q68", "q72",
+        "q3", "q7", "q11", "q19", "q27", "q34", "q39b", "q46", "q55", "q59", "q64", "q68", "q72",
         "q79", "q88", "q96", "q14b", "q2", "q31", "q50", "q65", "q80", "q93", "q99",
     ]
     .iter()

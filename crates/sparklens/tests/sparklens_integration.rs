@@ -80,7 +80,7 @@ proptest! {
     /// cores) + per-wave overheads.
     #[test]
     fn estimate_bounds_hold(query_idx in 0usize..103) {
-        let names = ae_workload::templates::tpcds_query_names();
+        let names = ae_workload::tpcds_query_names();
         let name = &names[query_idx];
         let log = run_once(name, 16, ScaleFactor::SF10);
         let analyzer = SparklensAnalyzer::paper_default();

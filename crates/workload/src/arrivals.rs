@@ -14,8 +14,11 @@
 //!   submit their next request as soon as the previous one completes,
 //!   measuring sustained throughput under full backpressure.
 //!
-//! Query indices refer to positions in whatever suite the caller replays
-//! (usually [`crate::WorkloadGenerator::suite`]).
+//! Query indices refer to positions in whatever suite the caller replays —
+//! any family's [`crate::WorkloadGenerator::suite`], or a mixed-family
+//! concatenation built with [`crate::family::mixed_suite`] — so a single
+//! arrival schedule can drive single-family and cross-family request
+//! streams alike.
 
 use std::time::Duration;
 

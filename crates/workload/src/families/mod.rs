@@ -1,0 +1,11 @@
+//! The builtin workload-family implementations.
+//!
+//! Each submodule hosts one suite: its canonical names, its seeded
+//! template-sampling distributions, and its [`crate::family::QueryFamily`]
+//! descriptor. The distributions are what give each family its character —
+//! the shared materialisation into plans and DAGs lives in
+//! [`crate::generator`].
+
+pub mod skew;
+pub mod tpcds;
+pub mod tpch;

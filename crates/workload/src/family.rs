@@ -1,0 +1,298 @@
+//! First-class workload families and the family registry.
+//!
+//! A [`QueryFamily`] is a *descriptor* of one benchmark suite: a stable
+//! registry key, a canonical set of query names, a deterministic
+//! name → [`QueryTemplate`] mapping (each family draws from its own salted
+//! seed stream), and the family's scale-factor semantics (how a
+//! [`ScaleFactor`] maps to a data-size multiplier). Everything downstream —
+//! the generator, training-data collection, the CV harness, the serving
+//! benches — consumes families through this trait, so the TPC-DS-like suite
+//! is one implementation among several rather than a hardcoded default.
+//!
+//! Three families ship built in (see [`BuiltinFamily`]):
+//!
+//! * `tpcds` — the historical 103-query TPC-DS-like suite, bit-identical to
+//!   the pre-registry generator (pinned by `tests/family_regression.rs`),
+//! * `tpch` — 22 scan/join-heavy queries with shallower DAGs,
+//! * `skew` — a skew-adversarial suite with heavy-tailed input sizes,
+//!   straggler stages, and elbow points pushed to the extremes of the
+//!   1–48 executor range.
+//!
+//! Custom families can be added at runtime through [`FamilyRegistry`];
+//! [`mixed_suite`] concatenates several families into one request-stream
+//! suite for the serving path.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::families::skew::SkewFamily;
+use crate::families::tpcds::TpcdsFamily;
+use crate::families::tpch::TpchFamily;
+use crate::generator::{QueryInstance, WorkloadGenerator};
+use crate::templates::{QueryTemplate, ScaleFactor};
+use serde::{Deserialize, Serialize};
+
+/// A workload family: a named, deterministic suite of query templates.
+///
+/// Implementations must be pure — the same name always maps to the same
+/// template, independent of call order, process, or thread count.
+pub trait QueryFamily: fmt::Debug + Send + Sync {
+    /// Stable registry key, e.g. `"tpcds"`. Lower-case, no whitespace.
+    fn name(&self) -> &str;
+
+    /// One-line human description of the suite's character.
+    fn description(&self) -> &str;
+
+    /// The canonical query names of the suite, in suite order.
+    fn query_names(&self) -> Vec<String>;
+
+    /// The template for one query name, or `None` when the name is not part
+    /// of this family. Callers holding arbitrary (e.g. request-supplied)
+    /// names must handle the `None` case rather than assume membership.
+    fn template(&self, query: &str) -> Option<QueryTemplate>;
+
+    /// All templates of the suite, in suite order.
+    fn templates(&self) -> Vec<QueryTemplate> {
+        self.query_names()
+            .iter()
+            .map(|name| {
+                self.template(name)
+                    .expect("canonical query name has a template")
+            })
+            .collect()
+    }
+
+    /// The family's scale-factor semantics: the data-size multiplier
+    /// (relative to SF=1) that `sf` denotes. Defaults to the linear TPC
+    /// convention; families whose data grows non-linearly override this.
+    fn scale_multiplier(&self, sf: ScaleFactor) -> f64 {
+        sf.multiplier()
+    }
+}
+
+/// The three families shipped with the crate, as a lightweight `Copy` id
+/// usable inside configuration structs.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum BuiltinFamily {
+    /// The historical 103-query TPC-DS-like suite.
+    #[default]
+    Tpcds,
+    /// The 22-query scan/join-heavy TPC-H-like suite.
+    Tpch,
+    /// The skew-adversarial suite (heavy tails, stragglers, extreme elbows).
+    Skew,
+}
+
+impl BuiltinFamily {
+    /// All builtin families, in canonical order.
+    pub const ALL: [BuiltinFamily; 3] = [
+        BuiltinFamily::Tpcds,
+        BuiltinFamily::Tpch,
+        BuiltinFamily::Skew,
+    ];
+
+    /// The registry key of the family.
+    pub fn key(self) -> &'static str {
+        match self {
+            BuiltinFamily::Tpcds => "tpcds",
+            BuiltinFamily::Tpch => "tpch",
+            BuiltinFamily::Skew => "skew",
+        }
+    }
+
+    /// Parses a registry key back into the id.
+    pub fn parse(key: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|f| f.key() == key)
+    }
+
+    /// The family descriptor behind the id.
+    pub fn family(self) -> Arc<dyn QueryFamily> {
+        match self {
+            BuiltinFamily::Tpcds => Arc::new(TpcdsFamily),
+            BuiltinFamily::Tpch => Arc::new(TpchFamily),
+            BuiltinFamily::Skew => Arc::new(SkewFamily),
+        }
+    }
+}
+
+impl fmt::Display for BuiltinFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Error raised when registering a family under an already-taken key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateFamily(pub String);
+
+impl fmt::Display for DuplicateFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a family named '{}' is already registered", self.0)
+    }
+}
+
+impl std::error::Error for DuplicateFamily {}
+
+/// A name-keyed collection of workload families.
+///
+/// The registry preserves registration order (suite enumeration is
+/// deterministic) and rejects duplicate keys.
+#[derive(Debug, Clone, Default)]
+pub struct FamilyRegistry {
+    families: Vec<Arc<dyn QueryFamily>>,
+}
+
+impl FamilyRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A registry pre-populated with the builtin families, in
+    /// [`BuiltinFamily::ALL`] order.
+    pub fn builtin() -> Self {
+        let mut registry = Self::empty();
+        for id in BuiltinFamily::ALL {
+            registry
+                .register(id.family())
+                .expect("builtin keys are distinct");
+        }
+        registry
+    }
+
+    /// Registers a family; fails when its key is already taken.
+    pub fn register(&mut self, family: Arc<dyn QueryFamily>) -> Result<(), DuplicateFamily> {
+        if self.get(family.name()).is_some() {
+            return Err(DuplicateFamily(family.name().to_string()));
+        }
+        self.families.push(family);
+        Ok(())
+    }
+
+    /// Looks a family up by key.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn QueryFamily>> {
+        self.families.iter().find(|f| f.name() == name).cloned()
+    }
+
+    /// All registered family keys, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.families.iter().map(|f| f.name()).collect()
+    }
+
+    /// All registered families, in registration order.
+    pub fn families(&self) -> &[Arc<dyn QueryFamily>] {
+        &self.families
+    }
+}
+
+/// Concatenates the suites of several families (in the given order) into one
+/// mixed suite at a common scale factor — the shape the serving benches
+/// replay when a request stream spans families. Query indices produced by
+/// [`crate::arrivals`] then address the combined suite.
+pub fn mixed_suite(families: &[Arc<dyn QueryFamily>], sf: ScaleFactor) -> Vec<QueryInstance> {
+    families
+        .iter()
+        .flat_map(|family| WorkloadGenerator::for_family(Arc::clone(family), sf).suite())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_holds_all_three_families() {
+        let registry = FamilyRegistry::builtin();
+        assert_eq!(registry.names(), vec!["tpcds", "tpch", "skew"]);
+        for id in BuiltinFamily::ALL {
+            let family = registry.get(id.key()).expect("registered");
+            assert_eq!(family.name(), id.key());
+            assert!(!family.query_names().is_empty());
+        }
+        assert!(registry.get("nope").is_none());
+    }
+
+    #[test]
+    fn builtin_parse_roundtrips() {
+        for id in BuiltinFamily::ALL {
+            assert_eq!(BuiltinFamily::parse(id.key()), Some(id));
+            assert_eq!(id.to_string(), id.key());
+        }
+        assert_eq!(BuiltinFamily::parse("tpcc"), None);
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let mut registry = FamilyRegistry::builtin();
+        let err = registry.register(BuiltinFamily::Tpch.family()).unwrap_err();
+        assert_eq!(err, DuplicateFamily("tpch".to_string()));
+        assert!(err.to_string().contains("tpch"));
+    }
+
+    #[test]
+    fn templates_default_impl_covers_every_canonical_name() {
+        for id in BuiltinFamily::ALL {
+            let family = id.family();
+            let names = family.query_names();
+            let templates = family.templates();
+            assert_eq!(names.len(), templates.len());
+            for (name, template) in names.iter().zip(&templates) {
+                assert_eq!(name, &template.name);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_suite_concatenates_in_order() {
+        let registry = FamilyRegistry::builtin();
+        let suite = mixed_suite(registry.families(), ScaleFactor::SF10);
+        let expected_len: usize = BuiltinFamily::ALL
+            .iter()
+            .map(|id| id.family().query_names().len())
+            .sum();
+        assert_eq!(suite.len(), expected_len);
+        assert_eq!(suite[0].family, "tpcds");
+        assert_eq!(suite.last().unwrap().family, "skew");
+    }
+
+    /// A custom family with non-linear scale-factor semantics flows through
+    /// the registry and the generator unchanged — the registry is open.
+    #[test]
+    fn custom_family_with_custom_scale_semantics() {
+        #[derive(Debug)]
+        struct Quadratic;
+        impl QueryFamily for Quadratic {
+            fn name(&self) -> &str {
+                "quadratic"
+            }
+            fn description(&self) -> &str {
+                "test family whose data grows quadratically in SF"
+            }
+            fn query_names(&self) -> Vec<String> {
+                vec!["only".to_string()]
+            }
+            fn template(&self, query: &str) -> Option<QueryTemplate> {
+                (query == "only").then(|| {
+                    let mut t = crate::families::tpcds::template_for("q1").unwrap();
+                    t.name = "only".to_string();
+                    t
+                })
+            }
+            fn scale_multiplier(&self, sf: ScaleFactor) -> f64 {
+                sf.multiplier() * sf.multiplier()
+            }
+        }
+
+        let mut registry = FamilyRegistry::builtin();
+        registry.register(Arc::new(Quadratic)).unwrap();
+        let family = registry.get("quadratic").unwrap();
+        let g2 = WorkloadGenerator::for_family(Arc::clone(&family), ScaleFactor(2));
+        let g4 = WorkloadGenerator::for_family(family, ScaleFactor(4));
+        let b2 = g2.instance("only").plan.stats().total_input_bytes;
+        let b4 = g4.instance("only").plan.stats().total_input_bytes;
+        // Quadratic semantics: doubling SF quadruples the bytes.
+        assert!((b4 / b2 - 4.0).abs() < 1e-9, "ratio {}", b4 / b2);
+    }
+}

@@ -1,18 +1,22 @@
 //! Materialises query templates into logical plans and stage DAGs.
 //!
-//! The [`WorkloadGenerator`] is the stand-in for "TPC-DS data + Spark SQL
-//! compilation": given a [`QueryTemplate`] and a [`ScaleFactor`] it produces
-//! (a) the optimizer-facing [`QueryPlan`] whose statistics feed the
-//! parameter model, and (b) the physical [`StageDag`] that the execution
-//! simulator schedules. Both are deterministic functions of the template and
-//! scale factor, so the "ground truth" run-time curves are stable across the
-//! whole evaluation.
+//! The [`WorkloadGenerator`] is the stand-in for "benchmark data + Spark SQL
+//! compilation": given a [`QueryFamily`] and a [`ScaleFactor`] it produces,
+//! per template, (a) the optimizer-facing [`QueryPlan`] whose statistics
+//! feed the parameter model, and (b) the physical [`StageDag`] that the
+//! execution simulator schedules. Both are deterministic functions of the
+//! template and the family's scale-factor semantics, so the "ground truth"
+//! run-time curves are stable across the whole evaluation — for every
+//! family.
+
+use std::sync::Arc;
 
 use ae_engine::plan::{OperatorKind, PlanNode, QueryPlan};
 use ae_engine::stage::{Stage, StageDag, Task};
 use serde::{Deserialize, Serialize};
 
-use crate::templates::{template_for, tpcds_templates, QueryTemplate, ScaleFactor};
+use crate::family::{BuiltinFamily, QueryFamily};
+use crate::templates::{QueryTemplate, ScaleFactor};
 
 /// Bytes per scan partition (Spark's default file split size, 128 MB).
 const GB_PER_PARTITION: f64 = 0.128;
@@ -28,6 +32,8 @@ const MAX_SHUFFLE_TASKS: usize = 200;
 pub struct QueryInstance {
     /// Query name (same as the template name).
     pub name: String,
+    /// Registry key of the family the query belongs to (e.g. `"tpcds"`).
+    pub family: String,
     /// The template this instance was generated from.
     pub template: QueryTemplate,
     /// Scale factor of the instance.
@@ -38,16 +44,36 @@ pub struct QueryInstance {
     pub dag: StageDag,
 }
 
-/// Generates query instances for a scale factor.
-#[derive(Debug, Clone, Copy)]
+/// Generates query instances for one family at a scale factor.
+#[derive(Debug, Clone)]
 pub struct WorkloadGenerator {
+    family: Arc<dyn QueryFamily>,
     scale_factor: ScaleFactor,
 }
 
 impl WorkloadGenerator {
-    /// Creates a generator for the given scale factor.
+    /// Creates a generator for the historical TPC-DS-like suite at the given
+    /// scale factor (the pre-registry default, kept for compatibility).
     pub fn new(scale_factor: ScaleFactor) -> Self {
-        Self { scale_factor }
+        Self::builtin(BuiltinFamily::Tpcds, scale_factor)
+    }
+
+    /// Creates a generator for a builtin family.
+    pub fn builtin(family: BuiltinFamily, scale_factor: ScaleFactor) -> Self {
+        Self::for_family(family.family(), scale_factor)
+    }
+
+    /// Creates a generator for any registered family.
+    pub fn for_family(family: Arc<dyn QueryFamily>, scale_factor: ScaleFactor) -> Self {
+        Self {
+            family,
+            scale_factor,
+        }
+    }
+
+    /// The family this generator materialises.
+    pub fn family(&self) -> &dyn QueryFamily {
+        self.family.as_ref()
     }
 
     /// The scale factor this generator materialises.
@@ -55,35 +81,54 @@ impl WorkloadGenerator {
         self.scale_factor
     }
 
-    /// Generates the full 103-query suite.
+    /// Generates the family's full suite, in canonical order.
     pub fn suite(&self) -> Vec<QueryInstance> {
-        tpcds_templates()
-            .into_iter()
-            .map(|t| self.instantiate(&t))
+        self.family
+            .templates()
+            .iter()
+            .map(|t| self.instantiate(t))
             .collect()
     }
 
-    /// Generates a single query by name (e.g. `"q94"`).
-    pub fn instance(&self, name: &str) -> QueryInstance {
-        self.instantiate(&template_for(name))
+    /// Generates a single query by name, or `None` when the name is not part
+    /// of the family — the serving path can receive arbitrary names, so
+    /// lookup failures must be propagated, not papered over.
+    pub fn try_instance(&self, name: &str) -> Option<QueryInstance> {
+        self.family.template(name).map(|t| self.instantiate(&t))
     }
 
-    /// Materialises one template.
+    /// Generates a single query by canonical name (e.g. `"q94"`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the name is not part of the family; use
+    /// [`try_instance`](Self::try_instance) for request-supplied names.
+    pub fn instance(&self, name: &str) -> QueryInstance {
+        self.try_instance(name).unwrap_or_else(|| {
+            panic!(
+                "query '{name}' is not part of the '{}' family",
+                self.family.name()
+            )
+        })
+    }
+
+    /// Materialises one template under the family's scale-factor semantics.
     pub fn instantiate(&self, template: &QueryTemplate) -> QueryInstance {
+        let multiplier = self.family.scale_multiplier(self.scale_factor);
         QueryInstance {
             name: template.name.clone(),
+            family: self.family.name().to_string(),
             template: template.clone(),
             scale_factor: self.scale_factor,
-            plan: build_plan(template, self.scale_factor),
-            dag: build_dag(template, self.scale_factor),
+            plan: build_plan(template, multiplier),
+            dag: build_dag(template, multiplier),
         }
     }
 }
 
-/// Builds the logical plan whose statistics match the template's operator mix.
-fn build_plan(template: &QueryTemplate, sf: ScaleFactor) -> QueryPlan {
-    let mult = sf.multiplier();
-
+/// Builds the logical plan whose statistics match the template's operator
+/// mix, at the given data-size multiplier.
+fn build_plan(template: &QueryTemplate, mult: f64) -> QueryPlan {
     // Scans with per-source filters/projections, joined left-deep.
     let mut scans = Vec::with_capacity(template.num_inputs);
     for &gb_per_sf in &template.input_gb_per_sf {
@@ -192,10 +237,9 @@ fn build_plan(template: &QueryTemplate, sf: ScaleFactor) -> QueryPlan {
 }
 
 /// Builds the physical stage DAG: scan stages, a chain of shuffle stages,
-/// and a narrow serial tail.
-fn build_dag(template: &QueryTemplate, sf: ScaleFactor) -> StageDag {
-    let mult = sf.multiplier();
-    let total_work = template.total_work_secs(sf);
+/// and a narrow serial tail, at the given data-size multiplier.
+fn build_dag(template: &QueryTemplate, mult: f64) -> StageDag {
+    let total_work = template.total_work_secs_at(mult);
     let serial_work = total_work * template.serial_fraction;
     let scan_work = total_work * SCAN_WORK_SHARE;
     let shuffle_work = (total_work - serial_work - scan_work).max(total_work * 0.05);
@@ -268,13 +312,31 @@ fn spread_work(work: f64, tasks: usize, skew: f64) -> Vec<Task> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::templates::TPCDS_QUERY_COUNT;
+    use crate::families::skew::SKEW_QUERY_COUNT;
+    use crate::families::tpcds::TPCDS_QUERY_COUNT;
+    use crate::families::tpch::TPCH_QUERY_COUNT;
 
     #[test]
     fn suite_generates_all_queries() {
         let suite = WorkloadGenerator::new(ScaleFactor::SF10).suite();
         assert_eq!(suite.len(), TPCDS_QUERY_COUNT);
         assert!(suite.iter().all(|q| q.dag.num_tasks() > 0));
+        assert!(suite.iter().all(|q| q.family == "tpcds"));
+    }
+
+    #[test]
+    fn every_builtin_family_generates_its_suite() {
+        for (id, expected) in [
+            (BuiltinFamily::Tpcds, TPCDS_QUERY_COUNT),
+            (BuiltinFamily::Tpch, TPCH_QUERY_COUNT),
+            (BuiltinFamily::Skew, SKEW_QUERY_COUNT),
+        ] {
+            let suite = WorkloadGenerator::builtin(id, ScaleFactor::SF10).suite();
+            assert_eq!(suite.len(), expected, "{id}");
+            assert!(suite.iter().all(|q| q.family == id.key()));
+            assert!(suite.iter().all(|q| q.dag.num_tasks() > 0));
+            assert!(suite.iter().all(|q| q.plan.stats().total_input_bytes > 0.0));
+        }
     }
 
     #[test]
@@ -284,6 +346,23 @@ mod tests {
         let b = generator.instance("q94");
         assert_eq!(a.dag.total_work_secs(), b.dag.total_work_secs());
         assert_eq!(a.plan.stats(), b.plan.stats());
+    }
+
+    #[test]
+    fn try_instance_propagates_unknown_names() {
+        let generator = WorkloadGenerator::new(ScaleFactor::SF10);
+        assert!(generator.try_instance("q94").is_some());
+        assert!(generator.try_instance("h1").is_none());
+        assert!(generator.try_instance("not-a-query").is_none());
+        let tpch = WorkloadGenerator::builtin(BuiltinFamily::Tpch, ScaleFactor::SF10);
+        assert!(tpch.try_instance("h1").is_some());
+        assert!(tpch.try_instance("q94").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of the 'tpcds' family")]
+    fn instance_panics_on_unknown_names() {
+        WorkloadGenerator::new(ScaleFactor::SF10).instance("nope");
     }
 
     #[test]
@@ -371,5 +450,20 @@ mod tests {
         let min = works.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = works.iter().cloned().fold(0.0, f64::max);
         assert!(max / min > 10.0);
+    }
+
+    /// The skew family's bimodal design must survive materialisation: its
+    /// DAGs include both serial-tail-dominated and wide parallel queries.
+    #[test]
+    fn skew_family_dags_span_extreme_shapes() {
+        let suite = WorkloadGenerator::builtin(BuiltinFamily::Skew, ScaleFactor::SF100).suite();
+        let serial_share = |q: &QueryInstance| {
+            let tail = q.dag.stages().last().unwrap().total_work_secs();
+            tail / q.dag.total_work_secs()
+        };
+        assert!(suite.iter().any(|q| serial_share(q) > 0.25));
+        assert!(suite.iter().any(|q| serial_share(q) < 0.03));
+        let max_width = suite.iter().map(|q| q.dag.max_stage_width()).max().unwrap();
+        assert!(max_width >= 100, "widest skew scan only {max_width} tasks");
     }
 }

@@ -1,23 +1,34 @@
 //! # ae-workload — synthetic workloads for the AutoExecutor reproduction
 //!
-//! Two workload families feed the paper's evaluation:
+//! The workload layer is organised around first-class *families*
+//! ([`family::QueryFamily`]): named, deterministic suites of query templates
+//! behind a registry ([`family::FamilyRegistry`]). Three families ship built
+//! in ([`family::BuiltinFamily`]):
 //!
-//! * **TPC-DS** (103 queries = 99 templates + 4 variants) at scale factors
-//!   10 and 100, executed on Azure Synapse Spark. [`templates`] and
-//!   [`generator`] produce the equivalent here: 103 deterministic synthetic
-//!   query templates whose operator mixes, input sizes, and stage DAGs span
-//!   the same ranges the paper reports (optimal executor counts from 1 to
-//!   48, elbow points concentrated around 8, run times from tens of seconds
-//!   to minutes).
-//! * **Production Spark telemetry at Microsoft** (90,224 applications,
-//!   840,278 queries, 3,245 clusters) used for the motivating analysis of
-//!   Section 2. [`production`] generates a synthetic telemetry set with the
-//!   distributions reported in Figures 2 and 3a/3b.
+//! * **`tpcds`** — the paper's evaluation suite (103 queries: 99 templates
+//!   plus 4 variants) at scale factors 10 and 100. [`families::tpcds`] and
+//!   [`generator`] produce the synthetic equivalent of "TPC-DS data + Spark
+//!   SQL compilation": deep, aggregation-heavy plans whose operator mixes,
+//!   input sizes, and stage DAGs span the ranges the paper reports (optimal
+//!   executor counts from 1 to 48, elbow points concentrated around 8).
+//!   Bit-identical to the pre-registry generator
+//!   (`tests/family_regression.rs`).
+//! * **`tpch`** — 22 scan/join-heavy queries with shallower DAGs
+//!   ([`families::tpch`]), the classic counterpoint for cross-family
+//!   generalization experiments.
+//! * **`skew`** — a skew-adversarial suite ([`families::skew`]): heavy-tailed
+//!   input sizes, straggler stages, and elbow points pushed to the extremes
+//!   of the 1–48 executor range.
 //!
-//! Both generators are seeded and fully deterministic, so every experiment
+//! [`production`] additionally generates the synthetic **production Spark
+//! telemetry** (90,224 applications, 840,278 queries, 3,245 clusters) used
+//! for the motivating analysis of Section 2.
+//!
+//! All generators are seeded and fully deterministic, so every experiment
 //! in the benchmark harness is reproducible.
 //!
-//! For the serving path, [`arrivals`] turns either suite into a *request
+//! For the serving path, [`arrivals`] turns any suite — single-family or the
+//! concatenation built by [`family::mixed_suite`] — into a *request
 //! process*: open-loop Poisson arrivals at a target rate, or closed-loop
 //! per-client request sequences (both deterministic given a seed).
 
@@ -25,11 +36,17 @@
 #![deny(unsafe_code)]
 
 pub mod arrivals;
+pub mod families;
+pub mod family;
 pub mod generator;
 pub mod production;
 pub mod templates;
 
 pub use arrivals::{Arrival, ClosedLoop, OpenLoop};
+pub use families::skew::SKEW_QUERY_COUNT;
+pub use families::tpcds::{template_for, tpcds_query_names, tpcds_templates, TPCDS_QUERY_COUNT};
+pub use families::tpch::TPCH_QUERY_COUNT;
+pub use family::{mixed_suite, BuiltinFamily, DuplicateFamily, FamilyRegistry, QueryFamily};
 pub use generator::{QueryInstance, WorkloadGenerator};
 pub use production::{ApplicationTelemetry, ProductionWorkload, ProductionWorkloadConfig};
-pub use templates::{QueryTemplate, ScaleFactor, TPCDS_QUERY_COUNT};
+pub use templates::{QueryTemplate, ScaleFactor};

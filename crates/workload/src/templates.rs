@@ -1,28 +1,23 @@
-//! The 103 synthetic TPC-DS-like query templates.
+//! The shared template vocabulary of every workload family.
 //!
-//! Each template is a compact description of a decision-support query:
-//! how many inputs it scans, its operator mix, how much work it does per
-//! gigabyte of input, how wide its scan and shuffle stages are, and how much
-//! of its work is inherently serial. The concrete values are drawn once from
-//! a seeded generator keyed by the query name, so `q23` always has the same
-//! shape, across processes and runs — the synthetic analogue of a fixed
-//! benchmark suite.
+//! A [`QueryTemplate`] is a compact description of one decision-support
+//! query: how many inputs it scans, its operator mix, how much work it does
+//! per gigabyte of input, how wide its scan and shuffle stages are, and how
+//! much of its work is inherently serial. Families
+//! ([`crate::family::QueryFamily`]) differ only in *which* templates they
+//! produce — the TPC-DS-like suite draws deep aggregation-heavy mixes, the
+//! TPC-H-like suite draws shallow scan/join-heavy ones, the skew-adversarial
+//! suite draws heavy-tailed sizes and stragglers — while the materialisation
+//! into plans and DAGs ([`crate::generator`]) is family-agnostic.
 //!
-//! The distributions are chosen so the derived workload matches the
-//! qualitative properties the paper reports for TPC-DS on Synapse:
-//! optimal executor counts spread between 1 and 48 (Figure 3c), elbow
-//! points mostly at 8 (Figure 11), run times from tens of seconds to several
-//! hundred seconds at SF=100, and scan widths that grow with the scale
-//! factor.
+//! Every family's concrete values are drawn once from a seeded generator
+//! keyed by the query name (plus a family salt), so `q23` always has the
+//! same shape, across processes and runs — the synthetic analogue of a
+//! fixed benchmark suite.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-/// Number of queries in the TPC-DS-like suite (99 templates + 4 variants).
-pub const TPCDS_QUERY_COUNT: usize = 103;
-
-/// TPC-DS scale factor (the paper evaluates 10 and 100).
+/// Benchmark scale factor (the paper evaluates TPC-DS at 10 and 100).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ScaleFactor(pub u32);
 
@@ -47,7 +42,7 @@ impl std::fmt::Display for ScaleFactor {
 /// Compact description of one query template.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QueryTemplate {
-    /// Query name, e.g. `"q94"` or `"q14b"`.
+    /// Query name, e.g. `"q94"`, `"h6"`, or `"sk17"`.
     pub name: String,
     /// Number of input data sources (fact/dimension tables scanned).
     pub num_inputs: usize,
@@ -83,114 +78,45 @@ pub struct QueryTemplate {
 }
 
 impl QueryTemplate {
-    /// Total gigabytes read at the given scale factor.
-    pub fn total_input_gb(&self, sf: ScaleFactor) -> f64 {
-        self.input_gb_per_sf.iter().sum::<f64>() * sf.multiplier()
+    /// Total gigabytes read at the given size multiplier relative to SF=1.
+    ///
+    /// Families with non-linear scale-factor semantics pass their own
+    /// multiplier here (see
+    /// [`crate::family::QueryFamily::scale_multiplier`]).
+    pub fn total_input_gb_at(&self, multiplier: f64) -> f64 {
+        self.input_gb_per_sf.iter().sum::<f64>() * multiplier
     }
 
-    /// Total task work in core-seconds at the given scale factor.
+    /// Total gigabytes read at the given scale factor (linear semantics).
+    pub fn total_input_gb(&self, sf: ScaleFactor) -> f64 {
+        self.total_input_gb_at(sf.multiplier())
+    }
+
+    /// Total task work in core-seconds at the given size multiplier.
     ///
     /// Work grows slightly sub-linearly with data size (larger scans amortise
     /// per-task overheads), which keeps SF=10 queries from being trivially
     /// 10× cheaper than SF=100 ones.
-    pub fn total_work_secs(&self, sf: ScaleFactor) -> f64 {
-        let gb = self.total_input_gb(sf);
+    pub fn total_work_secs_at(&self, multiplier: f64) -> f64 {
+        let gb = self.total_input_gb_at(multiplier);
         self.work_secs_per_gb * gb.powf(0.92)
     }
-}
 
-/// The canonical 103 query names: q1..q99 plus the b-variants the paper
-/// lists (14b, 23b, 24b, 39b).
-pub fn tpcds_query_names() -> Vec<String> {
-    let mut names: Vec<String> = (1..=99).map(|i| format!("q{i}")).collect();
-    for variant in ["q14b", "q23b", "q24b", "q39b"] {
-        names.push(variant.to_string());
-    }
-    names
-}
-
-/// Builds the full template suite. Deterministic: the same 103 templates are
-/// produced on every call.
-pub fn tpcds_templates() -> Vec<QueryTemplate> {
-    tpcds_query_names()
-        .into_iter()
-        .map(|name| template_for(&name))
-        .collect()
-}
-
-/// Builds the template for one query name (deterministic in the name).
-pub fn template_for(name: &str) -> QueryTemplate {
-    let mut rng = StdRng::seed_from_u64(seed_from_name(name));
-
-    // Input structure: one or two large fact tables plus dimensions.
-    let num_inputs = rng.gen_range(1..=8);
-    let mut input_gb_per_sf = Vec::with_capacity(num_inputs);
-    for i in 0..num_inputs {
-        let gb = if i == 0 {
-            // Fact table: 0.05–0.6 GB per SF unit (5–60 GB at SF=100).
-            rng.gen_range(0.05..0.6)
-        } else {
-            // Dimension tables are small.
-            rng.gen_range(0.001..0.05)
-        };
-        input_gb_per_sf.push(gb);
-    }
-
-    let num_joins = rng
-        .gen_range(0..=10usize)
-        .min(num_inputs.saturating_sub(1) + 4);
-    let num_aggregates = rng.gen_range(1..=6usize);
-    let num_shuffle_stages = (num_joins + num_aggregates).clamp(1, 8);
-    let num_filters = rng.gen_range(2..=14);
-    let num_projects = rng.gen_range(3..=18);
-    let num_sorts = rng.gen_range(0..=3);
-    let num_unions = rng.gen_range(0..=2);
-    let num_windows = rng.gen_range(0..=2);
-    let num_subqueries = rng.gen_range(0..=2);
-
-    // Cost per gigabyte is driven by the operator mix — joins, aggregations,
-    // sorts and windows do the heavy lifting — plus a modest residual that
-    // plan features cannot explain (data properties, expression complexity).
-    // Keeping most of the cost explainable from compile-time features is
-    // what makes the parameter-model learning problem realistic rather than
-    // dominated by irreducible noise.
-    let work_secs_per_gb = (14.0
-        + 4.5 * num_joins as f64
-        + 3.5 * num_aggregates as f64
-        + 2.5 * num_sorts as f64
-        + 2.0 * num_windows as f64
-        + 0.4 * num_filters as f64)
-        * rng.gen_range(0.85..1.15);
-    // Deeper, aggregation-heavy plans end in narrower (more serial) tails.
-    let serial_fraction = (0.03
-        + 0.02 * num_aggregates as f64
-        + 0.015 * num_sorts as f64
-        + 0.01 * num_subqueries as f64)
-        .clamp(0.03, 0.30)
-        * rng.gen_range(0.8..1.2);
-
-    QueryTemplate {
-        name: name.to_string(),
-        num_inputs,
-        input_gb_per_sf,
-        rows_per_gb: rng.gen_range(2.0e6..2.0e7),
-        work_secs_per_gb,
-        serial_fraction: serial_fraction.clamp(0.02, 0.35),
-        num_shuffle_stages,
-        skew: rng.gen_range(1.0..2.5),
-        num_joins,
-        num_aggregates,
-        num_filters,
-        num_projects,
-        num_sorts,
-        num_unions,
-        num_windows,
-        num_subqueries,
+    /// Total task work in core-seconds at the given scale factor (linear
+    /// semantics).
+    pub fn total_work_secs(&self, sf: ScaleFactor) -> f64 {
+        self.total_work_secs_at(sf.multiplier())
     }
 }
 
 /// Stable 64-bit seed derived from a query name (FNV-1a).
-fn seed_from_name(name: &str) -> u64 {
+///
+/// New families should hash a family-prefixed name (e.g. `"tpch/h1"`) so
+/// name collisions across families draw distinct shapes. The one exception
+/// is the TPC-DS-like family, which hashes the bare name: that is the
+/// historical stream, and salting it would break the suite's pinned
+/// bit-identity with the pre-registry generator.
+pub(crate) fn seed_from_name(name: &str) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for byte in name.as_bytes() {
         hash ^= u64::from(*byte);
@@ -204,42 +130,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn suite_has_103_unique_queries() {
-        let names = tpcds_query_names();
-        assert_eq!(names.len(), TPCDS_QUERY_COUNT);
-        let mut sorted = names.clone();
-        sorted.sort();
-        sorted.dedup();
-        assert_eq!(sorted.len(), TPCDS_QUERY_COUNT);
-        assert!(names.contains(&"q94".to_string()));
-        assert!(names.contains(&"q14b".to_string()));
-    }
-
-    #[test]
-    fn templates_are_deterministic() {
-        let a = template_for("q94");
-        let b = template_for("q94");
-        assert_eq!(a, b);
-        let c = template_for("q69");
-        assert_ne!(a, c);
-    }
-
-    #[test]
-    fn template_fields_are_in_valid_ranges() {
-        for template in tpcds_templates() {
-            assert!(template.num_inputs >= 1 && template.num_inputs <= 8);
-            assert_eq!(template.input_gb_per_sf.len(), template.num_inputs);
-            assert!(template.input_gb_per_sf.iter().all(|&gb| gb > 0.0));
-            assert!(template.serial_fraction > 0.0 && template.serial_fraction < 0.5);
-            assert!(template.num_shuffle_stages >= 1 && template.num_shuffle_stages <= 8);
-            assert!(template.skew >= 1.0);
-            assert!(template.work_secs_per_gb > 0.0);
-        }
-    }
-
-    #[test]
     fn work_scales_with_scale_factor() {
-        let t = template_for("q42");
+        let t = crate::families::tpcds::template_for("q42").expect("canonical name");
         let w10 = t.total_work_secs(ScaleFactor::SF10);
         let w100 = t.total_work_secs(ScaleFactor::SF100);
         assert!(w100 > w10 * 4.0, "w10={w10} w100={w100}");
@@ -247,14 +139,16 @@ mod tests {
     }
 
     #[test]
-    fn suite_spans_a_wide_range_of_work() {
-        let works: Vec<f64> = tpcds_templates()
-            .iter()
-            .map(|t| t.total_work_secs(ScaleFactor::SF100))
-            .collect();
-        let min = works.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = works.iter().cloned().fold(0.0, f64::max);
-        assert!(max / min > 10.0, "work range too narrow: {min}..{max}");
+    fn explicit_multiplier_matches_scale_factor_path() {
+        let t = crate::families::tpcds::template_for("q7").expect("canonical name");
+        assert_eq!(
+            t.total_work_secs(ScaleFactor::SF100).to_bits(),
+            t.total_work_secs_at(100.0).to_bits()
+        );
+        assert_eq!(
+            t.total_input_gb(ScaleFactor::SF10).to_bits(),
+            t.total_input_gb_at(10.0).to_bits()
+        );
     }
 
     #[test]

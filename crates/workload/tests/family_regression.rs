@@ -1,0 +1,135 @@
+//! Pins the TPC-DS-like suite bit-for-bit across refactors.
+//!
+//! The digests below were computed from the pre-`QueryFamily` workload layer
+//! (the hardcoded `tpcds_templates()` / `WorkloadGenerator::new` path). Any
+//! change to template sampling, plan construction, or DAG construction for
+//! the TPC-DS-like family shows up here as a digest mismatch: the family
+//! refactor must leave the historical suite — names, templates, plans, and
+//! DAGs — exactly as it was.
+
+use ae_workload::{QueryInstance, ScaleFactor, WorkloadGenerator};
+
+/// FNV-1a over a byte stream.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+}
+
+/// Exact digest of everything the generator produces for a suite: template
+/// fields, compile-time plan statistics, and the full task-level DAG.
+fn digest_suite(suite: &[QueryInstance]) -> u64 {
+    let mut d = Digest::new();
+    d.u64(suite.len() as u64);
+    for q in suite {
+        d.bytes(q.name.as_bytes());
+        let t = &q.template;
+        d.bytes(t.name.as_bytes());
+        d.u64(t.num_inputs as u64);
+        for &gb in &t.input_gb_per_sf {
+            d.f64(gb);
+        }
+        d.f64(t.rows_per_gb);
+        d.f64(t.work_secs_per_gb);
+        d.f64(t.serial_fraction);
+        d.u64(t.num_shuffle_stages as u64);
+        d.f64(t.skew);
+        for count in [
+            t.num_joins,
+            t.num_aggregates,
+            t.num_filters,
+            t.num_projects,
+            t.num_sorts,
+            t.num_unions,
+            t.num_windows,
+            t.num_subqueries,
+        ] {
+            d.u64(count as u64);
+        }
+
+        let stats = q.plan.stats();
+        for &c in &stats.operator_counts {
+            d.u64(c as u64);
+        }
+        d.u64(stats.total_operators as u64);
+        d.u64(stats.max_depth as u64);
+        d.u64(stats.num_input_sources as u64);
+        d.f64(stats.total_input_bytes);
+        d.f64(stats.total_rows_processed);
+
+        d.u64(q.dag.num_stages() as u64);
+        for stage in q.dag.stages() {
+            d.u64(stage.id as u64);
+            d.u64(stage.parents.len() as u64);
+            for &p in &stage.parents {
+                d.u64(p as u64);
+            }
+            d.u64(stage.tasks.len() as u64);
+            for task in &stage.tasks {
+                d.f64(task.work_secs);
+            }
+        }
+    }
+    d.0
+}
+
+/// Digests of the suite as produced by the pre-refactor generator at commit
+/// 5961f19 (before the `QueryFamily` registry existed).
+const PRE_REFACTOR_DIGEST_SF10: u64 = 0xa342_6b94_56f7_7a20;
+const PRE_REFACTOR_DIGEST_SF100: u64 = 0x6119_405b_60f8_1783;
+
+#[test]
+fn tpcds_suite_is_bit_identical_to_pre_refactor_generator() {
+    let sf10 = WorkloadGenerator::new(ScaleFactor::SF10).suite();
+    let sf100 = WorkloadGenerator::new(ScaleFactor::SF100).suite();
+    assert_eq!(
+        digest_suite(&sf10),
+        PRE_REFACTOR_DIGEST_SF10,
+        "TPC-DS-like SF10 suite diverged from the pre-refactor generator"
+    );
+    assert_eq!(
+        digest_suite(&sf100),
+        PRE_REFACTOR_DIGEST_SF100,
+        "TPC-DS-like SF100 suite diverged from the pre-refactor generator"
+    );
+}
+
+#[test]
+fn tpcds_family_names_match_the_historical_suite() {
+    let mut expected: Vec<String> = (1..=99).map(|i| format!("q{i}")).collect();
+    expected.extend(["q14b", "q23b", "q24b", "q39b"].map(String::from));
+    assert_eq!(ae_workload::tpcds_query_names(), expected);
+    let suite = WorkloadGenerator::new(ScaleFactor::SF10).suite();
+    let names: Vec<&str> = suite.iter().map(|q| q.name.as_str()).collect();
+    assert_eq!(
+        names,
+        expected.iter().map(String::as_str).collect::<Vec<_>>()
+    );
+}
+
+/// The registry route (`BuiltinFamily::Tpcds`) and the compatibility route
+/// (`WorkloadGenerator::new`) must be the same generator, not two copies.
+#[test]
+fn registry_route_equals_compatibility_route() {
+    use ae_workload::BuiltinFamily;
+    let via_new = WorkloadGenerator::new(ScaleFactor::SF100).suite();
+    let via_registry = WorkloadGenerator::builtin(BuiltinFamily::Tpcds, ScaleFactor::SF100).suite();
+    assert_eq!(digest_suite(&via_new), digest_suite(&via_registry));
+}

@@ -1,23 +1,35 @@
-//! Property-based tests on the workload generators.
+//! Property-based tests on the workload generators, across all families.
 
-use ae_workload::templates::{template_for, tpcds_query_names};
-use ae_workload::{ScaleFactor, WorkloadGenerator};
+use ae_workload::families::{skew, tpcds, tpch};
+use ae_workload::{BuiltinFamily, ScaleFactor, WorkloadGenerator};
 use proptest::prelude::*;
+
+/// The canonical names of a builtin family (0 = tpcds, 1 = tpch, 2 = skew).
+fn family_and_names(family_idx: usize) -> (BuiltinFamily, Vec<String>) {
+    let family = BuiltinFamily::ALL[family_idx % BuiltinFamily::ALL.len()];
+    let names = family.family().query_names();
+    (family, names)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
-    /// Every query in the suite produces a structurally valid DAG whose work
-    /// matches the template within the spreading tolerance, at any scale
-    /// factor in a reasonable range.
+    /// Every query of every family produces a structurally valid DAG whose
+    /// work matches the template within the spreading tolerance, at any
+    /// scale factor in a reasonable range.
     #[test]
-    fn any_query_any_scale_factor_is_consistent(query_idx in 0usize..103, sf in 5u32..200) {
-        let names = tpcds_query_names();
-        let name = &names[query_idx];
+    fn any_query_any_scale_factor_is_consistent(
+        family_idx in 0usize..3,
+        query_seed in 0usize..103,
+        sf in 5u32..200,
+    ) {
+        let (family, names) = family_and_names(family_idx);
+        let name = &names[query_seed % names.len()];
         let scale = ScaleFactor(sf);
-        let instance = WorkloadGenerator::new(scale).instance(name);
+        let instance = WorkloadGenerator::builtin(family, scale).instance(name);
         let stats = instance.plan.stats();
 
+        prop_assert_eq!(&instance.family, family.key());
         prop_assert!(instance.dag.num_tasks() >= 1);
         prop_assert!(instance.dag.critical_path_secs() > 0.0);
         prop_assert!(stats.total_input_bytes > 0.0);
@@ -30,13 +42,13 @@ proptest! {
     }
 
     /// Input bytes scale linearly with the scale factor and the DAG only
-    /// ever gets wider (never narrower) as data grows.
+    /// ever gets wider (never narrower) as data grows — in every family.
     #[test]
-    fn scale_factor_monotonicity(query_idx in 0usize..103) {
-        let names = tpcds_query_names();
-        let name = &names[query_idx];
-        let small = WorkloadGenerator::new(ScaleFactor::SF10).instance(name);
-        let large = WorkloadGenerator::new(ScaleFactor::SF100).instance(name);
+    fn scale_factor_monotonicity(family_idx in 0usize..3, query_seed in 0usize..103) {
+        let (family, names) = family_and_names(family_idx);
+        let name = &names[query_seed % names.len()];
+        let small = WorkloadGenerator::builtin(family, ScaleFactor::SF10).instance(name);
+        let large = WorkloadGenerator::builtin(family, ScaleFactor::SF100).instance(name);
         let b_small = small.plan.stats().total_input_bytes;
         let b_large = large.plan.stats().total_input_bytes;
         prop_assert!((b_large / b_small - 10.0).abs() < 0.5);
@@ -44,11 +56,25 @@ proptest! {
         prop_assert!(large.dag.total_work_secs() > small.dag.total_work_secs());
     }
 
-    /// Templates are pure functions of the query name.
+    /// Templates are pure functions of the query name, and each family
+    /// resolves only its own names.
     #[test]
-    fn templates_depend_only_on_the_name(query_idx in 0usize..103) {
-        let names = tpcds_query_names();
-        let name = &names[query_idx];
-        prop_assert_eq!(template_for(name), template_for(name));
+    fn templates_depend_only_on_the_name(family_idx in 0usize..3, query_seed in 0usize..103) {
+        let (family, names) = family_and_names(family_idx);
+        let name = &names[query_seed % names.len()];
+        let lookup = |n: &str| match family {
+            BuiltinFamily::Tpcds => tpcds::template_for(n),
+            BuiltinFamily::Tpch => tpch::template_for(n),
+            BuiltinFamily::Skew => skew::template_for(n),
+        };
+        let template = lookup(name);
+        prop_assert!(template.is_some());
+        prop_assert_eq!(template, lookup(name));
+        // Name sets are disjoint: the other families reject this name.
+        for other in BuiltinFamily::ALL {
+            if other != family {
+                prop_assert_eq!(other.family().template(name), None);
+            }
+        }
     }
 }

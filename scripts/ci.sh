@@ -4,9 +4,11 @@
 # Runs the tier-1 verification (release build + tests), lint/format gates
 # over every workspace crate (including ae-serve), a quick criterion smoke
 # over the two benches most sensitive to scheduler/training regressions,
-# and a serving smoke (short fixed-duration bench_serving run that must
-# sustain qps > 0 with zero dropped requests). Pass --full to also run the
-# full bench suite (slow).
+# a serving smoke (short fixed-duration bench_serving run that must
+# sustain qps > 0 with zero dropped requests), and a cross-family
+# generalization smoke (train on the TPC-DS-like family, score the
+# TPC-H-like and skew-adversarial ones, assert the accuracy matrix is
+# complete and finite). Pass --full to also run the full bench suite (slow).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,6 +30,9 @@ cargo bench --offline -p ae-bench --bench bench_training -- --quick forest_fit
 
 echo "==> serving smoke (fixed-duration run; asserts qps > 0, zero dropped)"
 cargo run --offline --release -p ae-bench --bin bench_serving -- --smoke
+
+echo "==> generalization smoke (train tpcds, score tpch + skew; asserts a full finite matrix)"
+cargo run --offline --release -p ae-bench --bin bench_generalization -- --smoke --json "$(mktemp -t generalization-smoke.XXXXXX.json)"
 
 if [[ "${1:-}" == "--full" ]]; then
     echo "==> full bench suite"

@@ -9,7 +9,7 @@
 use ae_engine::ClusterConfig;
 use ae_ml::dataset::Dataset;
 use ae_ml::forest::{RandomForestConfig, RandomForestRegressor};
-use ae_workload::{QueryInstance, ScaleFactor, WorkloadGenerator};
+use ae_workload::{BuiltinFamily, QueryInstance, ScaleFactor, WorkloadGenerator};
 use autoexecutor::{
     cross_validate, ActualRuns, AutoExecutorConfig, CrossValidationConfig, TrainingData,
 };
@@ -40,6 +40,7 @@ fn assert_training_data_eq(a: &TrainingData, b: &TrainingData) {
     assert_eq!(a.len(), b.len());
     for (ea, eb) in a.examples.iter().zip(&b.examples) {
         assert_eq!(ea.name, eb.name);
+        assert_eq!(ea.family, eb.family);
         // f64 comparisons are intentionally exact: the parallel and
         // sequential paths must agree bit for bit, not approximately.
         assert_eq!(ea.full_features, eb.full_features);
@@ -57,6 +58,47 @@ fn training_data_collection_is_thread_count_invariant() {
     let serial = with_pool(1, || TrainingData::collect(&queries, &config).unwrap());
     let wide = with_pool(8, || TrainingData::collect(&queries, &config).unwrap());
     assert_training_data_eq(&serial, &wide);
+}
+
+/// The guarantee is family-generic: training-data and ground-truth
+/// collection over the TPC-H-like and skew-adversarial suites must be
+/// bit-identical at any worker-thread count, exactly like the TPC-DS-like
+/// suite above.
+#[test]
+fn new_family_pipelines_are_thread_count_invariant() {
+    let config = fast_config();
+    let cluster = ClusterConfig::paper_default();
+    let counts = [1usize, 8, 48];
+    for family in [BuiltinFamily::Tpch, BuiltinFamily::Skew] {
+        let generator = WorkloadGenerator::builtin(family, ScaleFactor::SF10);
+        let names = family.family().query_names();
+        let queries: Vec<QueryInstance> = names
+            .iter()
+            .take(10)
+            .map(|name| generator.instance(name))
+            .collect();
+
+        let serial = with_pool(1, || TrainingData::collect(&queries, &config).unwrap());
+        let wide = with_pool(8, || TrainingData::collect(&queries, &config).unwrap());
+        assert_training_data_eq(&serial, &wide);
+        assert!(serial.examples.iter().all(|e| e.family == family.key()));
+
+        let serial_actuals = with_pool(1, || {
+            ActualRuns::collect(&queries, &counts, 2, &cluster, 11).unwrap()
+        });
+        let wide_actuals = with_pool(8, || {
+            ActualRuns::collect(&queries, &counts, 2, &cluster, 11).unwrap()
+        });
+        for query in &queries {
+            assert_eq!(
+                serial_actuals.curve(&query.name).unwrap(),
+                wide_actuals.curve(&query.name).unwrap(),
+                "{}/{} ground truth differs across thread counts",
+                family.key(),
+                query.name
+            );
+        }
+    }
 }
 
 #[test]
