@@ -421,20 +421,7 @@ fn main() {
             Arc::clone(&plans),
             Arc::clone(&runtime),
         );
-        let stats_after = runtime.stats();
-        let mut stats = stats_after.clone();
-        stats.completed -= stats_before.completed;
-        stats.inline_scored -= stats_before.inline_scored;
-        stats.batches -= stats_before.batches;
-        stats.dropped -= stats_before.dropped;
-        stats.errors -= stats_before.errors;
-        for (bucket, before) in stats
-            .batch_size_histogram
-            .iter_mut()
-            .zip(&stats_before.batch_size_histogram)
-        {
-            *bucket -= before;
-        }
+        let stats = runtime.stats().delta_since(&stats_before);
         ModeResult {
             name: "ae_serve_open_loop",
             detail: "batching runtime; Poisson arrivals at ~60% of closed-loop throughput",

@@ -11,6 +11,7 @@ pub mod allocation;
 pub mod generalization;
 pub mod model_accuracy;
 pub mod motivation;
+pub mod qos;
 pub mod selection;
 pub mod workload_characteristics;
 
@@ -33,6 +34,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ablation",
     "overheads",
     "generalization",
+    "qos",
 ];
 
 /// Runs one experiment by id. Returns `false` for an unknown id.
@@ -55,6 +57,7 @@ pub fn run(id: &str, ctx: &mut ExperimentContext) -> bool {
         "ablation" => model_accuracy::ablation_feature_sets(ctx),
         "overheads" => model_accuracy::overheads(ctx),
         "generalization" => generalization::cross_family_matrix(ctx),
+        "qos" => qos::service_level_menu(ctx),
         _ => return false,
     }
     true

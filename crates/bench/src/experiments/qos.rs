@@ -1,0 +1,96 @@
+//! Serving QoS: the per-level price-performance menu.
+//!
+//! The PixelsDB-style service levels sell three different points on each
+//! query's *predicted* performance curve: `Interactive` buys a near-fastest
+//! point, `Standard` a bounded-slowdown point, `BestEffort` the cheapest
+//! executor-seconds point. This experiment trains the parameter model on
+//! the default family, scores a representative slice of the suite through
+//! the QoS-aware serving runtime at every level, and prints the resulting
+//! menu: selected executors, predicted run time, executor-seconds price,
+//! and the *derived* price multiplier over the best-effort anchor.
+//!
+//! (Latency under load is measured by the `bench_qos` binary, which drives
+//! the runtime with tagged open-loop arrivals; this experiment is the
+//! deterministic pricing view.)
+
+use std::sync::Arc;
+
+use ae_serve::{RuntimeConfig, ScoreRequest, ScoringRuntime, ServiceLevel};
+use ae_workload::ScaleFactor;
+use autoexecutor::prelude::*;
+use autoexecutor::ModelRegistry;
+
+use crate::context::ExperimentContext;
+use crate::table;
+
+/// Queries shown in the menu: a cheap scan-heavy one, a mid-size join, and
+/// an expensive aggregation-heavy one (paper examples q1/q42/q88).
+const MENU_QUERIES: [&str; 3] = ["q1", "q42", "q88"];
+
+/// The `qos` experiment: per-level executor counts, predicted times,
+/// prices, and multipliers over the default family at SF=10.
+pub fn service_level_menu(ctx: &mut ExperimentContext) {
+    table::section(
+        "QoS",
+        "service-level price menu (predicted curve -> deadline -> price)",
+    );
+    let config = ctx.config;
+    let suite = ctx.suite(ScaleFactor::SF10).to_vec();
+    let (_, model) = train_from_workload(&suite, &config).expect("training");
+    let registry = Arc::new(ModelRegistry::in_memory());
+    registry
+        .register("qos", model.to_portable("qos").unwrap())
+        .unwrap();
+    let runtime = ScoringRuntime::new(
+        Arc::clone(&registry),
+        "qos",
+        RuntimeConfig::deterministic(&config),
+    );
+    let rewriter = Optimizer::with_default_rules();
+
+    table::header(&[
+        "query",
+        "level",
+        "executors",
+        "pred time (s)",
+        "price (ex-s)",
+        "multiplier",
+    ]);
+    let mut multipliers = Vec::new();
+    for name in MENU_QUERIES {
+        let query = ctx.query(name, ScaleFactor::SF10);
+        let plan = rewriter.optimize(query.plan.clone()).unwrap().plan;
+        for level in [
+            ServiceLevel::Interactive,
+            ServiceLevel::Standard,
+            ServiceLevel::BestEffort,
+        ] {
+            let outcome = runtime
+                .submit(ScoreRequest::from_plan(&plan).with_level(level))
+                .expect("menu scoring");
+            let quote = outcome.quote().expect("non-empty predicted curve");
+            table::row(&[
+                name.to_string(),
+                level.name().to_string(),
+                quote.executors.to_string(),
+                table::fmt(quote.predicted_seconds, 1),
+                table::fmt(quote.price, 1),
+                table::fmt(quote.multiplier, 2),
+            ]);
+            if level == ServiceLevel::Interactive {
+                multipliers.push(quote.multiplier);
+            }
+        }
+    }
+    runtime.shutdown();
+    let mean_multiplier = multipliers.iter().sum::<f64>() / multipliers.len().max(1) as f64;
+    println!(
+        "interactive promises cost {:.2}x best-effort on average over the menu; the \
+         multiplier is derived per query from its predicted curve, not configured.",
+        mean_multiplier
+    );
+    println!(
+        "expected shape: interactive buys more executors at a superlinear price; standard \
+         sits at the bounded-slowdown point; best-effort anchors the price at 1x."
+    );
+}

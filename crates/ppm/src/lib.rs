@@ -15,7 +15,9 @@
 //!   "Actual" and Sparklens series over all candidate executor counts
 //!   (Section 5.3).
 //! * [`selection`] — configuration selection: minimum-time, bounded slowdown
-//!   `H`, and the normalized-slope "elbow point" (Section 5.3).
+//!   `H`, the normalized-slope "elbow point" (Section 5.3), and the
+//!   deadline/pricing lookups the serving tier's service levels are built on
+//!   (cheapest `n` meeting a deadline, executor-seconds cost of a point).
 //! * [`cores`] — the total-cores view `k = n × ec` (Section 3.3) and the
 //!   executor-size factorization that minimizes stranded node resources.
 
@@ -32,4 +34,7 @@ pub use cores::{factorize_total_cores, interpolate_by_cores, FactorizationConstr
 pub use curve::PerfCurve;
 pub use fit::{fit_amdahl, fit_power_law, FitError};
 pub use model::{AmdahlPpm, PowerLawPpm, Ppm, PpmKind};
-pub use selection::{elbow_point, min_time_config, slowdown_config, SelectionObjective};
+pub use selection::{
+    cheapest_config, cost_at, deadline_config, elbow_point, min_time_config, price_for_deadline,
+    slowdown_config, SelectionObjective,
+};

@@ -9,6 +9,14 @@
 //! * **Elbow point** — normalize both axes to `[0, 1]` and pick the smallest
 //!   `n` at which the curve's slope crosses unit slope, balancing the rate
 //!   of time decrease against the rate of resource increase (Equations 7–9).
+//!
+//! The serving tier's tiered service levels (PixelsDB-style SLAs) add a
+//! third family of lookups on the same curve: **deadline selection**
+//! ([`deadline_config`] — the smallest `n` meeting a run-time deadline)
+//! and **pricing** ([`cost_at`], [`cheapest_config`],
+//! [`price_for_deadline`] — the executor-seconds cost of an operating
+//! point and the cheapest point honoring a deadline, which is what a
+//! price multiplier for a deadline promise is derived from).
 
 use serde::{Deserialize, Serialize};
 
@@ -151,6 +159,59 @@ pub fn elbow_point(curve: &[(usize, f64)]) -> Option<usize> {
     }
 }
 
+/// Smallest `n` whose predicted run time meets `deadline`
+/// (`t(n) ≤ deadline`). Returns `None` on an empty curve or when no point
+/// meets the deadline — an *unattainable* promise, which callers must
+/// surface rather than silently over-provision.
+pub fn deadline_config(curve: &[(usize, f64)], deadline: f64) -> Option<usize> {
+    let pts = normalised(curve);
+    pts.iter().find(|&&(_, t)| t <= deadline).map(|&(n, _)| n)
+}
+
+/// The executor-seconds cost `n · t(n)` of running at the sampled point
+/// `n`. Returns `None` when `n` is not a sampled point of the curve (the
+/// serving path always asks about points it just evaluated).
+pub fn cost_at(curve: &[(usize, f64)], n: usize) -> Option<f64> {
+    let pts = normalised(curve);
+    pts.iter()
+        .find(|&&(m, _)| m == n)
+        .map(|&(n, t)| n as f64 * t)
+}
+
+/// The cheapest operating point of the curve: the `(n, n · t(n))` pair
+/// minimizing executor-seconds. Ties keep the smallest `n`. This is the
+/// natural "best effort" price anchor: what the query costs when the only
+/// promise is that it finishes.
+pub fn cheapest_config(curve: &[(usize, f64)]) -> Option<(usize, f64)> {
+    let pts = normalised(curve);
+    pts.iter().map(|&(n, t)| (n, n as f64 * t)).fold(
+        None,
+        |best: Option<(usize, f64)>, (n, cost)| match best {
+            Some((_, best_cost)) if best_cost <= cost => best,
+            _ => Some((n, cost)),
+        },
+    )
+}
+
+/// Deadline-constrained pricing: the **cheapest** point meeting `deadline`
+/// — the `(n, n · t(n))` pair minimizing executor-seconds over all sampled
+/// counts with `t(n) ≤ deadline` — i.e. the point a serving tier should
+/// buy to honor the deadline. On curves with a superlinear-speedup prefix
+/// this can be a larger `n` than [`deadline_config`]'s smallest-feasible
+/// choice (faster *and* cheaper). Ties keep the smallest `n`. `None` when
+/// the curve is empty or the deadline is unattainable at any sampled
+/// count.
+pub fn price_for_deadline(curve: &[(usize, f64)], deadline: f64) -> Option<(usize, f64)> {
+    let pts = normalised(curve);
+    pts.iter()
+        .filter(|&&(_, t)| t <= deadline)
+        .map(|&(n, t)| (n, n as f64 * t))
+        .fold(None, |best: Option<(usize, f64)>, cand| match best {
+            Some((_, best_cost)) if best_cost <= cand.1 => best,
+            _ => Some(cand),
+        })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +324,52 @@ mod tests {
     fn h_below_one_is_clamped() {
         let curve = amdahl_curve();
         assert_eq!(slowdown_config(&curve, 0.5), slowdown_config(&curve, 1.0));
+    }
+
+    #[test]
+    fn deadline_config_picks_smallest_n_meeting_the_deadline() {
+        let curve = amdahl_curve();
+        // Amdahl with s=30, p=470: t(n) = 30 + 470/n, strictly decreasing.
+        let n = deadline_config(&curve, 100.0).unwrap();
+        assert!(curve.iter().any(|&(m, t)| m == n && t <= 100.0));
+        // Every smaller n misses the deadline.
+        assert!(curve
+            .iter()
+            .filter(|&&(m, _)| m < n)
+            .all(|&(_, t)| t > 100.0));
+        // An unattainable deadline (below the serial fraction) is None.
+        assert_eq!(deadline_config(&curve, 10.0), None);
+        assert_eq!(deadline_config(&[], 10.0), None);
+    }
+
+    #[test]
+    fn cost_and_cheapest_point() {
+        let curve = vec![(1, 100.0), (2, 60.0), (4, 40.0), (8, 35.0)];
+        assert!((cost_at(&curve, 2).unwrap() - 120.0).abs() < 1e-12);
+        assert_eq!(cost_at(&curve, 3), None);
+        // Costs: 100, 120, 160, 280 — n = 1 is cheapest.
+        assert_eq!(cheapest_config(&curve).unwrap(), (1, 100.0));
+        // A superlinear-speedup prefix makes a larger n cheapest.
+        let curve = vec![(1, 100.0), (2, 40.0), (4, 30.0)];
+        assert_eq!(cheapest_config(&curve).unwrap(), (2, 80.0));
+        assert_eq!(cheapest_config(&[]), None);
+    }
+
+    #[test]
+    fn price_for_deadline_picks_the_cheapest_feasible_point() {
+        let curve = vec![(1, 100.0), (2, 60.0), (4, 40.0), (8, 35.0)];
+        let (n, cost) = price_for_deadline(&curve, 50.0).unwrap();
+        assert_eq!(n, 4);
+        assert!((cost - 160.0).abs() < 1e-12);
+        // Tighter deadlines cost at least as much.
+        let (_, tighter) = price_for_deadline(&curve, 35.0).unwrap();
+        assert!(tighter >= cost);
+        assert_eq!(price_for_deadline(&curve, 1.0), None);
+        // A superlinear-speedup prefix: n=2 meets the deadline cheaper AND
+        // faster than the smallest feasible n=1 — pricing must not pick n=1.
+        let superlinear = vec![(1, 100.0), (2, 40.0)];
+        assert_eq!(price_for_deadline(&superlinear, 100.0).unwrap(), (2, 80.0));
+        assert_eq!(deadline_config(&superlinear, 100.0), Some(1));
     }
 
     #[test]

@@ -5,6 +5,8 @@ use std::time::Duration;
 use ae_ppm::selection::SelectionObjective;
 use autoexecutor::config::AutoExecutorConfig;
 
+use crate::qos::QosConfig;
+
 /// Tuning knobs of a [`crate::ScoringRuntime`].
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -37,6 +39,9 @@ pub struct RuntimeConfig {
     pub objective: SelectionObjective,
     /// Candidate executor counts evaluated per query.
     pub candidate_counts: Vec<usize>,
+    /// Service-level semantics: per-level deadline budgets, drain weights,
+    /// pricing targets, and the optional per-tenant fairness policy.
+    pub qos: QosConfig,
 }
 
 impl RuntimeConfig {
@@ -54,6 +59,7 @@ impl RuntimeConfig {
             inline_max_in_flight: (2 * cores).max(6),
             objective: config.objective,
             candidate_counts: config.candidate_counts(),
+            qos: QosConfig::default(),
         }
     }
 
@@ -71,6 +77,9 @@ impl RuntimeConfig {
             inline_max_in_flight: 0,
             objective: config.objective,
             candidate_counts: config.candidate_counts(),
+            // Default QoS, fairness disabled: single-level traffic drains
+            // strictly FIFO and stays bit-identical to the sequential rule.
+            qos: QosConfig::default(),
         }
     }
 
@@ -107,6 +116,13 @@ impl RuntimeConfig {
     /// Overrides the in-flight bound below which submitters score inline.
     pub fn with_inline_max_in_flight(mut self, limit: usize) -> Self {
         self.inline_max_in_flight = limit;
+        self
+    }
+
+    /// Overrides the QoS configuration (service-level budgets, drain
+    /// weights, pricing targets, tenant fairness).
+    pub fn with_qos(mut self, qos: QosConfig) -> Self {
+        self.qos = qos;
         self
     }
 

@@ -28,20 +28,41 @@
 //!   same [`autoexecutor::scoring`] entry points. The regression test in
 //!   `tests/determinism.rs` pins this.
 //!
-//! Admission control, SLA tiers, and multi-tenant pricing (PixelsDB-style
-//! per-query service levels) are future ROADMAP work that will hang off
-//! this runtime.
+//! On top of the batching machinery sits the **QoS layer** (the PixelsDB
+//! model of tiered SLAs — see `docs/qos.md` at the repository root):
+//!
+//! * Every request carries a [`ServiceLevel`] (`Interactive` / `Standard`
+//!   / `BestEffort`), an optional [`TenantId`], and a completion deadline
+//!   ([`ScoreRequest`]); [`ScoringRuntime::submit`] /
+//!   [`ScoringRuntime::try_submit`] return the scored plan together with
+//!   its QoS disposition and a [`PriceQuote`] derived from the predicted
+//!   performance curve ([`ScoreOutcome`]).
+//! * Admission is a set of **per-level earliest-deadline-first queues**
+//!   drained weighted-round-robin across levels (see [`qos`]); under
+//!   saturation, `BestEffort` requests are shed first
+//!   ([`ServeError::Shed`]) so higher promises keep their room.
+//! * Per-tenant **token buckets** ([`tenant`]) police admission: over-rate
+//!   tenants are demoted to `BestEffort` or rejected
+//!   ([`ServeError::Throttled`]), so a flooding tenant cannot starve an
+//!   in-rate one.
+//!
+//! Service levels never change *answers* — scoring stays a pure function
+//! of features and model — only queueing delay, shedding, and price.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod config;
+pub mod qos;
 pub mod runtime;
 pub mod stats;
+pub mod tenant;
 
 pub use config::RuntimeConfig;
-pub use runtime::ScoringRuntime;
-pub use stats::{LatencyRecorder, LatencySummary, RuntimeStats};
+pub use qos::{price_quote, price_quote_parts, PriceQuote, QosConfig, ServiceLevel};
+pub use runtime::{ScoreOutcome, ScoreRequest, ScoreTicket, ScoringRuntime};
+pub use stats::{LatencyRecorder, LatencySummary, LevelStats, RuntimeStats};
+pub use tenant::{TenantId, TenantPolicy, ThrottleAction};
 
 /// Errors surfaced by the serving runtime.
 ///
@@ -50,9 +71,17 @@ pub use stats::{LatencyRecorder, LatencySummary, RuntimeStats};
 /// a batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
-    /// `try_score` found the admission queue full (the request was counted
-    /// as dropped; the caller may retry, shed load, or fall back).
+    /// `try_score` / `try_submit` found the admission queue full with
+    /// nothing sheddable (the request was counted as dropped; the caller
+    /// may retry, shed load, or fall back).
     Saturated,
+    /// The queued request was evicted (shed) to make room for a
+    /// higher-level request under saturation. Only `BestEffort` requests
+    /// are shed.
+    Shed,
+    /// The tenant was over its token-bucket rate under a
+    /// [`ThrottleAction::Reject`] fairness policy.
+    Throttled(TenantId),
     /// The runtime is shutting down; the request was not scored.
     ShutDown,
     /// The model could not be fetched from the registry or decoded.
@@ -65,6 +94,10 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Saturated => write!(f, "scoring queue is saturated"),
+            ServeError::Shed => write!(f, "request was shed under saturation"),
+            ServeError::Throttled(tenant) => {
+                write!(f, "{tenant} is over its admission rate")
+            }
             ServeError::ShutDown => write!(f, "scoring runtime is shut down"),
             ServeError::Model(s) => write!(f, "model error: {s}"),
             ServeError::Scoring(s) => write!(f, "scoring error: {s}"),

@@ -1,26 +1,30 @@
-//! The concurrent batched scoring runtime.
+//! The concurrent batched, QoS-aware scoring runtime.
 //!
 //! Request flow:
 //!
 //! ```text
-//!  client threads                 workers (config.workers)
-//!  ──────────────                 ────────────────────────
-//!  featurize plan                 wait for first request
-//!  idle? → score inline ─────┐    top batch up (batch_window, max_batch)
-//!  else: bounded queue ──────┼──▶ lay rows out in one FeatureMatrix
-//!  wait on completion ◀──────┘    score_feature_batch → fulfill each
+//!  client threads                     workers (config.workers)
+//!  ──────────────                     ────────────────────────
+//!  featurize plan                     wait for first request
+//!  tenant token bucket                top batch up (batch_window, max_batch)
+//!  (grant / demote / reject)          WRR across levels, EDF within level
+//!  idle? → score inline ─────┐        lay rows out in one FeatureMatrix
+//!  else: per-level EDF queue ┼──────▶ score_feature_batch → fulfill each
+//!  (full? shed BestEffort)   │        record deadline hit/miss per level
+//!  wait on completion ◀──────┘
 //! ```
 //!
 //! Scoring is pure (no RNG, no shared mutable state), so results are a
 //! function of the submitted plan and the registered model only — batching,
-//! worker count, and scheduling order cannot change any individual
-//! [`ResourceRequest`]. Concurrency affects *throughput*, never *answers*.
+//! worker count, service level, and scheduling order cannot change any
+//! individual [`ResourceRequest`]. QoS affects *when* a request is scored
+//! (its queueing delay, and whether it survives saturation), never
+//! *answers*.
 
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ae_engine::plan::QueryPlan;
 use ae_ml::matrix::FeatureMatrix;
@@ -33,8 +37,14 @@ use autoexecutor::training::ParameterModel;
 use parking_lot::RwLock;
 
 use crate::config::RuntimeConfig;
+use crate::qos::{self, PriceQuote, PriorityQueues, QueuedRequest, ServiceLevel};
 use crate::stats::{RuntimeStats, StatsInner};
+use crate::tenant::{Admission, TenantGovernor, TenantId};
 use crate::{Result, ServeError};
+
+/// Budgets are clamped so `Instant + budget` can never overflow (a year is
+/// "forever" for a scoring call).
+const MAX_DEADLINE_BUDGET: Duration = Duration::from_secs(365 * 24 * 3600);
 
 /// Locks a std mutex, recovering from poisoning (a panicking worker must
 /// not wedge every client).
@@ -42,26 +52,125 @@ fn lock<T>(mutex: &StdMutex<T>) -> StdMutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(|poison| poison.into_inner())
 }
 
-/// One queued scoring request: the featurized plan plus its completion slot.
-struct Request {
+/// One scoring request with its QoS envelope: what to score, at which
+/// service level, on whose behalf, and under what deadline.
+///
+/// Build one with [`from_plan`](Self::from_plan) (featurizes the plan) or
+/// [`from_features`](Self::from_features), then refine with the `with_*`
+/// builders. The default envelope is [`ServiceLevel::Standard`], no tenant
+/// (exempt from fairness policing), and the level's configured deadline
+/// budget.
+#[derive(Debug, Clone)]
+pub struct ScoreRequest {
     features: Vec<f64>,
-    done: Arc<Completion>,
+    level: ServiceLevel,
+    tenant: Option<TenantId>,
+    deadline_budget: Option<Duration>,
+}
+
+impl ScoreRequest {
+    /// A request for an optimized plan (featurized here, like
+    /// [`ScoringRuntime::score`]).
+    pub fn from_plan(plan: &QueryPlan) -> Self {
+        Self::from_features(featurize_plan(plan))
+    }
+
+    /// A request for an already-featurized plan.
+    pub fn from_features(features: Vec<f64>) -> Self {
+        Self {
+            features,
+            level: ServiceLevel::Standard,
+            tenant: None,
+            deadline_budget: None,
+        }
+    }
+
+    /// Sets the service level.
+    pub fn with_level(mut self, level: ServiceLevel) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// Attributes the request to a tenant (subject to the fairness policy).
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = Some(tenant);
+        self
+    }
+
+    /// Overrides the level's deadline budget for this request.
+    /// `Duration::ZERO` is honored literally: the request is admitted and
+    /// scored, and counts as a deadline miss.
+    pub fn with_deadline_budget(mut self, budget: Duration) -> Self {
+        self.deadline_budget = Some(budget);
+        self
+    }
+
+    /// The requested service level.
+    pub fn level(&self) -> ServiceLevel {
+        self.level
+    }
+}
+
+/// The answer to a [`ScoreRequest`]: the scored resource request plus its
+/// QoS disposition.
+#[derive(Debug, Clone)]
+pub struct ScoreOutcome {
+    /// The scored plan: executor count, predicted PPM, predicted curve —
+    /// identical to what [`ScoringRuntime::score`] returns, regardless of
+    /// level.
+    pub request: ResourceRequest,
+    /// The level the request was *served* at (differs from the requested
+    /// level only when the tenant governor demoted it).
+    pub level: ServiceLevel,
+    /// True when the request was fulfilled after its deadline.
+    pub missed_deadline: bool,
+    /// Admission-to-fulfillment latency as observed by the runtime
+    /// (queueing delay + batching + scoring; excludes client-side
+    /// featurization).
+    pub latency: Duration,
+    /// Pricing inputs captured from the runtime's QoS config so
+    /// [`quote`](Self::quote) can derive the price lazily.
+    quote_targets: [f64; ServiceLevel::COUNT],
+    quote_unit_price: f64,
+}
+
+impl ScoreOutcome {
+    /// The price of this query's promise at the served level, derived on
+    /// demand from the predicted curve (the plain `score`/`try_score`
+    /// path never pays for pricing it discards). `None` only when the
+    /// predicted curve is empty (never for a successfully scored request
+    /// in practice).
+    pub fn quote(&self) -> Option<PriceQuote> {
+        qos::price_quote_parts(
+            &self.request.predicted_curve,
+            self.level,
+            &self.quote_targets,
+            self.quote_unit_price,
+        )
+    }
+}
+
+/// What a completion slot carries back to the submitter.
+pub(crate) struct Scored {
+    pub(crate) request: ResourceRequest,
+    pub(crate) missed_deadline: bool,
+    pub(crate) latency: Duration,
 }
 
 /// A one-shot completion slot the submitting thread blocks on.
 #[derive(Default)]
-struct Completion {
-    slot: StdMutex<Option<Result<ResourceRequest>>>,
+pub(crate) struct Completion {
+    slot: StdMutex<Option<Result<Scored>>>,
     ready: Condvar,
 }
 
 impl Completion {
-    fn fulfill(&self, result: Result<ResourceRequest>) {
+    pub(crate) fn fulfill(&self, result: Result<Scored>) {
         *lock(&self.slot) = Some(result);
         self.ready.notify_all();
     }
 
-    fn wait(&self) -> Result<ResourceRequest> {
+    fn wait(&self) -> Result<Scored> {
         let mut guard = lock(&self.slot);
         loop {
             if let Some(result) = guard.take() {
@@ -75,13 +184,62 @@ impl Completion {
     }
 }
 
+/// Builds the client-facing outcome, capturing the pricing inputs so the
+/// quote can be derived lazily via [`ScoreOutcome::quote`].
+fn make_outcome(shared: &Shared, scored: Scored, level: ServiceLevel) -> ScoreOutcome {
+    ScoreOutcome {
+        request: scored.request,
+        level,
+        missed_deadline: scored.missed_deadline,
+        latency: scored.latency,
+        quote_targets: shared.config.qos.slowdown_targets,
+        quote_unit_price: shared.config.qos.unit_price,
+    }
+}
+
+/// A pending detached submission, returned by
+/// [`ScoringRuntime::submit_detached`] /
+/// [`ScoringRuntime::try_submit_detached`]: the request is admitted and
+/// will be scored whether or not the ticket is redeemed; [`wait`](Self::wait)
+/// blocks until the result is ready and returns the [`ScoreOutcome`].
+/// Dropping a ticket abandons the *result*, not the request.
+#[must_use = "the scored result is only observable by waiting on the ticket"]
+pub struct ScoreTicket {
+    shared: Arc<Shared>,
+    done: Arc<Completion>,
+    level: ServiceLevel,
+}
+
+impl ScoreTicket {
+    /// The service level the request was admitted at (after any demotion).
+    pub fn level(&self) -> ServiceLevel {
+        self.level
+    }
+
+    /// Blocks until the request is fulfilled and returns its outcome.
+    pub fn wait(self) -> Result<ScoreOutcome> {
+        let scored = self.done.wait()?;
+        Ok(make_outcome(&self.shared, scored, self.level))
+    }
+}
+
+impl std::fmt::Debug for ScoreTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScoreTicket")
+            .field("level", &self.level)
+            .finish()
+    }
+}
+
 /// State shared between the handle, submitters, and workers.
 struct Shared {
     registry: Arc<ModelRegistry>,
     model_name: String,
     config: RuntimeConfig,
     feature_width: usize,
-    queue: StdMutex<VecDeque<Request>>,
+    /// The per-level EDF admission queues (WRR-drained; see
+    /// [`crate::qos::PriorityQueues`]).
+    queues: StdMutex<PriorityQueues>,
     /// Signalled when a request is enqueued (workers and batch top-up wait
     /// on it) and on shutdown.
     not_empty: Condvar,
@@ -97,6 +255,9 @@ struct Shared {
     /// batcher never engages.
     in_flight: AtomicUsize,
     shutdown: AtomicBool,
+    /// The per-tenant token-bucket governor (present only when the config
+    /// enables fairness).
+    governor: Option<TenantGovernor>,
     /// Decoded-model cache: `(registry handle, decoded model)`. Re-resolved
     /// by `Arc` pointer identity so an RCU re-registration in the registry
     /// is picked up by the next batch; scoring threads holding the old
@@ -142,13 +303,30 @@ impl Shared {
         .map_err(|e| ServeError::Scoring(e.to_string()))
     }
 
+    /// Fulfills one batched request, recording its level's deadline
+    /// hit/miss at fulfillment time.
+    fn fulfill(&self, queued: &QueuedRequest, result: Result<ResourceRequest>, now: Instant) {
+        match result {
+            Ok(request) => {
+                let missed = now > queued.deadline;
+                self.stats.record_level_completed(queued.level, missed);
+                queued.done.fulfill(Ok(Scored {
+                    request,
+                    missed_deadline: missed,
+                    latency: now.saturating_duration_since(queued.admitted_at),
+                }));
+            }
+            Err(e) => queued.done.fulfill(Err(e)),
+        }
+    }
+
     /// Scores one drained batch and fulfills every completion.
-    fn process_batch(&self, matrix: &mut FeatureMatrix, batch: Vec<Request>) {
+    fn process_batch(&self, matrix: &mut FeatureMatrix, batch: Vec<QueuedRequest>) {
         debug_assert!(!batch.is_empty());
         if batch.len() == 1 {
             let result = self.score_one(&batch[0].features);
             self.stats.record_batch(1, result.is_err());
-            batch[0].done.fulfill(result);
+            self.fulfill(&batch[0], result, Instant::now());
             return;
         }
         let model = match self.resolve_model() {
@@ -175,8 +353,9 @@ impl Shared {
         ) {
             Ok(requests) => {
                 self.stats.record_batch(batch.len(), false);
+                let now = Instant::now();
                 for (request, outcome) in batch.iter().zip(requests) {
-                    request.done.fulfill(Ok(outcome));
+                    self.fulfill(request, Ok(outcome), now);
                 }
             }
             Err(e) => {
@@ -191,23 +370,23 @@ impl Shared {
 }
 
 /// Worker loop: wait for work, top the batch up within the window, drain
-/// FIFO, score, repeat.
+/// by WRR-across-levels / EDF-within-level, score, repeat.
 fn worker_loop(shared: Arc<Shared>) {
     let mut matrix = FeatureMatrix::with_capacity(shared.feature_width, shared.config.max_batch);
     loop {
         let batch = {
-            let mut queue = lock(&shared.queue);
+            let mut queues = lock(&shared.queues);
             // Wait for the first request (or shutdown).
             loop {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                if !queue.is_empty() {
+                if !queues.is_empty() {
                     break;
                 }
-                queue = shared
+                queues = shared
                     .not_empty
-                    .wait(queue)
+                    .wait(queues)
                     .unwrap_or_else(|poison| poison.into_inner());
             }
             // Top the batch up: wait at most `batch_window` for more
@@ -217,22 +396,22 @@ fn worker_loop(shared: Arc<Shared>) {
             // receive the requests the window would wait for).
             let window = shared.config.batch_window;
             let fill_target = shared.config.max_batch.min(shared.config.queue_capacity);
-            if !window.is_zero() && queue.len() < fill_target {
+            if !window.is_zero() && queues.len() < fill_target {
                 let deadline = Instant::now() + window;
-                while queue.len() < fill_target && !shared.shutdown.load(Ordering::Acquire) {
+                while queues.len() < fill_target && !shared.shutdown.load(Ordering::Acquire) {
                     let now = Instant::now();
                     if now >= deadline {
                         break;
                     }
                     let (guard, _timeout) = shared
                         .not_empty
-                        .wait_timeout(queue, deadline - now)
+                        .wait_timeout(queues, deadline - now)
                         .unwrap_or_else(|poison| poison.into_inner());
-                    queue = guard;
+                    queues = guard;
                 }
             }
-            let take = queue.len().min(shared.config.max_batch);
-            let batch: Vec<Request> = queue.drain(..take).collect();
+            let take = queues.len().min(shared.config.max_batch);
+            let batch = queues.pop_batch(take);
             shared.pending.fetch_sub(batch.len(), Ordering::AcqRel);
             shared.not_full.notify_all();
             batch
@@ -245,12 +424,13 @@ fn worker_loop(shared: Arc<Shared>) {
     }
 }
 
-/// A shared, concurrent, micro-batching scoring service over one registered
-/// model. See the crate docs for the architecture; construct with
-/// [`ScoringRuntime::new`], score from any thread with
-/// [`score`](Self::score) / [`try_score`](Self::try_score), inspect with
-/// [`stats`](Self::stats), and stop with [`shutdown`](Self::shutdown) (or
-/// drop the handle).
+/// A shared, concurrent, micro-batching, QoS-aware scoring service over one
+/// registered model. See the crate docs for the architecture; construct
+/// with [`ScoringRuntime::new`], score from any thread with
+/// [`score`](Self::score) / [`try_score`](Self::try_score) (plain) or
+/// [`submit`](Self::submit) / [`try_submit`](Self::try_submit) (full QoS
+/// envelope), inspect with [`stats`](Self::stats), and stop with
+/// [`shutdown`](Self::shutdown) (or drop the handle).
 pub struct ScoringRuntime {
     shared: Arc<Shared>,
     worker_count: usize,
@@ -281,12 +461,13 @@ impl ScoringRuntime {
             registry,
             model_name: model_name.into(),
             feature_width: full_feature_names().len(),
-            queue: StdMutex::new(VecDeque::with_capacity(config.queue_capacity)),
+            queues: StdMutex::new(PriorityQueues::new(&config.qos, config.queue_capacity)),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             pending: AtomicUsize::new(0),
             in_flight: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            governor: config.qos.fairness.map(TenantGovernor::new),
             model: RwLock::new(None),
             stats: StatsInner::new(config.max_batch),
             config,
@@ -313,16 +494,33 @@ impl ScoringRuntime {
         self.shared.resolve_model().map(|_| ())
     }
 
-    /// Scores a plan, blocking while the admission queue is full
+    /// Scores a plan at [`ServiceLevel::Standard`] with no tenant
+    /// attribution, blocking while the admission queue is full
     /// (backpressure) and until the result is ready.
     pub fn score(&self, plan: &QueryPlan) -> Result<ResourceRequest> {
-        self.score_features(featurize_plan(plan))
+        self.submit(ScoreRequest::from_plan(plan))
+            .map(|outcome| outcome.request)
     }
 
-    /// Scores a plan, failing fast with [`ServeError::Saturated`] (and
-    /// counting the request as dropped) instead of blocking on a full queue.
+    /// Scores a plan at [`ServiceLevel::Standard`], failing fast with
+    /// [`ServeError::Saturated`] (and counting the request as dropped)
+    /// instead of blocking on a full queue.
     pub fn try_score(&self, plan: &QueryPlan) -> Result<ResourceRequest> {
-        self.try_score_features(featurize_plan(plan))
+        self.try_submit(ScoreRequest::from_plan(plan))
+            .map(|outcome| outcome.request)
+    }
+
+    /// [`score`](Self::score) for a caller that already featurized the plan.
+    pub fn score_features(&self, features: Vec<f64>) -> Result<ResourceRequest> {
+        self.submit(ScoreRequest::from_features(features))
+            .map(|outcome| outcome.request)
+    }
+
+    /// [`try_score`](Self::try_score) for a caller that already featurized
+    /// the plan.
+    pub fn try_score_features(&self, features: Vec<f64>) -> Result<ResourceRequest> {
+        self.try_submit(ScoreRequest::from_features(features))
+            .map(|outcome| outcome.request)
     }
 
     /// Rejects feature vectors of the wrong width up front: past this point
@@ -339,68 +537,166 @@ impl ScoringRuntime {
         Ok(())
     }
 
-    /// [`score`](Self::score) for a caller that already featurized the plan.
-    pub fn score_features(&self, features: Vec<f64>) -> Result<ResourceRequest> {
-        self.validate_width(&features)?;
-        if self.try_claim_inline() {
-            return self.score_inline_claimed(&features);
+    /// Tenant admission + deadline stamping: applies the fairness policy
+    /// (which may demote the level or reject outright) and resolves the
+    /// absolute deadline. Returns the queued-request envelope.
+    fn admit(&self, request: &ScoreRequest, now: Instant) -> Result<(ServiceLevel, Instant)> {
+        let mut level = request.level;
+        if let (Some(governor), Some(tenant)) = (&self.shared.governor, request.tenant) {
+            match governor.admit(tenant, now) {
+                Admission::Granted => {}
+                Admission::Demoted => {
+                    if level != ServiceLevel::BestEffort {
+                        level = ServiceLevel::BestEffort;
+                        self.shared.stats.record_demoted();
+                    }
+                }
+                Admission::Rejected => {
+                    self.shared.stats.record_throttled();
+                    return Err(ServeError::Throttled(tenant));
+                }
+            }
         }
+        let budget = request
+            .deadline_budget
+            .unwrap_or_else(|| self.shared.config.qos.deadline_budget(level))
+            .min(MAX_DEADLINE_BUDGET);
+        Ok((level, now + budget))
+    }
+
+    /// Scores with a full QoS envelope, blocking while the admission queue
+    /// is full (backpressure; a non-`BestEffort` request sheds the
+    /// least-urgent queued `BestEffort` request beyond the protected floor
+    /// instead of waiting, if one exists) and until the result is ready.
+    pub fn submit(&self, request: ScoreRequest) -> Result<ScoreOutcome> {
+        self.validate_width(&request.features)?;
+        let (level, deadline) = self.admit(&request, Instant::now())?;
+        if self.try_claim_inline() {
+            return self.score_inline_claimed(request.features, level, deadline);
+        }
+        let done = self.admit_to_queues(request.features, level, deadline, true)?;
+        let scored = done.wait()?;
+        Ok(make_outcome(&self.shared, scored, level))
+    }
+
+    /// [`submit`](Self::submit) without backpressure: fails fast with
+    /// [`ServeError::Saturated`] (counting the request as dropped) when the
+    /// queue is full and shedding cannot make room.
+    pub fn try_submit(&self, request: ScoreRequest) -> Result<ScoreOutcome> {
+        self.validate_width(&request.features)?;
+        let (level, deadline) = self.admit(&request, Instant::now())?;
+        if self.try_claim_inline() {
+            return self.score_inline_claimed(request.features, level, deadline);
+        }
+        let done = self.admit_to_queues(request.features, level, deadline, false)?;
+        let scored = done.wait()?;
+        Ok(make_outcome(&self.shared, scored, level))
+    }
+
+    /// Fire-and-forget [`submit`](Self::submit): admits the request (with
+    /// backpressure) and returns a [`ScoreTicket`] to redeem later, instead
+    /// of blocking until the result is ready. Detached submissions always
+    /// go through the queues (never the inline shortcut) — the point is to
+    /// keep the submitting thread free.
+    pub fn submit_detached(&self, request: ScoreRequest) -> Result<ScoreTicket> {
+        self.validate_width(&request.features)?;
+        let (level, deadline) = self.admit(&request, Instant::now())?;
+        let done = self.admit_to_queues(request.features, level, deadline, true)?;
+        Ok(ScoreTicket {
+            shared: Arc::clone(&self.shared),
+            done,
+            level,
+        })
+    }
+
+    /// Fire-and-forget [`try_submit`](Self::try_submit): like
+    /// [`submit_detached`](Self::submit_detached) but fails fast with
+    /// [`ServeError::Saturated`] instead of applying backpressure. This is
+    /// what an open-loop load generator uses: arrivals keep their schedule
+    /// and overload turns into sheds/drops rather than client-side queueing.
+    pub fn try_submit_detached(&self, request: ScoreRequest) -> Result<ScoreTicket> {
+        self.validate_width(&request.features)?;
+        let (level, deadline) = self.admit(&request, Instant::now())?;
+        let done = self.admit_to_queues(request.features, level, deadline, false)?;
+        Ok(ScoreTicket {
+            shared: Arc::clone(&self.shared),
+            done,
+            level,
+        })
+    }
+
+    /// The shared queue-admission path: waits for room (`blocking`) or
+    /// fails fast, shedding the least-urgent `BestEffort` request to make
+    /// room for a higher level when the queue is full. The shed victim is
+    /// failed outside the queue lock.
+    fn admit_to_queues(
+        &self,
+        features: Vec<f64>,
+        level: ServiceLevel,
+        deadline: Instant,
+        blocking: bool,
+    ) -> Result<Arc<Completion>> {
+        let mut shed_victim = None;
         let done = {
-            let mut queue = lock(&self.shared.queue);
+            let mut queues = lock(&self.shared.queues);
             loop {
                 if self.shared.shutdown.load(Ordering::Acquire) {
                     return Err(ServeError::ShutDown);
                 }
-                if queue.len() < self.shared.config.queue_capacity {
+                if queues.len() < self.shared.config.queue_capacity {
                     break;
                 }
-                queue = self
+                if level > ServiceLevel::BestEffort {
+                    if let Some(victim) = queues.shed_best_effort() {
+                        self.shared.pending.fetch_sub(1, Ordering::AcqRel);
+                        self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+                        shed_victim = Some(victim);
+                        break;
+                    }
+                }
+                if !blocking {
+                    self.shared.stats.record_dropped();
+                    return Err(ServeError::Saturated);
+                }
+                queues = self
                     .shared
                     .not_full
-                    .wait(queue)
+                    .wait(queues)
                     .unwrap_or_else(|poison| poison.into_inner());
             }
-            self.enqueue(&mut queue, features)
+            self.enqueue(&mut queues, features, level, deadline)
         };
-        self.shared.not_empty.notify_one();
-        done.wait()
-    }
-
-    /// [`try_score`](Self::try_score) for a caller that already featurized
-    /// the plan.
-    pub fn try_score_features(&self, features: Vec<f64>) -> Result<ResourceRequest> {
-        self.validate_width(&features)?;
-        if self.try_claim_inline() {
-            return self.score_inline_claimed(&features);
+        if let Some(victim) = shed_victim {
+            self.shed(victim);
         }
-        let done = {
-            let mut queue = lock(&self.shared.queue);
-            if self.shared.shutdown.load(Ordering::Acquire) {
-                return Err(ServeError::ShutDown);
-            }
-            if queue.len() >= self.shared.config.queue_capacity {
-                self.shared.stats.record_dropped();
-                return Err(ServeError::Saturated);
-            }
-            self.enqueue(&mut queue, features)
-        };
         self.shared.not_empty.notify_one();
-        done.wait()
+        Ok(done)
     }
 
     fn enqueue(
         &self,
-        queue: &mut StdMutexGuard<'_, VecDeque<Request>>,
+        queues: &mut StdMutexGuard<'_, PriorityQueues>,
         features: Vec<f64>,
+        level: ServiceLevel,
+        deadline: Instant,
     ) -> Arc<Completion> {
         let done = Arc::new(Completion::default());
-        queue.push_back(Request {
+        queues.push(QueuedRequest {
             features,
+            level,
+            admitted_at: Instant::now(),
+            deadline,
             done: Arc::clone(&done),
         });
         self.shared.pending.fetch_add(1, Ordering::AcqRel);
         self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
         done
+    }
+
+    /// Fails a shed victim (outside the queue lock) and records the shed.
+    fn shed(&self, victim: QueuedRequest) {
+        self.shared.stats.record_shed(victim.level);
+        victim.done.fulfill(Err(ServeError::Shed));
     }
 
     /// Attempts to claim an inline-scoring slot: succeeds only when the
@@ -437,15 +733,36 @@ impl ScoringRuntime {
 
     /// Scores on the submitting thread; the caller must hold an in-flight
     /// claim from [`try_claim_inline`](Self::try_claim_inline).
-    fn score_inline_claimed(&self, features: &[f64]) -> Result<ResourceRequest> {
-        let result = self.shared.score_one(features);
+    fn score_inline_claimed(
+        &self,
+        features: Vec<f64>,
+        level: ServiceLevel,
+        deadline: Instant,
+    ) -> Result<ScoreOutcome> {
+        let begin = Instant::now();
+        let result = self.shared.score_one(&features);
         self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
-        if result.is_ok() {
-            self.shared.stats.record_inline();
-        } else {
-            self.shared.stats.record_error();
+        match result {
+            Ok(request) => {
+                self.shared.stats.record_inline();
+                let now = Instant::now();
+                let missed = now > deadline;
+                self.shared.stats.record_level_completed(level, missed);
+                Ok(make_outcome(
+                    &self.shared,
+                    Scored {
+                        request,
+                        missed_deadline: missed,
+                        latency: now.saturating_duration_since(begin),
+                    },
+                    level,
+                ))
+            }
+            Err(e) => {
+                self.shared.stats.record_error();
+                Err(e)
+            }
         }
-        result
     }
 
     /// A point-in-time snapshot of the runtime counters.
@@ -464,14 +781,15 @@ impl ScoringRuntime {
     }
 
     /// Stops the runtime: in-flight batches finish, queued-but-undrained
-    /// requests fail with [`ServeError::ShutDown`], workers are joined.
-    /// Callable on a shared handle (e.g. through an `Arc`); subsequent
-    /// calls are no-ops, and dropping the runtime shuts it down too.
+    /// requests across every priority level fail with
+    /// [`ServeError::ShutDown`], workers are joined. Callable on a shared
+    /// handle (e.g. through an `Arc`); subsequent calls are no-ops, and
+    /// dropping the runtime shuts it down too.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        let abandoned: Vec<Request> = {
-            let mut queue = lock(&self.shared.queue);
-            let abandoned: Vec<Request> = queue.drain(..).collect();
+        let abandoned: Vec<QueuedRequest> = {
+            let mut queues = lock(&self.shared.queues);
+            let abandoned = queues.drain_all();
             self.shared
                 .pending
                 .fetch_sub(abandoned.len(), Ordering::AcqRel);

@@ -1,8 +1,11 @@
-//! Runtime counters, batch-size accounting, and latency summaries.
+//! Runtime counters, batch-size accounting, QoS per-level accounting, and
+//! latency summaries.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex as StdMutex;
 use std::time::Duration;
+
+use crate::qos::ServiceLevel;
 
 /// Interior counters shared between workers and submitters.
 #[derive(Debug, Default)]
@@ -12,6 +15,11 @@ pub(crate) struct StatsInner {
     batches: AtomicU64,
     dropped: AtomicU64,
     errors: AtomicU64,
+    level_completed: [AtomicU64; ServiceLevel::COUNT],
+    level_misses: [AtomicU64; ServiceLevel::COUNT],
+    level_shed: [AtomicU64; ServiceLevel::COUNT],
+    demoted: AtomicU64,
+    throttled: AtomicU64,
     /// `histogram[i]` counts worker batches of size `i + 1`; sizes beyond
     /// the vector (after a config change) land in the last bucket.
     histogram: StdMutex<Vec<u64>>,
@@ -53,19 +61,77 @@ impl StatsInner {
         self.dropped.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One request fulfilled at `level`; `missed` marks a deadline miss.
+    pub(crate) fn record_level_completed(&self, level: ServiceLevel, missed: bool) {
+        self.level_completed[level.index()].fetch_add(1, Ordering::Relaxed);
+        if missed {
+            self.level_misses[level.index()].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One queued request shed (admission eviction) at `level`.
+    pub(crate) fn record_shed(&self, level: ServiceLevel) {
+        self.level_shed[level.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One over-rate request demoted to `BestEffort` by the tenant governor.
+    pub(crate) fn record_demoted(&self) {
+        self.demoted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One over-rate request rejected by the tenant governor.
+    pub(crate) fn record_throttled(&self) {
+        self.throttled.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> RuntimeStats {
+        fn load(counters: &[AtomicU64; ServiceLevel::COUNT]) -> [u64; ServiceLevel::COUNT] {
+            std::array::from_fn(|i| counters[i].load(Ordering::Relaxed))
+        }
+        let completed = load(&self.level_completed);
+        let misses = load(&self.level_misses);
+        let shed = load(&self.level_shed);
         RuntimeStats {
             completed: self.completed.load(Ordering::Relaxed),
             inline_scored: self.inline_scored.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             dropped: self.dropped.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            levels: std::array::from_fn(|i| LevelStats {
+                completed: completed[i],
+                deadline_misses: misses[i],
+                shed: shed[i],
+            }),
+            demoted: self.demoted.load(Ordering::Relaxed),
+            throttled: self.throttled.load(Ordering::Relaxed),
             batch_size_histogram: self
                 .histogram
                 .lock()
                 .unwrap_or_else(|poison| poison.into_inner())
                 .clone(),
         }
+    }
+}
+
+/// Per-service-level QoS counters, indexed by [`ServiceLevel::index`] in
+/// [`RuntimeStats::levels`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Requests fulfilled at this level (after any demotion).
+    pub completed: u64,
+    /// Fulfilled requests that finished past their deadline.
+    pub deadline_misses: u64,
+    /// Queued requests evicted (shed) at this level under saturation.
+    pub shed: u64,
+}
+
+impl LevelStats {
+    /// Deadline-miss rate over this level's completions (0.0 when idle).
+    pub fn miss_rate(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.deadline_misses as f64 / self.completed as f64
     }
 }
 
@@ -82,6 +148,13 @@ pub struct RuntimeStats {
     pub dropped: u64,
     /// Requests that completed with an error.
     pub errors: u64,
+    /// Per-service-level completions, deadline misses, and sheds, indexed
+    /// by [`ServiceLevel::index`].
+    pub levels: [LevelStats; ServiceLevel::COUNT],
+    /// Requests demoted to `BestEffort` by the tenant governor.
+    pub demoted: u64,
+    /// Requests rejected outright by the tenant governor.
+    pub throttled: u64,
     /// `batch_size_histogram[i]` = number of worker batches of size `i + 1`.
     pub batch_size_histogram: Vec<u64>,
 }
@@ -90,6 +163,43 @@ impl RuntimeStats {
     /// Requests that went through worker batches (completed minus inline).
     pub fn batched(&self) -> u64 {
         self.completed.saturating_sub(self.inline_scored)
+    }
+
+    /// The per-level counters of one service level.
+    pub fn level(&self, level: ServiceLevel) -> &LevelStats {
+        &self.levels[level.index()]
+    }
+
+    /// Queued requests shed across all levels.
+    pub fn shed(&self) -> u64 {
+        self.levels.iter().map(|l| l.shed).sum()
+    }
+
+    /// Counter-wise difference against an earlier snapshot of the same
+    /// runtime — what happened *since* `before`. Histogram buckets beyond
+    /// `before`'s length (none in practice) are kept as-is.
+    pub fn delta_since(&self, before: &RuntimeStats) -> RuntimeStats {
+        let mut delta = self.clone();
+        delta.completed -= before.completed;
+        delta.inline_scored -= before.inline_scored;
+        delta.batches -= before.batches;
+        delta.dropped -= before.dropped;
+        delta.errors -= before.errors;
+        delta.demoted -= before.demoted;
+        delta.throttled -= before.throttled;
+        for (level, earlier) in delta.levels.iter_mut().zip(&before.levels) {
+            level.completed -= earlier.completed;
+            level.deadline_misses -= earlier.deadline_misses;
+            level.shed -= earlier.shed;
+        }
+        for (bucket, earlier) in delta
+            .batch_size_histogram
+            .iter_mut()
+            .zip(&before.batch_size_histogram)
+        {
+            *bucket -= earlier;
+        }
+        delta
     }
 
     /// Mean worker-batch size (0.0 when no batches ran).
@@ -239,6 +349,38 @@ mod tests {
         assert_eq!(summary.p99, Duration::from_micros(100));
         assert_eq!(summary.max, Duration::from_micros(1000));
         assert!(summary.mean >= Duration::from_micros(50));
+    }
+
+    #[test]
+    fn level_accounting_and_delta() {
+        let inner = StatsInner::new(4);
+        inner.record_inline();
+        inner.record_level_completed(ServiceLevel::Interactive, false);
+        inner.record_level_completed(ServiceLevel::Interactive, true);
+        inner.record_level_completed(ServiceLevel::BestEffort, false);
+        inner.record_shed(ServiceLevel::BestEffort);
+        inner.record_demoted();
+        inner.record_throttled();
+        let before = inner.snapshot();
+        assert_eq!(before.level(ServiceLevel::Interactive).completed, 2);
+        assert_eq!(before.level(ServiceLevel::Interactive).deadline_misses, 1);
+        assert!((before.level(ServiceLevel::Interactive).miss_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(before.level(ServiceLevel::BestEffort).shed, 1);
+        assert_eq!(before.shed(), 1);
+        assert_eq!(before.demoted, 1);
+        assert_eq!(before.throttled, 1);
+
+        inner.record_level_completed(ServiceLevel::Standard, true);
+        inner.record_shed(ServiceLevel::BestEffort);
+        inner.record_batch(2, false);
+        let delta = inner.snapshot().delta_since(&before);
+        assert_eq!(delta.level(ServiceLevel::Standard).completed, 1);
+        assert_eq!(delta.level(ServiceLevel::Standard).deadline_misses, 1);
+        assert_eq!(delta.level(ServiceLevel::Interactive).completed, 0);
+        assert_eq!(delta.shed(), 1);
+        assert_eq!(delta.demoted, 0);
+        assert_eq!(delta.completed, 2);
+        assert_eq!(delta.batch_size_histogram, vec![0, 1, 0, 0]);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use ae_serve::{RuntimeConfig, ScoringRuntime};
+use ae_serve::{RuntimeConfig, ScoreRequest, ScoringRuntime, ServiceLevel};
 use ae_workload::{QueryInstance, ScaleFactor, WorkloadGenerator};
 use autoexecutor::optimizer::ResourceRequest;
 use autoexecutor::prelude::*;
@@ -119,6 +119,40 @@ fn deterministic_mode_is_bit_identical_to_sequential_rule() {
     // Deterministic mode routes everything through the single FIFO worker.
     assert_eq!(stats.inline_scored, 0);
     runtime.shutdown();
+}
+
+/// The QoS regression pin: uniform single-level traffic through the
+/// priority queues — at *any* service level — must stay bit-identical to
+/// the sequential rule (and therefore to the PR 2/3 serving output).
+/// Service levels schedule; they never touch answers.
+#[test]
+fn single_level_deterministic_traffic_is_bit_identical_at_every_level() {
+    let (registry, config, queries) = fixture();
+    let sequential = sequential_requests(&registry, &config, &queries);
+    let rewriter = Optimizer::with_default_rules();
+    let optimized: Vec<ae_engine::plan::QueryPlan> = queries
+        .iter()
+        .map(|q| rewriter.optimize(q.plan.clone()).unwrap().plan)
+        .collect();
+    for level in ServiceLevel::ALL {
+        let runtime = ScoringRuntime::new(
+            Arc::clone(&registry),
+            "ppm",
+            RuntimeConfig::deterministic(&config),
+        );
+        for ((query, seq), plan) in queries.iter().zip(&sequential).zip(&optimized) {
+            let outcome = runtime
+                .submit(ScoreRequest::from_plan(plan).with_level(level))
+                .unwrap();
+            assert_eq!(outcome.level, level);
+            assert_bit_identical(&query.name, seq, &outcome.request);
+        }
+        let stats = runtime.stats();
+        assert_eq!(stats.completed, queries.len() as u64);
+        assert_eq!(stats.level(level).completed, queries.len() as u64);
+        assert_eq!(stats.shed(), 0);
+        runtime.shutdown();
+    }
 }
 
 #[test]

@@ -19,6 +19,14 @@
 //! concatenation built with [`crate::family::mixed_suite`] — so a single
 //! arrival schedule can drive single-family and cross-family request
 //! streams alike.
+//!
+//! For QoS benchmarks, [`OpenLoop::schedule_tagged`] additionally tags
+//! every arrival with a *service-level index* and a *tenant index* drawn
+//! from weighted categorical mixes ([`WeightedMix`]). The tags are plain
+//! indices — the serving tier maps them onto its own service-level and
+//! tenant types — and draw from seed streams independent of the
+//! inter-arrival and query-choice streams, so tagging a schedule never
+//! changes *when* requests arrive or *which* queries they score.
 
 use std::time::Duration;
 
@@ -83,6 +91,105 @@ impl OpenLoop {
             })
             .collect()
     }
+
+    /// [`schedule`](Self::schedule) plus per-request service-level and
+    /// tenant tags drawn from weighted mixes.
+    ///
+    /// The `(at, query_index)` pairs are **identical** to the untagged
+    /// schedule for the same seed: level and tenant draws use their own
+    /// seed streams, so changing a mix (or ignoring the tags) never
+    /// reshuffles arrival times or query choice — the QoS benchmark and
+    /// the plain serving benchmark replay the same base process.
+    pub fn schedule_tagged(
+        &self,
+        num_queries: usize,
+        levels: &WeightedMix,
+        tenants: &WeightedMix,
+    ) -> Vec<TaggedArrival> {
+        let base = self.schedule(num_queries);
+        let mut level_draws = StdRng::seed_from_u64(derive_stream_seed(self.seed, 2));
+        let mut tenant_draws = StdRng::seed_from_u64(derive_stream_seed(self.seed, 3));
+        base.into_iter()
+            .map(|arrival| TaggedArrival {
+                at: arrival.at,
+                query_index: arrival.query_index,
+                level_index: levels.pick(level_draws.gen()),
+                tenant_index: tenants.pick(tenant_draws.gen()),
+            })
+            .collect()
+    }
+}
+
+/// A weighted categorical distribution over `len` classes (service levels,
+/// tenants, …), sampled deterministically from a seed stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedMix {
+    /// Non-negative per-class weights; at least one must be positive.
+    weights: Vec<f64>,
+}
+
+impl WeightedMix {
+    /// Builds a mix from per-class weights. Panics when no weight is
+    /// positive, or any weight is negative or non-finite.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(
+            weights.iter().all(|&w| w.is_finite() && w >= 0.0),
+            "mix weights must be finite and non-negative"
+        );
+        assert!(
+            weights.iter().any(|&w| w > 0.0),
+            "a mix needs at least one positive weight"
+        );
+        Self { weights }
+    }
+
+    /// A uniform mix over `classes` classes.
+    pub fn uniform(classes: usize) -> Self {
+        Self::new(vec![1.0; classes.max(1)])
+    }
+
+    /// A degenerate mix: every draw returns `class` (out of `classes`).
+    pub fn single(class: usize, classes: usize) -> Self {
+        let mut weights = vec![0.0; classes.max(class + 1)];
+        weights[class] = 1.0;
+        Self { weights }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Maps a uniform draw `u ∈ [0, 1)` to a class index by cumulative
+    /// weight.
+    pub fn pick(&self, u: f64) -> usize {
+        let total: f64 = self.weights.iter().sum();
+        let mut acc = 0.0;
+        for (i, &w) in self.weights.iter().enumerate() {
+            acc += w;
+            if u * total < acc {
+                return i;
+            }
+        }
+        // Rounding at u ≈ 1: the last positively-weighted class.
+        self.weights
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .unwrap_or(self.weights.len() - 1)
+    }
+}
+
+/// One scheduled request of a QoS (tagged) open-loop run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaggedArrival {
+    /// Offset from the start of the run at which the request is issued.
+    pub at: Duration,
+    /// Index of the query to score (into the replayed suite).
+    pub query_index: usize,
+    /// Index into the service-level mix the schedule was tagged with.
+    pub level_index: usize,
+    /// Index into the tenant mix the schedule was tagged with.
+    pub tenant_index: usize,
 }
 
 /// A closed-loop load shape: `clients` concurrent clients, each issuing
@@ -177,5 +284,64 @@ mod tests {
     #[should_panic(expected = "empty suite")]
     fn empty_suite_is_rejected() {
         OpenLoop::new(10.0, 1, 0).schedule(0);
+    }
+
+    #[test]
+    fn weighted_mix_picks_by_cumulative_weight() {
+        let mix = WeightedMix::new(vec![1.0, 3.0, 0.0, 4.0]);
+        assert_eq!(mix.classes(), 4);
+        assert_eq!(mix.pick(0.0), 0);
+        assert_eq!(mix.pick(0.124), 0);
+        assert_eq!(mix.pick(0.126), 1);
+        assert_eq!(mix.pick(0.49), 1);
+        assert_eq!(mix.pick(0.51), 3); // zero-weight class 2 is never picked
+        assert_eq!(mix.pick(0.999999), 3);
+        let single = WeightedMix::single(1, 3);
+        for u in [0.0, 0.3, 0.99] {
+            assert_eq!(single.pick(u), 1);
+        }
+        assert_eq!(WeightedMix::uniform(2).pick(0.6), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn all_zero_mix_is_rejected() {
+        WeightedMix::new(vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn tagged_schedule_preserves_the_base_process() {
+        let process = OpenLoop::new(800.0, 300, 13);
+        let base = process.schedule(50);
+        let tagged = process.schedule_tagged(
+            50,
+            &WeightedMix::new(vec![1.0, 4.0, 5.0]),
+            &WeightedMix::uniform(4),
+        );
+        assert_eq!(tagged.len(), base.len());
+        for (t, b) in tagged.iter().zip(&base) {
+            assert_eq!(t.at, b.at, "tagging must not move arrivals");
+            assert_eq!(t.query_index, b.query_index);
+            assert!(t.level_index < 3);
+            assert!(t.tenant_index < 4);
+        }
+        // A different mix re-tags but still does not move the base process.
+        let retagged =
+            process.schedule_tagged(50, &WeightedMix::single(0, 3), &WeightedMix::uniform(4));
+        assert!(retagged.iter().all(|t| t.level_index == 0));
+        for (t, b) in retagged.iter().zip(&base) {
+            assert_eq!(t.at, b.at);
+            assert_eq!(t.query_index, b.query_index);
+        }
+        // Tagging is deterministic and all classes of a mixed mix show up.
+        let again = process.schedule_tagged(
+            50,
+            &WeightedMix::new(vec![1.0, 4.0, 5.0]),
+            &WeightedMix::uniform(4),
+        );
+        assert_eq!(tagged, again);
+        for class in 0..3 {
+            assert!(tagged.iter().any(|t| t.level_index == class));
+        }
     }
 }

@@ -30,7 +30,11 @@
 //! For the serving path, [`arrivals`] turns any suite — single-family or the
 //! concatenation built by [`family::mixed_suite`] — into a *request
 //! process*: open-loop Poisson arrivals at a target rate, or closed-loop
-//! per-client request sequences (both deterministic given a seed).
+//! per-client request sequences (both deterministic given a seed). For QoS
+//! benchmarks, open-loop schedules can additionally be *tagged* with
+//! service-level and tenant indices drawn from weighted mixes
+//! ([`arrivals::WeightedMix`], [`arrivals::TaggedArrival`]) without
+//! perturbing the underlying arrival process.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -42,7 +46,7 @@ pub mod generator;
 pub mod production;
 pub mod templates;
 
-pub use arrivals::{Arrival, ClosedLoop, OpenLoop};
+pub use arrivals::{Arrival, ClosedLoop, OpenLoop, TaggedArrival, WeightedMix};
 pub use families::skew::SKEW_QUERY_COUNT;
 pub use families::tpcds::{template_for, tpcds_query_names, tpcds_templates, TPCDS_QUERY_COUNT};
 pub use families::tpch::TPCH_QUERY_COUNT;

@@ -1,13 +1,14 @@
 //! Serving-path demo: train a parameter model, publish it to the registry,
-//! and score an open-loop burst of queries through the concurrent batching
-//! runtime (`ae-serve`).
+//! score an open-loop burst of queries through the concurrent batching
+//! runtime (`ae-serve`), then ask for one query's tiered price menu —
+//! the QoS layer's service levels quoted off its predicted curve.
 //!
 //! Run with: `cargo run --release --example serving`
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use ae_serve::{RuntimeConfig, ScoringRuntime};
+use ae_serve::{RuntimeConfig, ScoreRequest, ScoringRuntime, ServiceLevel};
 use ae_workload::OpenLoop;
 use autoexecutor::prelude::*;
 use autoexecutor::ModelRegistry;
@@ -42,6 +43,13 @@ fn main() {
     let suite = generator.suite();
     let schedule = Arc::new(OpenLoop::new(2000.0, 2000, 7).schedule(suite.len()));
     let plans: Arc<Vec<_>> = Arc::new(suite.iter().map(|q| q.plan.clone()).collect());
+    let plan_for = |name: &str| {
+        suite
+            .iter()
+            .find(|q| q.name == name)
+            .map(|q| q.plan.clone())
+            .expect("known suite query")
+    };
 
     const CLIENTS: usize = 4;
     let start = Instant::now();
@@ -82,4 +90,28 @@ fn main() {
         stats.dropped,
         stats.errors
     );
+
+    // 4. The QoS layer: the same runtime quotes tiered promises. Each
+    //    service level buys a different point on the query's *predicted*
+    //    curve, so the price multiplier is derived, not configured.
+    println!("price menu for q42:");
+    let menu_plan = plan_for("q42");
+    for level in [
+        ServiceLevel::Interactive,
+        ServiceLevel::Standard,
+        ServiceLevel::BestEffort,
+    ] {
+        let outcome = runtime
+            .submit(ScoreRequest::from_plan(&menu_plan).with_level(level))
+            .expect("menu scoring");
+        let quote = outcome.quote().expect("predicted curve");
+        println!(
+            "  {:<12} n={:<3} predicted {:>6.1}s  price {:>7.1} executor-seconds ({:.2}x)",
+            level.name(),
+            quote.executors,
+            quote.predicted_seconds,
+            quote.price,
+            quote.multiplier
+        );
+    }
 }

@@ -2,10 +2,14 @@
 # CI gate for the AutoExecutor workspace.
 #
 # Runs the tier-1 verification (release build + tests), lint/format gates
-# over every workspace crate (including ae-serve), a quick criterion smoke
-# over the two benches most sensitive to scheduler/training regressions,
-# a serving smoke (short fixed-duration bench_serving run that must
-# sustain qps > 0 with zero dropped requests), and a cross-family
+# over every workspace crate (including ae-serve), a rustdoc gate (no-deps
+# docs must build with zero warnings), a quick criterion smoke over the two
+# benches most sensitive to scheduler/training regressions, a serving smoke
+# (short fixed-duration bench_serving run that must sustain qps > 0 with
+# zero dropped requests), a QoS smoke (tagged open-loop phases: finite
+# miss/shed rates, the Interactive deadline budget holding at moderate
+# load, Interactive p99 < BestEffort p99 under overload, and no tenant
+# starvation), and a cross-family
 # generalization smoke (train on the TPC-DS-like family, score the
 # TPC-H-like and skew-adversarial ones, assert the accuracy matrix is
 # complete and finite). Pass --full to also run the full bench suite (slow).
@@ -24,12 +28,18 @@ cargo clippy --all-targets --offline -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --quiet
+
 echo "==> bench smoke (quick samples)"
 cargo bench --offline -p ae-bench --bench bench_simulation -- --quick
 cargo bench --offline -p ae-bench --bench bench_training -- --quick forest_fit
 
 echo "==> serving smoke (fixed-duration run; asserts qps > 0, zero dropped)"
 cargo run --offline --release -p ae-bench --bin bench_serving -- --smoke
+
+echo "==> qos smoke (moderate + overload phases; asserts finite rates, Interactive budget holds at moderate load, Interactive p99 < BestEffort p99 under overload, no tenant starvation)"
+cargo run --offline --release -p ae-bench --bin bench_qos -- --smoke
 
 echo "==> generalization smoke (train tpcds, score tpch + skew; asserts a full finite matrix)"
 cargo run --offline --release -p ae-bench --bin bench_generalization -- --smoke --json "$(mktemp -t generalization-smoke.XXXXXX.json)"
