@@ -1,0 +1,331 @@
+//! Forest-inference benchmark: the compiled representation
+//! (`ae_ml::compiled::CompiledForest` — flat SoA tree arenas, pooled leaf
+//! table, batch-major kernel) against the interpreted
+//! `RandomForestRegressor` walk it replaced on every scoring path.
+//!
+//! Three measurements, plus a bit-equality check that always runs:
+//!
+//! * **single-row latency** — one `predict_into` call per measured op, the
+//!   shape of the sequential `AutoExecutorRule` and the serving inline
+//!   fast path;
+//! * **batched throughput** — rows/second over a tiled batch matrix:
+//!   `predict_matrix` (the pre-PR `Vec<Vec<f64>>` serving walk, the
+//!   baseline the speedup is quoted against), `predict_matrix_into` (the
+//!   interpreted flat-output variant), and the compiled
+//!   `predict_batch_into` kernel;
+//! * **end-to-end serving qps** — a short closed-loop run through the
+//!   `ae-serve` runtime (which now scores on the compiled kernel).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ae-bench --bin bench_inference                 # full run
+//! cargo run --release -p ae-bench --bin bench_inference -- --smoke     # CI gate
+//! cargo run --release -p ae-bench --bin bench_inference -- --json BENCH_inference.json
+//! ```
+//!
+//! `--smoke` shortens every phase and exits non-zero unless (a) compiled
+//! predictions are bit-identical to the interpreter over the whole batch
+//! and (b) compiled batched throughput is at least the interpreted
+//! baseline's.
+
+use std::hint::black_box;
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ae_ml::matrix::FeatureMatrix;
+use ae_serve::{RuntimeConfig, ScoringRuntime};
+use ae_workload::{ClosedLoop, ScaleFactor, WorkloadGenerator};
+use autoexecutor::prelude::*;
+use autoexecutor::ModelRegistry;
+
+struct Args {
+    smoke: bool,
+    batch_rows: usize,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        batch_rows: 4096,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--batch-rows" => {
+                args.batch_rows = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--batch-rows needs a number");
+            }
+            "--json" => args.json = it.next(),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    if args.smoke {
+        args.batch_rows = args.batch_rows.min(1024);
+    }
+    args
+}
+
+/// Runs `op` repeatedly for at least `budget`, returning (ops, elapsed).
+fn measure(budget: Duration, mut op: impl FnMut()) -> (u64, Duration) {
+    // Warm-up pass so neither side pays first-touch costs inside the window.
+    op();
+    let start = Instant::now();
+    let mut ops = 0u64;
+    loop {
+        op();
+        ops += 1;
+        if start.elapsed() >= budget {
+            return (ops, start.elapsed());
+        }
+    }
+}
+
+fn per_op_ns(ops: u64, elapsed: Duration) -> f64 {
+    elapsed.as_secs_f64() * 1e9 / ops.max(1) as f64
+}
+
+fn main() {
+    let args = parse_args();
+    let op_budget = if args.smoke {
+        Duration::from_millis(120)
+    } else {
+        Duration::from_millis(800)
+    };
+
+    let suite = WorkloadGenerator::new(ScaleFactor::SF10).suite();
+    println!(
+        "==> training the parameter model ({}-query SF10 tpcds suite)",
+        suite.len()
+    );
+    let mut config = AutoExecutorConfig::default();
+    config.training_run.noise_cv = 0.0;
+    let (_, model) = train_from_workload(&suite, &config).expect("training");
+    let forest = model.forest();
+    let compiled = model.compiled();
+    let k = compiled.num_outputs();
+    println!(
+        "    forest: {} trees, {} nodes, {} pooled leaves, {} outputs",
+        compiled.num_trees(),
+        compiled.num_nodes(),
+        compiled.num_leaves(),
+        k
+    );
+
+    // Projected feature rows for every suite query, tiled to the batch size.
+    let rows: Vec<Vec<f64>> = suite
+        .iter()
+        .map(|q| {
+            model
+                .feature_set()
+                .project(&autoexecutor::featurize_plan(&q.plan))
+        })
+        .collect();
+    let mut matrix = FeatureMatrix::with_capacity(compiled.num_features(), args.batch_rows);
+    for i in 0..args.batch_rows {
+        matrix.push_row(&rows[i % rows.len()]).expect("batch row");
+    }
+
+    // --- Bit-equality gate (always on): compiled ≡ interpreted. ---
+    let mut compiled_flat = vec![0.0; matrix.len() * k];
+    compiled
+        .predict_batch_into(&matrix, &mut compiled_flat)
+        .expect("compiled batch");
+    let mut interpreted_flat = Vec::new();
+    forest
+        .predict_matrix_into(&matrix, &mut interpreted_flat)
+        .expect("interpreted batch");
+    let equal_bits = compiled_flat
+        .iter()
+        .zip(&interpreted_flat)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    println!(
+        "==> equivalence: compiled output {} interpreted over {} rows x {k} outputs",
+        if equal_bits {
+            "bit-identical to"
+        } else {
+            "DIVERGED from"
+        },
+        matrix.len()
+    );
+
+    // --- Single-row latency. ---
+    let mut out = vec![0.0; k];
+    let mut cursor = 0usize;
+    let (ops, elapsed) = measure(op_budget, || {
+        let row = &rows[cursor % rows.len()];
+        cursor += 1;
+        forest.predict_into(black_box(row), &mut out).unwrap();
+        black_box(&out);
+    });
+    let interp_row_ns = per_op_ns(ops, elapsed);
+    cursor = 0;
+    let (ops, elapsed) = measure(op_budget, || {
+        let row = &rows[cursor % rows.len()];
+        cursor += 1;
+        compiled.predict_into(black_box(row), &mut out).unwrap();
+        black_box(&out);
+    });
+    let compiled_row_ns = per_op_ns(ops, elapsed);
+    println!(
+        "==> single-row latency: interpreted {interp_row_ns:>8.0} ns   compiled {compiled_row_ns:>8.0} ns   ({:.2}x)",
+        interp_row_ns / compiled_row_ns.max(1e-9)
+    );
+
+    // --- Batched throughput (rows/second over the tiled matrix). ---
+    let rows_per_batch = matrix.len() as f64;
+    let (ops, elapsed) = measure(op_budget, || {
+        black_box(forest.predict_matrix(black_box(&matrix)).unwrap());
+    });
+    let interp_vecvec_rps = rows_per_batch * ops as f64 / elapsed.as_secs_f64();
+    let (ops, elapsed) = measure(op_budget, || {
+        forest
+            .predict_matrix_into(black_box(&matrix), &mut interpreted_flat)
+            .unwrap();
+        black_box(&interpreted_flat);
+    });
+    let interp_flat_rps = rows_per_batch * ops as f64 / elapsed.as_secs_f64();
+    let (ops, elapsed) = measure(op_budget, || {
+        compiled
+            .predict_batch_into(black_box(&matrix), &mut compiled_flat)
+            .unwrap();
+        black_box(&compiled_flat);
+    });
+    let compiled_rps = rows_per_batch * ops as f64 / elapsed.as_secs_f64();
+    let batch_speedup = compiled_rps / interp_vecvec_rps.max(1e-9);
+    println!("==> batched throughput ({} rows/batch):", matrix.len());
+    println!("    interpreted predict_matrix      {interp_vecvec_rps:>12.0} rows/s   (pre-PR serving walk — baseline)");
+    println!("    interpreted predict_matrix_into {interp_flat_rps:>12.0} rows/s   (flat output, no per-row alloc)");
+    println!(
+        "    compiled predict_batch_into     {compiled_rps:>12.0} rows/s   ({batch_speedup:.2}x vs baseline)"
+    );
+
+    // --- End-to-end serving qps (closed loop through ae-serve). ---
+    let registry = Arc::new(ModelRegistry::in_memory());
+    registry
+        .register("inference", model.to_portable("inference").unwrap())
+        .unwrap();
+    let runtime = Arc::new(ScoringRuntime::new(
+        Arc::clone(&registry),
+        "inference",
+        RuntimeConfig::from_auto_executor(&config),
+    ));
+    runtime.warm().expect("model warm-up");
+    let rewriter = Optimizer::with_default_rules();
+    let plans: Arc<Vec<ae_engine::QueryPlan>> = Arc::new(
+        suite
+            .iter()
+            .map(|q| rewriter.optimize(q.plan.clone()).unwrap().plan)
+            .collect(),
+    );
+    let threads = 4;
+    let serve_duration = if args.smoke {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_secs(2)
+    };
+    let sequences = ClosedLoop::new(threads, 512, 1).sequences(plans.len());
+    let serve_start = Instant::now();
+    let served: u64 = std::thread::scope(|scope| {
+        (0..threads)
+            .map(|t| {
+                let runtime = Arc::clone(&runtime);
+                let plans = Arc::clone(&plans);
+                let sequence = sequences[t % sequences.len()].clone();
+                scope.spawn(move || {
+                    let mut count = 0u64;
+                    let mut i = 0usize;
+                    while serve_start.elapsed() < serve_duration {
+                        runtime
+                            .score(&plans[sequence[i % sequence.len()]])
+                            .expect("serving score");
+                        count += 1;
+                        i += 1;
+                    }
+                    count
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum()
+    });
+    let serve_elapsed = serve_start.elapsed();
+    let serving_qps = served as f64 / serve_elapsed.as_secs_f64();
+    let stats = runtime.stats();
+    println!(
+        "==> serving (compiled kernel, closed loop, {threads} threads): {serving_qps:.0} qps ({served} requests, {} inline / {} batched, errors {})",
+        stats.inline_scored,
+        stats.batched(),
+        stats.errors
+    );
+
+    if let Some(path) = &args.json {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(
+            "  \"comment\": \"Compiled-forest inference benchmark: CompiledForest (flat SoA tree \
+             arenas, pooled leaf table, batch-major kernel) vs the interpreted \
+             RandomForestRegressor walk every scoring path used before. 'interpreted \
+             predict_matrix' is the pre-compilation batched serving walk and is the baseline the \
+             speedup is quoted against; equivalence_bit_identical asserts compiled == interpreted \
+             bit-for-bit over the whole batch. Regenerate with: cargo run --release -p ae-bench \
+             --bin bench_inference -- --json BENCH_inference.json\",\n",
+        );
+        out.push_str(&format!(
+            "  \"host\": \"{}-core container (release profile)\",\n",
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        ));
+        out.push_str(&format!(
+            "  \"forest\": {{ \"trees\": {}, \"nodes\": {}, \"pooled_leaves\": {}, \"outputs\": {k} }},\n",
+            compiled.num_trees(),
+            compiled.num_nodes(),
+            compiled.num_leaves()
+        ));
+        out.push_str(&format!("  \"equivalence_bit_identical\": {equal_bits},\n"));
+        out.push_str(&format!(
+            "  \"single_row\": {{ \"interpreted_ns\": {interp_row_ns:.0}, \"compiled_ns\": {compiled_row_ns:.0}, \"speedup\": {:.2} }},\n",
+            interp_row_ns / compiled_row_ns.max(1e-9)
+        ));
+        out.push_str(&format!(
+            "  \"batched\": {{ \"rows_per_batch\": {}, \"interpreted_rows_per_s\": {interp_vecvec_rps:.0}, \"interpreted_flat_rows_per_s\": {interp_flat_rps:.0}, \"compiled_rows_per_s\": {compiled_rps:.0}, \"speedup_vs_interpreted\": {batch_speedup:.2} }},\n",
+            matrix.len()
+        ));
+        out.push_str(&format!(
+            "  \"serving\": {{ \"closed_loop_qps\": {serving_qps:.0}, \"client_threads\": {threads}, \"requests\": {served} }}\n"
+        ));
+        out.push_str("}\n");
+        let mut file = std::fs::File::create(path).expect("create json output");
+        file.write_all(out.as_bytes()).expect("write json output");
+        println!("wrote {path}");
+    }
+
+    if args.smoke {
+        let mut failures = Vec::new();
+        if !equal_bits {
+            failures.push("compiled output is not bit-identical to the interpreter".to_string());
+        }
+        if compiled_rps < interp_vecvec_rps {
+            failures.push(format!(
+                "compiled batched throughput ({compiled_rps:.0} rows/s) below the interpreted \
+                 baseline ({interp_vecvec_rps:.0} rows/s)"
+            ));
+        }
+        if stats.errors != 0 {
+            failures.push(format!("{} serving errors", stats.errors));
+        }
+        if !failures.is_empty() {
+            eprintln!("inference smoke FAILED: {}", failures.join("; "));
+            std::process::exit(1);
+        }
+        println!(
+            "inference smoke OK (bit-identical, compiled {batch_speedup:.2}x interpreted, zero serving errors)"
+        );
+    }
+}

@@ -7,6 +7,7 @@ use std::collections::BTreeMap;
 use ae_engine::allocation::AllocationPolicy;
 use ae_engine::cluster::ClusterConfig;
 use ae_engine::scheduler::{RunConfig, SimScratch, Simulator};
+use ae_ml::matrix::FeatureMatrix;
 use ae_ml::metrics::{iqr_filtered_mean, mean_and_std, total_absolute_error_ratio};
 use ae_ppm::curve::PerfCurve;
 use ae_ppm::model::{Ppm, PpmKind};
@@ -320,19 +321,27 @@ pub fn cross_validate(
             );
             let model = ParameterModel::train(&train_data, &fold_config)?;
 
+            // One batched-inference call per query set: the full feature
+            // rows go into one flat matrix and the compiled kernel returns
+            // every PPM at once (bit-identical to the former per-row loop).
             let predict_set = |indices: &[usize]| -> Result<Vec<QueryPrediction>> {
-                indices
+                let width = crate::features::full_feature_names().len();
+                let mut matrix = FeatureMatrix::with_capacity(width, indices.len());
+                for &i in indices {
+                    matrix
+                        .push_row(&data.examples[i].full_features)
+                        .map_err(AutoExecutorError::Ml)?;
+                }
+                let ppms = model.predict_ppm_batch(&matrix)?;
+                Ok(indices
                     .iter()
-                    .map(|&i| {
-                        let example = &data.examples[i];
-                        let ppm = model.predict_ppm_from_full_features(&example.full_features)?;
-                        Ok(QueryPrediction {
-                            name: example.name.clone(),
-                            curve: ppm.predict_curve(eval_counts),
-                            ppm,
-                        })
+                    .zip(ppms)
+                    .map(|(&i, ppm)| QueryPrediction {
+                        name: data.examples[i].name.clone(),
+                        curve: ppm.predict_curve(eval_counts),
+                        ppm,
                     })
-                    .collect()
+                    .collect())
             };
             let train_predictions = predict_set(&split.train)?;
             let test_predictions = predict_set(&split.test)?;
@@ -478,10 +487,22 @@ pub fn cross_family_error(
     actuals: &ActualRuns,
     eval_counts: &[usize],
 ) -> Result<BTreeMap<usize, f64>> {
+    // Featurize every plan into one flat matrix and score the whole suite
+    // in a single compiled-kernel batch (bit-identical to per-plan
+    // `predict_curve` calls).
+    let width = crate::features::full_feature_names().len();
+    let mut matrix = FeatureMatrix::with_capacity(width, suite.len());
+    for q in suite {
+        matrix
+            .push_row(&crate::features::featurize_plan(&q.plan))
+            .map_err(AutoExecutorError::Ml)?;
+    }
+    let ppms = model.predict_ppm_batch(&matrix)?;
     let predictions = suite
         .iter()
-        .map(|q| Ok((q.name.clone(), model.predict_curve(&q.plan, eval_counts)?)))
-        .collect::<Result<BTreeMap<_, _>>>()?;
+        .zip(ppms)
+        .map(|(q, ppm)| (q.name.clone(), ppm.predict_curve(eval_counts)))
+        .collect::<BTreeMap<_, _>>();
     Ok(error_by_count(&predictions, actuals, eval_counts))
 }
 

@@ -16,9 +16,16 @@
 //!   Section 5.6 overhead accounting.
 //! * [`score_feature_batch`] — a micro-batch of queries laid out in one
 //!   [`FeatureMatrix`]: batched forest inference
-//!   ([`ParameterModel::predict_ppm_batch`]) followed by batched selection
-//!   ([`SelectionObjective::select_batch`]). Per-row results are
+//!   ([`ParameterModel::predict_ppm_batch`], the compiled batch-major
+//!   kernel accumulating into one flat output buffer) followed by batched
+//!   selection ([`SelectionObjective::select_batch`]). Per-row results are
 //!   bit-identical to [`score_features`].
+//!
+//! Both entry points run inference on the model's
+//! [`CompiledForest`](ae_ml::compiled::CompiledForest) — flat
+//! struct-of-arrays tree arenas compiled once per model — whose
+//! predictions are bit-identical to the interpreted forest, so the
+//! determinism guarantee is unchanged.
 
 use std::time::{Duration, Instant};
 

@@ -11,9 +11,12 @@
 //! 4. featurize the query plan (Table 2) and train a Random Forest mapping
 //!    features → PPM parameters — one training row per query.
 
+use std::sync::Arc;
+
 use ae_engine::allocation::AllocationPolicy;
 use ae_engine::plan::QueryPlan;
 use ae_engine::scheduler::Simulator;
+use ae_ml::compiled::CompiledForest;
 use ae_ml::dataset::Dataset;
 use ae_ml::forest::{RandomForestConfig, RandomForestRegressor};
 use ae_ml::matrix::FeatureMatrix;
@@ -209,9 +212,16 @@ impl TrainingData {
 
 /// The trained parameter model: a random forest predicting PPM parameters
 /// from compile-time plan features.
+///
+/// The fitted forest is carried in both representations: the interpreted
+/// [`RandomForestRegressor`] (training-time tooling walks it) and the
+/// [`CompiledForest`] every scoring path runs on — flat struct-of-arrays
+/// tree arenas with a pooled leaf table, compiled once per model, with
+/// predictions bit-identical to the interpreter.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ParameterModel {
     forest: RandomForestRegressor,
+    compiled: Arc<CompiledForest>,
     kind: PpmKind,
     feature_set: FeatureSet,
 }
@@ -234,8 +244,10 @@ impl ParameterModel {
     ) -> Result<Self> {
         let mut forest = RandomForestRegressor::new(forest_config);
         forest.fit(dataset).map_err(AutoExecutorError::Ml)?;
+        let compiled = Arc::new(forest.compile().map_err(AutoExecutorError::Ml)?);
         Ok(Self {
             forest,
+            compiled,
             kind,
             feature_set,
         })
@@ -256,16 +268,23 @@ impl ParameterModel {
         &self.forest
     }
 
+    /// The compiled inference representation the scoring paths run on.
+    pub fn compiled(&self) -> &CompiledForest {
+        &self.compiled
+    }
+
     /// Predicts the PPM for a query plan (features are derived internally).
     pub fn predict_ppm(&self, plan: &QueryPlan) -> Result<Ppm> {
         self.predict_ppm_from_full_features(&featurize_plan(plan))
     }
 
     /// Predicts the PPM from an already-computed *full* feature vector.
+    /// Inference runs on the compiled forest (bit-identical to the
+    /// interpreted walk).
     pub fn predict_ppm_from_full_features(&self, full_features: &[f64]) -> Result<Ppm> {
         let projected = self.feature_set.project(full_features);
         let params = self
-            .forest
+            .compiled
             .predict(&projected)
             .map_err(AutoExecutorError::Ml)?;
         Ok(Ppm::from_parameters(self.kind, &params))
@@ -273,10 +292,12 @@ impl ParameterModel {
 
     /// Predicts PPMs for a whole batch of *full* feature vectors at once —
     /// the inference stage of the batched serving path. The projection
-    /// indices are resolved once for the batch and rows are laid out in one
-    /// flat matrix, so per-request overhead is amortized; each returned PPM
-    /// is bit-identical to what [`predict_ppm_from_full_features`] yields
-    /// for the same row.
+    /// indices are resolved once for the batch, rows are laid out in one
+    /// flat matrix, and the compiled batch-major kernel accumulates into
+    /// one flat output buffer (zero per-row allocation) from which the
+    /// PPMs are constructed directly (`ae_ppm::ppms_from_flat`); each
+    /// returned PPM is bit-identical to what
+    /// [`predict_ppm_from_full_features`] yields for the same row.
     ///
     /// [`predict_ppm_from_full_features`]: Self::predict_ppm_from_full_features
     pub fn predict_ppm_batch(&self, full_rows: &FeatureMatrix) -> Result<Vec<Ppm>> {
@@ -287,14 +308,12 @@ impl ParameterModel {
                 .push_row_from(indices.iter().map(|&i| row[i]))
                 .map_err(AutoExecutorError::Ml)?;
         }
-        let params = self
-            .forest
-            .predict_matrix(&projected)
+        let k = self.compiled.num_outputs();
+        let mut flat = vec![0.0; projected.len() * k];
+        self.compiled
+            .predict_batch_into(&projected, &mut flat)
             .map_err(AutoExecutorError::Ml)?;
-        Ok(params
-            .iter()
-            .map(|p| Ppm::from_parameters(self.kind, p))
-            .collect())
+        Ok(ae_ppm::ppms_from_flat(self.kind, &flat, k))
     }
 
     /// Predicts the run-time curve for a plan over candidate executor counts.
@@ -332,6 +351,10 @@ impl ParameterModel {
             })?;
         Ok(Self {
             forest: portable.forest().clone(),
+            // The portable model already compiled its forest at
+            // construction/deserialization; share that arena (Arc clone)
+            // instead of recompiling or deep-copying it.
+            compiled: portable.compiled_handle(),
             kind,
             feature_set,
         })

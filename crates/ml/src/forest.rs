@@ -201,23 +201,49 @@ impl RandomForestRegressor {
     }
 
     /// Predicts every row of a [`FeatureMatrix`] (output order matches row
-    /// order). This is the batched-inference entry point of the serving
-    /// path: the caller lays all concurrently submitted feature rows out in
-    /// one flat buffer and the forest walks them without any per-row input
-    /// allocation. Results are bit-identical to calling
-    /// [`predict`](Self::predict) row by row.
+    /// order), returning one `Vec<f64>` per row. Results are bit-identical
+    /// to calling [`predict`](Self::predict) row by row.
+    ///
+    /// This is the interpreted batch walk; hot callers use
+    /// [`predict_matrix_into`](Self::predict_matrix_into) (flat output, no
+    /// per-row allocation) or compile the forest
+    /// ([`compile`](Self::compile)) once and run the batch-major kernel.
     pub fn predict_matrix(&self, matrix: &FeatureMatrix) -> Result<Vec<Vec<f64>>> {
         if self.trees.is_empty() {
             return Err(MlError::NotFitted);
         }
         let k = self.trees[0].num_outputs();
-        let mut outputs = Vec::with_capacity(matrix.len());
-        for row in matrix.rows() {
-            let mut out = vec![0.0; k];
-            self.predict_into(row, &mut out)?;
-            outputs.push(out);
+        let mut flat = Vec::new();
+        self.predict_matrix_into(matrix, &mut flat)?;
+        Ok(flat.chunks(k.max(1)).map(<[f64]>::to_vec).collect())
+    }
+
+    /// Flat-output batch prediction: fills `out` with
+    /// `matrix.len() × num_outputs` values, row-major, reusing the buffer's
+    /// allocation across batches. Bit-identical to
+    /// [`predict`](Self::predict) per row.
+    pub fn predict_matrix_into(&self, matrix: &FeatureMatrix, out: &mut Vec<f64>) -> Result<()> {
+        if self.trees.is_empty() {
+            return Err(MlError::NotFitted);
         }
-        Ok(outputs)
+        let k = self.trees[0].num_outputs();
+        out.clear();
+        out.resize(matrix.len() * k, 0.0);
+        for (row, slot) in matrix.rows().zip(out.chunks_mut(k.max(1))) {
+            self.predict_into(row, slot)?;
+        }
+        Ok(())
+    }
+
+    /// Compiles the fitted forest into the flat struct-of-arrays inference
+    /// representation (see [`crate::compiled::CompiledForest`]).
+    pub fn compile(&self) -> Result<crate::compiled::CompiledForest> {
+        crate::compiled::CompiledForest::compile(self)
+    }
+
+    /// The fitted trees (compiled-forest construction walks them).
+    pub(crate) fn trees(&self) -> &[DecisionTreeRegressor] {
+        &self.trees
     }
 
     /// Predicts target vectors for many rows (output order matches input

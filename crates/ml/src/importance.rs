@@ -10,8 +10,10 @@ use rand::seq::SliceRandom;
 use rand::{derive_stream_seed, SeedableRng};
 use rayon::prelude::*;
 
+use crate::compiled::CompiledForest;
 use crate::dataset::Dataset;
 use crate::forest::RandomForestRegressor;
+use crate::matrix::FeatureMatrix;
 use crate::metrics::mean_absolute_error;
 use crate::{MlError, Result};
 
@@ -85,7 +87,16 @@ pub fn permutation_importance(
         });
     }
     let rows = data.rows().to_vec();
-    let baseline = model_error(model, &rows, data)?;
+    // The error loop scores every row once per (column, repeat) pair, so it
+    // runs on the compiled batch kernel over flat buffers; predictions (and
+    // therefore scores) are bit-identical to the interpreted walk.
+    let compiled = model.compile()?;
+    let actual_flat: Vec<f64> = data
+        .targets()
+        .iter()
+        .flat_map(|t| t.iter().copied())
+        .collect();
+    let baseline = model_error(&compiled, &rows, &actual_flat)?;
 
     let stats: Vec<(f64, f64)> = (0..data.num_features())
         .into_par_iter()
@@ -103,7 +114,7 @@ pub fn permutation_importance(
                 for (row, v) in permuted.iter_mut().zip(&column) {
                     row[col] = *v;
                 }
-                let err = model_error(model, &permuted, data)?;
+                let err = model_error(&compiled, &permuted, &actual_flat)?;
                 deltas.push(err - baseline);
             }
             Ok(crate::metrics::mean_and_std(&deltas))
@@ -118,17 +129,13 @@ pub fn permutation_importance(
     })
 }
 
-/// MAE over all outputs for the model on the given feature rows, using the
-/// dataset's targets as ground truth.
-fn model_error(model: &RandomForestRegressor, rows: &[Vec<f64>], data: &Dataset) -> Result<f64> {
-    let mut predicted = Vec::with_capacity(rows.len() * data.num_targets());
-    let mut actual = Vec::with_capacity(rows.len() * data.num_targets());
-    for (row, target) in rows.iter().zip(data.targets()) {
-        let p = model.predict(row)?;
-        predicted.extend(p);
-        actual.extend(target.iter().copied());
-    }
-    Ok(mean_absolute_error(&predicted, &actual))
+/// MAE over all outputs for the compiled model on the given feature rows,
+/// against the row-major flattened ground-truth targets.
+fn model_error(compiled: &CompiledForest, rows: &[Vec<f64>], actual_flat: &[f64]) -> Result<f64> {
+    let matrix = FeatureMatrix::from_rows(rows)?;
+    let mut predicted = vec![0.0; rows.len() * compiled.num_outputs()];
+    compiled.predict_batch_into(&matrix, &mut predicted)?;
+    Ok(mean_absolute_error(&predicted, actual_flat))
 }
 
 #[cfg(test)]

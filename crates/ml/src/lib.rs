@@ -12,6 +12,10 @@
 //! * [`tree`] — CART regression trees with multi-output targets.
 //! * [`forest`] — bagged random forests over those trees (the parameter
 //!   model), mirroring scikit-learn's defaults (100 estimators).
+//! * [`compiled`] — the fitted forest compiled into flat struct-of-arrays
+//!   tree arenas with a pooled leaf table and a batch-major scoring kernel
+//!   (the serving-path inference representation; bit-identical to the
+//!   interpreter).
 //! * [`importance`] — permutation feature importance (Figure 15).
 //! * [`matrix`] — flat row-major feature matrices for the batched serving
 //!   path (one contiguous buffer per batch instead of a `Vec` per request).
@@ -24,6 +28,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod compiled;
 pub mod dataset;
 pub mod forest;
 pub mod importance;
@@ -34,6 +39,7 @@ pub mod metrics;
 pub mod portable;
 pub mod tree;
 
+pub use compiled::CompiledForest;
 pub use dataset::{Dataset, FoldSplit, KFold, RepeatedKFold};
 pub use forest::{RandomForestConfig, RandomForestRegressor};
 pub use importance::{permutation_importance, ImportanceReport};

@@ -10,10 +10,12 @@
 
 use std::io::{Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
+use crate::compiled::CompiledForest;
 use crate::forest::RandomForestRegressor;
 use crate::json::Value;
 use crate::matrix::FeatureMatrix;
@@ -36,6 +38,12 @@ pub struct PortableModel {
     pub target_names: Vec<String>,
     /// The underlying forest.
     forest: RandomForestRegressor,
+    /// The forest compiled for inference. Derived (never serialized):
+    /// rebuilt once at construction and at deserialization, so every loaded
+    /// model scores through the flat kernel. Shared via `Arc` so decoded
+    /// consumers (e.g. `ParameterModel`) reference the same arena instead
+    /// of cloning hundreds of KB of node storage per model.
+    compiled: Arc<CompiledForest>,
 }
 
 impl PortableModel {
@@ -44,18 +52,32 @@ impl PortableModel {
         if !forest.is_fitted() {
             return Err(MlError::NotFitted);
         }
+        let compiled = Arc::new(forest.compile()?);
         Ok(Self {
             version: PORTABLE_FORMAT_VERSION,
             name: name.into(),
             feature_names: forest.feature_names().to_vec(),
             target_names: forest.target_names().to_vec(),
             forest,
+            compiled,
         })
     }
 
-    /// Access to the wrapped forest.
+    /// Access to the wrapped forest (the interpreted representation —
+    /// training-time tooling such as permutation importance walks it).
     pub fn forest(&self) -> &RandomForestRegressor {
         &self.forest
+    }
+
+    /// The compiled inference representation of the forest.
+    pub fn compiled(&self) -> &CompiledForest {
+        &self.compiled
+    }
+
+    /// A shared handle to the compiled representation (consumers that
+    /// outlive this model clone the `Arc`, not the arena).
+    pub fn compiled_handle(&self) -> Arc<CompiledForest> {
+        Arc::clone(&self.compiled)
     }
 
     /// Serialises the model to a JSON byte buffer.
@@ -81,12 +103,15 @@ impl PortableModel {
                 "unsupported portable-model version {version} (expected {PORTABLE_FORMAT_VERSION})"
             )));
         }
+        let forest = RandomForestRegressor::from_json_value(value.field("forest")?)?;
+        let compiled = Arc::new(forest.compile()?);
         Ok(Self {
             version,
             name: value.field("name")?.as_str()?.to_string(),
             feature_names: value.field("feature_names")?.as_string_vec()?,
             target_names: value.field("target_names")?.as_string_vec()?,
-            forest: RandomForestRegressor::from_json_value(value.field("forest")?)?,
+            forest,
+            compiled,
         })
     }
 
@@ -114,15 +139,27 @@ impl PortableModel {
         Ok(self.to_bytes()?.len())
     }
 
-    /// Scores one feature row.
+    /// Scores one feature row through the compiled forest (bit-identical to
+    /// the interpreted [`RandomForestRegressor::predict`]).
     pub fn predict(&self, row: &[f64]) -> Result<Vec<f64>> {
-        self.forest.predict(row)
+        self.compiled.predict(row)
     }
 
-    /// Scores every row of a feature matrix (the batched serving entry
-    /// point); bit-identical to calling [`predict`](Self::predict) per row.
+    /// Scores every row of a feature matrix through the compiled
+    /// batch-major kernel; bit-identical to calling
+    /// [`predict`](Self::predict) per row.
     pub fn predict_matrix(&self, matrix: &FeatureMatrix) -> Result<Vec<Vec<f64>>> {
-        self.forest.predict_matrix(matrix)
+        let k = self.compiled.num_outputs();
+        let mut flat = Vec::new();
+        self.compiled.predict_batch(matrix, &mut flat)?;
+        Ok(flat.chunks(k.max(1)).map(<[f64]>::to_vec).collect())
+    }
+
+    /// Flat-output batched scoring: fills `out` with
+    /// `matrix.len() × num_outputs` values, row-major, through the compiled
+    /// batch-major kernel.
+    pub fn predict_matrix_into(&self, matrix: &FeatureMatrix, out: &mut Vec<f64>) -> Result<()> {
+        self.compiled.predict_batch(matrix, out)
     }
 }
 

@@ -33,7 +33,7 @@ pub mod selection;
 pub use cores::{factorize_total_cores, interpolate_by_cores, FactorizationConstraints};
 pub use curve::PerfCurve;
 pub use fit::{fit_amdahl, fit_power_law, FitError};
-pub use model::{AmdahlPpm, PowerLawPpm, Ppm, PpmKind};
+pub use model::{ppms_from_flat, AmdahlPpm, PowerLawPpm, Ppm, PpmKind};
 pub use selection::{
     cheapest_config, cost_at, deadline_config, elbow_point, min_time_config, price_for_deadline,
     slowdown_config, SelectionObjective,

@@ -165,6 +165,24 @@ impl Ppm {
     }
 }
 
+/// Builds one PPM per row from a flat row-major parameter matrix —
+/// `params_per_row` values per model, the shape the compiled forest's
+/// batch-major kernel writes. The batched serving path hands the flat
+/// output slice straight here without materialising per-row vectors; each
+/// model equals [`Ppm::from_parameters`] on the corresponding chunk.
+///
+/// A trailing partial chunk (fewer than `params_per_row` values) is
+/// ignored, matching `chunks_exact` semantics; `params_per_row == 0`
+/// yields no models.
+pub fn ppms_from_flat(kind: PpmKind, flat: &[f64], params_per_row: usize) -> Vec<Ppm> {
+    if params_per_row == 0 {
+        return Vec::new();
+    }
+    flat.chunks_exact(params_per_row)
+        .map(|chunk| Ppm::from_parameters(kind, chunk))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +259,19 @@ mod tests {
         let ppm = Ppm::Amdahl(AmdahlPpm::new(10.0, 100.0));
         assert_eq!(ppm.predict(0.0), ppm.predict(1.0));
         assert_eq!(ppm.predict(-3.0), ppm.predict(1.0));
+    }
+
+    #[test]
+    fn flat_parameter_matrix_builds_one_ppm_per_row() {
+        let flat = [-0.5, 100.0, 10.0, -0.2, 80.0, 5.0];
+        let ppms = ppms_from_flat(PpmKind::PowerLaw, &flat, 3);
+        assert_eq!(ppms.len(), 2);
+        assert_eq!(ppms[0], Ppm::from_parameters(PpmKind::PowerLaw, &flat[..3]));
+        assert_eq!(ppms[1], Ppm::from_parameters(PpmKind::PowerLaw, &flat[3..]));
+        // Degenerate shapes: zero-width rows yield nothing, a trailing
+        // partial chunk is dropped.
+        assert!(ppms_from_flat(PpmKind::Amdahl, &flat, 0).is_empty());
+        assert_eq!(ppms_from_flat(PpmKind::Amdahl, &flat[..5], 2).len(), 2);
     }
 
     #[test]

@@ -261,7 +261,11 @@ struct Shared {
     /// Decoded-model cache: `(registry handle, decoded model)`. Re-resolved
     /// by `Arc` pointer identity so an RCU re-registration in the registry
     /// is picked up by the next batch; scoring threads holding the old
-    /// decoded model finish their batch against it unperturbed.
+    /// decoded model finish their batch against it unperturbed. The decoded
+    /// [`ParameterModel`] carries the forest's compiled inference
+    /// representation (flat SoA arenas), so a re-registration compiles the
+    /// new model **once** here — never per batch — and every drain-loop
+    /// batch runs the compiled batch-major kernel.
     model: RwLock<Option<(Arc<PortableModel>, Arc<ParameterModel>)>>,
     stats: StatsInner,
 }

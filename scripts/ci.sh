@@ -6,7 +6,9 @@
 # docs must build with zero warnings), a quick criterion smoke over the two
 # benches most sensitive to scheduler/training regressions, a serving smoke
 # (short fixed-duration bench_serving run that must sustain qps > 0 with
-# zero dropped requests), a QoS smoke (tagged open-loop phases: finite
+# zero dropped requests), an inference smoke (compiled-forest output must
+# be bit-identical to the interpreted forest and its batched throughput at
+# least the interpreted baseline's), a QoS smoke (tagged open-loop phases: finite
 # miss/shed rates, the Interactive deadline budget holding at moderate
 # load, Interactive p99 < BestEffort p99 under overload, and no tenant
 # starvation), and a cross-family
@@ -34,6 +36,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --quiet
 echo "==> bench smoke (quick samples)"
 cargo bench --offline -p ae-bench --bench bench_simulation -- --quick
 cargo bench --offline -p ae-bench --bench bench_training -- --quick forest_fit
+
+echo "==> inference smoke (compiled forest ≡ interpreter bit-for-bit; compiled batched throughput >= interpreted)"
+cargo run --offline --release -p ae-bench --bin bench_inference -- --smoke
 
 echo "==> serving smoke (fixed-duration run; asserts qps > 0, zero dropped)"
 cargo run --offline --release -p ae-bench --bin bench_serving -- --smoke
