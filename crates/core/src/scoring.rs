@@ -30,11 +30,22 @@
 use std::time::{Duration, Instant};
 
 use ae_ml::matrix::FeatureMatrix;
+use ae_ppm::risk::PreemptionRisk;
 use ae_ppm::selection::SelectionObjective;
 
 use crate::optimizer::ResourceRequest;
 use crate::training::ParameterModel;
 use crate::{AutoExecutorError, Result};
+
+/// Applies the optional preemption-risk adjustment to a predicted curve.
+/// `None` (and inactive models) return the curve unchanged, preserving the
+/// bit-identity of the risk-unaware path.
+fn apply_risk(curve: Vec<(usize, f64)>, risk: Option<&PreemptionRisk>) -> Vec<(usize, f64)> {
+    match risk {
+        Some(model) if model.is_active() => model.adjust_samples(&curve),
+        _ => curve,
+    }
+}
 
 /// A scored query plus the per-step latencies of producing it.
 #[derive(Debug, Clone)]
@@ -54,12 +65,28 @@ pub fn score_features(
     objective: SelectionObjective,
     candidate_counts: &[usize],
 ) -> Result<ScoredQuery> {
+    score_features_with_risk(model, full_features, objective, candidate_counts, None)
+}
+
+/// Like [`score_features`], but with an optional preemption-risk model:
+/// the predicted curve is converted to expected runtime under revocation
+/// before selection, so larger `n` pays for its exposure. `None` is
+/// bit-identical to [`score_features`]. The returned
+/// [`ResourceRequest::predicted_curve`] carries the adjusted curve (it is
+/// the curve the selection was made on).
+pub fn score_features_with_risk(
+    model: &ParameterModel,
+    full_features: &[f64],
+    objective: SelectionObjective,
+    candidate_counts: &[usize],
+    risk: Option<&PreemptionRisk>,
+) -> Result<ScoredQuery> {
     let infer_start = Instant::now();
     let ppm = model.predict_ppm_from_full_features(full_features)?;
     let inference = infer_start.elapsed();
 
     let select_start = Instant::now();
-    let curve = ppm.predict_curve(candidate_counts);
+    let curve = apply_risk(ppm.predict_curve(candidate_counts), risk);
     let executors = objective
         .select(&curve)
         .ok_or_else(|| AutoExecutorError::InvalidModel("empty candidate range".into()))?;
@@ -84,10 +111,22 @@ pub fn score_feature_batch(
     objective: SelectionObjective,
     candidate_counts: &[usize],
 ) -> Result<Vec<ResourceRequest>> {
+    score_feature_batch_with_risk(model, features, objective, candidate_counts, None)
+}
+
+/// Like [`score_feature_batch`], but with the optional preemption-risk
+/// adjustment of [`score_features_with_risk`] applied to every row.
+pub fn score_feature_batch_with_risk(
+    model: &ParameterModel,
+    features: &FeatureMatrix,
+    objective: SelectionObjective,
+    candidate_counts: &[usize],
+    risk: Option<&PreemptionRisk>,
+) -> Result<Vec<ResourceRequest>> {
     let ppms = model.predict_ppm_batch(features)?;
     let curves: Vec<Vec<(usize, f64)>> = ppms
         .iter()
-        .map(|ppm| ppm.predict_curve(candidate_counts))
+        .map(|ppm| apply_risk(ppm.predict_curve(candidate_counts), risk))
         .collect();
     let selected = objective.select_batch(&curves);
     ppms.into_iter()
@@ -179,6 +218,71 @@ mod tests {
         let mut matrix = FeatureMatrix::new(features.len());
         matrix.push_row(&features).unwrap();
         assert!(score_feature_batch(&model, &matrix, SelectionObjective::Elbow, &[]).is_err());
+    }
+
+    #[test]
+    fn risk_none_is_bit_identical_and_active_risk_shrinks_selection() {
+        let (model, config, plans) = trained_fixture();
+        let counts = config.candidate_counts();
+        let features = featurize_plan(&plans[0]);
+        let plain = score_features(&model, &features, config.objective, &counts).unwrap();
+        let no_risk =
+            score_features_with_risk(&model, &features, config.objective, &counts, None).unwrap();
+        assert_eq!(plain.request.executors, no_risk.request.executors);
+        let plain_bits: Vec<u64> = plain
+            .request
+            .predicted_curve
+            .iter()
+            .map(|&(_, t)| t.to_bits())
+            .collect();
+        let no_risk_bits: Vec<u64> = no_risk
+            .request
+            .predicted_curve
+            .iter()
+            .map(|&(_, t)| t.to_bits())
+            .collect();
+        assert_eq!(plain_bits, no_risk_bits);
+
+        // A harsh risk model: every extra executor costs a minute of
+        // expected recovery per revocation; the selection must not grow.
+        let risk = PreemptionRisk::new(0.5, 60.0);
+        let risky =
+            score_features_with_risk(&model, &features, config.objective, &counts, Some(&risk))
+                .unwrap();
+        assert!(risky.request.executors <= plain.request.executors);
+        // And the adjusted curve is what selection saw: pointwise ≥ plain.
+        for (&(n, adj), &(_, base)) in risky
+            .request
+            .predicted_curve
+            .iter()
+            .zip(&plain.request.predicted_curve)
+        {
+            assert!(adj >= base, "E({n})={adj} must dominate t({n})={base}");
+        }
+    }
+
+    #[test]
+    fn batch_risk_matches_single_risk() {
+        let (model, config, plans) = trained_fixture();
+        let counts = config.candidate_counts();
+        let risk = PreemptionRisk::new(0.1, 30.0);
+        let mut matrix = FeatureMatrix::new(crate::features::full_feature_names().len());
+        let mut singles = Vec::new();
+        for plan in &plans {
+            let features = featurize_plan(plan);
+            singles.push(
+                score_features_with_risk(&model, &features, config.objective, &counts, Some(&risk))
+                    .unwrap()
+                    .request,
+            );
+            matrix.push_row(&features).unwrap();
+        }
+        let batched =
+            score_feature_batch_with_risk(&model, &matrix, config.objective, &counts, Some(&risk))
+                .unwrap();
+        for (single, batch) in singles.iter().zip(&batched) {
+            assert_eq!(single.executors, batch.executors);
+        }
     }
 
     #[test]

@@ -27,6 +27,24 @@ impl ExecutorSpec {
             memory_gb: 28.0,
         }
     }
+
+    /// Validates the spec: a zero-core executor can run no tasks (and would
+    /// otherwise surface as a silent `executors_per_node() == 0`), and
+    /// memory must be a finite, non-negative number.
+    pub fn validate(&self) -> Result<()> {
+        if self.cores == 0 {
+            return Err(EngineError::InvalidConfig(
+                "executor cores must be > 0 (a zero-core executor cannot run tasks)".into(),
+            ));
+        }
+        if !self.memory_gb.is_finite() || self.memory_gb < 0.0 {
+            return Err(EngineError::InvalidConfig(format!(
+                "executor memory must be finite and non-negative, got {} GB",
+                self.memory_gb
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// Size of one cluster node (VM).
@@ -160,16 +178,26 @@ impl ClusterConfig {
         self.max_nodes * self.node.executors_per_node(&self.executor)
     }
 
-    /// Validates the configuration.
+    /// Validates the configuration. Rejects zero-core executors, zero-core
+    /// nodes, node-less pools, executors that do not fit on a node (all of
+    /// which would otherwise become downstream div-by-zero or a silent
+    /// zero-executor pool), and malformed allocation-lag times.
     pub fn validate(&self) -> Result<()> {
-        if self.executor.cores == 0 {
+        self.executor.validate()?;
+        if self.node.cores == 0 {
             return Err(EngineError::InvalidConfig(
-                "executor cores must be > 0".into(),
+                "node cores must be > 0 (a zero-core node hosts no executors)".into(),
             ));
         }
-        if self.node.cores == 0 || self.max_nodes == 0 {
+        if !self.node.memory_gb.is_finite() || self.node.memory_gb < 0.0 {
+            return Err(EngineError::InvalidConfig(format!(
+                "node memory must be finite and non-negative, got {} GB",
+                self.node.memory_gb
+            )));
+        }
+        if self.max_nodes == 0 {
             return Err(EngineError::InvalidConfig(
-                "cluster must have nodes with cores".into(),
+                "cluster must have at least one node (max_nodes must be > 0)".into(),
             ));
         }
         if self.node.executors_per_node(&self.executor) == 0 {
@@ -178,13 +206,17 @@ impl ClusterConfig {
                 self.executor.cores, self.executor.memory_gb, self.node.cores, self.node.memory_gb
             )));
         }
-        if self.lag.wave_interval_secs < 0.0
-            || self.lag.grant_delay_secs < 0.0
-            || self.lag.executor_startup_secs < 0.0
-        {
-            return Err(EngineError::InvalidConfig(
-                "allocation lag times must be non-negative".into(),
-            ));
+        let lag_times = [
+            ("grant delay", self.lag.grant_delay_secs),
+            ("wave interval", self.lag.wave_interval_secs),
+            ("executor startup", self.lag.executor_startup_secs),
+        ];
+        for (name, value) in lag_times {
+            if !value.is_finite() || value < 0.0 {
+                return Err(EngineError::InvalidConfig(format!(
+                    "allocation-lag {name} must be finite and non-negative, got {value} s"
+                )));
+            }
         }
         Ok(())
     }
@@ -257,6 +289,37 @@ mod tests {
     fn zero_core_executor_is_invalid() {
         let mut cfg = ClusterConfig::paper_default();
         cfg.executor.cores = 0;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("executor cores"), "{err}");
+        assert!(cfg.executor.validate().is_err());
+    }
+
+    #[test]
+    fn zero_executor_pool_is_invalid_with_descriptive_errors() {
+        let mut cfg = ClusterConfig::paper_default();
+        cfg.max_nodes = 0;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("max_nodes"), "{err}");
+
+        let mut cfg = ClusterConfig::paper_default();
+        cfg.node.cores = 0;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("node cores"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_values_are_invalid() {
+        let mut cfg = ClusterConfig::paper_default();
+        cfg.executor.memory_gb = f64::NAN;
         assert!(cfg.validate().is_err());
+
+        let mut cfg = ClusterConfig::paper_default();
+        cfg.node.memory_gb = f64::INFINITY;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ClusterConfig::paper_default();
+        cfg.lag.grant_delay_secs = f64::NAN;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("grant delay"), "{err}");
     }
 }

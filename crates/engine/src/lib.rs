@@ -16,6 +16,9 @@
 //!   reactive-deallocation hybrid.
 //! * [`scheduler`] — the discrete-event simulation itself, producing elapsed
 //!   time, the executor-allocation skyline, and its area under the curve.
+//! * [`faults`] — deterministic fault injection (spot preemptions, node
+//!   loss, stragglers) with retry/re-schedule semantics and per-run fault
+//!   accounting.
 //! * [`skyline`] — skyline representation and the `AUC` (executor-seconds)
 //!   metric.
 //! * [`session`] — multi-query interactive applications (Figure 7).
@@ -30,6 +33,7 @@
 
 pub mod allocation;
 pub mod cluster;
+pub mod faults;
 pub mod plan;
 pub mod scheduler;
 pub mod session;
@@ -38,6 +42,7 @@ pub mod stage;
 
 pub use allocation::{AllocationPolicy, DynamicAllocationConfig};
 pub use cluster::{AllocationLag, ClusterConfig, ExecutorSpec, NodeSpec};
+pub use faults::{FailureReason, FaultKind, FaultPlan, FaultSummary, RunOutcome};
 pub use plan::{OperatorKind, PlanNode, PlanStats, QueryPlan};
 pub use scheduler::{QueryRunResult, RunConfig, Simulator};
 pub use session::{ApplicationSession, QuerySubmission, SessionResult};

@@ -46,11 +46,13 @@ use serde::{Deserialize, Serialize};
 
 use crate::allocation::AllocationPolicy;
 use crate::cluster::ClusterConfig;
+use crate::faults::{FailureReason, FaultKind, FaultPlan, FaultSummary, RunOutcome};
 use crate::skyline::Skyline;
 use crate::stage::{StageDag, StageLog, TaskLog, TaskRecord};
 use crate::Result;
 
-/// Per-run configuration: noise, driver overhead, and log capture.
+/// Per-run configuration: noise, driver overhead, fault plan, and log
+/// capture.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RunConfig {
     /// Seed for the run-to-run noise generator.
@@ -62,6 +64,10 @@ pub struct RunConfig {
     pub driver_overhead_secs: f64,
     /// Whether to capture a full task log for post-hoc (Sparklens) analysis.
     pub capture_task_log: bool,
+    /// Deterministic fault injection (preemptions, node loss, stragglers).
+    /// The default, [`FaultPlan::none`], injects nothing and leaves
+    /// scheduler output bit-identical to a fault-unaware run.
+    pub faults: FaultPlan,
 }
 
 impl Default for RunConfig {
@@ -71,6 +77,7 @@ impl Default for RunConfig {
             noise_cv: 0.05,
             driver_overhead_secs: 8.0,
             capture_task_log: false,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -96,6 +103,12 @@ impl RunConfig {
         self.seed = seed;
         self
     }
+
+    /// Sets the fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 /// Result of simulating one query execution.
@@ -115,6 +128,18 @@ pub struct QueryRunResult {
     pub total_task_secs: f64,
     /// Full task log, present when requested in [`RunConfig`].
     pub task_log: Option<TaskLog>,
+    /// Terminal status: [`RunOutcome::Completed`] unless fault injection
+    /// exhausted a task's retries or revoked all capacity.
+    pub outcome: RunOutcome,
+    /// Fault accounting for the run (all-zero without injected faults).
+    pub faults: FaultSummary,
+}
+
+impl QueryRunResult {
+    /// True when every task of the run finished.
+    pub fn is_completed(&self) -> bool {
+        self.outcome.is_completed()
+    }
 }
 
 /// The simulator: a cluster configuration plus an allocation policy.
@@ -146,8 +171,14 @@ struct CompletionEvent {
     seq: u64,
     executor: usize,
     stage: usize,
+    /// Task index within the stage (identifies the task on loss/retry).
+    task: usize,
     start_time: f64,
     duration: f64,
+    /// Time of the (earliest) revocation that lost this task, or
+    /// `NEG_INFINITY` for a first attempt. Finite values mark retries and
+    /// feed the recovery-time accounting on completion.
+    lost_at: f64,
 }
 
 impl PartialEq for CompletionEvent {
@@ -235,6 +266,60 @@ impl Ord for UsableEvent {
     }
 }
 
+/// Phase of an executor revocation: the announcement marks the executor
+/// revoked (no new tasks; a replacement may be requested), the reap at the
+/// end of the grace window loses whatever is still running on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum RevokePhase {
+    Announce,
+    Reap,
+}
+
+/// An executor-revocation event (min-heap on `(time, phase, executor)`).
+#[derive(Debug, Clone, Copy)]
+struct RevokeEvent {
+    time: f64,
+    executor: usize,
+    phase: RevokePhase,
+    kind: FaultKind,
+}
+
+impl PartialEq for RevokeEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.executor == other.executor && self.phase == other.phase
+    }
+}
+
+impl Eq for RevokeEvent {}
+
+impl PartialOrd for RevokeEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RevokeEvent {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.phase.cmp(&self.phase))
+            .then_with(|| other.executor.cmp(&self.executor))
+    }
+}
+
+/// A task lost to a revocation, waiting to be re-scheduled.
+#[derive(Debug, Clone, Copy)]
+struct RetryTask {
+    stage: usize,
+    task: usize,
+    /// Remaining duration of the retry attempt (original duration minus any
+    /// checkpointed progress, plus the restart overhead).
+    remaining: f64,
+    /// Time of the earliest loss of this task (for recovery accounting).
+    lost_at: f64,
+}
+
 /// Reusable per-run simulation state. Collection loops that simulate many
 /// runs should allocate one scratch (per worker thread) and pass it to
 /// [`Simulator::run_with_scratch`]; all buffers are cleared, not freed,
@@ -271,6 +356,13 @@ pub struct SimScratch {
     completions: BinaryHeap<CompletionEvent>,
     /// Captured task records (only filled when the log is requested).
     records: Vec<TaskRecord>,
+    /// Pending executor revocations (empty without fault injection).
+    revocations: BinaryHeap<RevokeEvent>,
+    /// Lost tasks awaiting re-scheduling, FIFO by loss order.
+    retry: Vec<RetryTask>,
+    /// Loss count per task, flattened stage-major (sized only when the
+    /// fault plan is active).
+    task_retries: Vec<u32>,
 }
 
 impl SimScratch {
@@ -301,6 +393,9 @@ impl SimScratch {
         self.slot_heap.clear();
         self.completions.clear();
         self.records.clear();
+        self.revocations.clear();
+        self.retry.clear();
+        self.task_retries.clear();
 
         // Dependency bookkeeping: parent counts and child adjacency.
         for stage in dag.stages() {
@@ -389,23 +484,53 @@ impl Simulator {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         scratch.reset(dag);
 
+        // Fault-plan state. Every fault branch below is gated on
+        // `fault_active`, so an inactive plan leaves the event sequence —
+        // and therefore the output — bit-identical to a fault-unaware run.
+        let faults = cfg.faults;
+        let fault_active = faults.is_active();
+        let executors_per_node = self
+            .cluster
+            .node
+            .executors_per_node(&self.cluster.executor)
+            .max(1);
+        let mut fault_summary = FaultSummary::default();
+        let mut failure: Option<FailureReason> = None;
+
         // Materialise noisy task durations (stage-major, same generation
         // order as the original per-stage matrix). The cores-per-executor
         // penalty keeps ec≠4 configurations slightly off the ec=4 trend
-        // (Figure 5).
+        // (Figure 5). Straggler multipliers come from their own seed stream,
+        // consumed in the same stage-major order, so enabling them does not
+        // perturb the base noise draws.
         let ec_penalty = 1.0 + 0.02 * (ec as f64 - 4.0).abs();
+        let mut straggler_rng = if fault_active {
+            faults.straggler_rng()
+        } else {
+            None
+        };
         for stage in dag.stages() {
             scratch.stage_offsets.push(scratch.noisy.len());
             for task in &stage.tasks {
-                scratch
-                    .noisy
-                    .push(task.work_secs * ec_penalty * noise_factor(&mut rng, cfg.noise_cv));
+                let mut duration =
+                    task.work_secs * ec_penalty * noise_factor(&mut rng, cfg.noise_cv);
+                if let Some(srng) = straggler_rng.as_mut() {
+                    let factor = faults.straggler_factor(srng);
+                    if factor > 1.0 {
+                        fault_summary.stragglers += 1;
+                    }
+                    duration *= factor;
+                }
+                scratch.noisy.push(duration);
             }
         }
         scratch.stage_offsets.push(scratch.noisy.len());
 
         let num_stages = dag.num_stages();
         let total_tasks: usize = scratch.noisy.len();
+        if fault_active {
+            scratch.task_retries.resize(total_tasks, 0);
+        }
         // Root stages are ready immediately.
         for stage in 0..num_stages {
             if scratch.unfinished_parents[stage] == 0 {
@@ -465,6 +590,89 @@ impl Simulator {
                     usable_at: grant_event.usable_at,
                     executor: idx,
                 });
+                if fault_active {
+                    // Draw this executor's fate from its own seed streams:
+                    // a spot lifetime, and its node's failure time (shared
+                    // with every other executor on the node).
+                    schedule_revocation(
+                        &faults,
+                        &mut scratch.revocations,
+                        idx,
+                        grant_event.allocated_at,
+                        executors_per_node,
+                    );
+                }
+            }
+
+            // 1b. Process due revocations: announcements revoke the
+            // executor (and request a replacement), reaps at the end of the
+            // grace window lose whatever is still running on it.
+            if fault_active {
+                while scratch
+                    .revocations
+                    .peek()
+                    .is_some_and(|r| r.time <= time + 1e-9)
+                {
+                    let revoke = scratch.revocations.pop().expect("peeked revocation");
+                    match revoke.phase {
+                        RevokePhase::Announce => {
+                            let exec = &mut scratch.executors[revoke.executor];
+                            if exec.removed {
+                                continue; // already released by idle timeout
+                            }
+                            exec.removed = true;
+                            match revoke.kind {
+                                FaultKind::Preemption => fault_summary.preempted_executors += 1,
+                                FaultKind::NodeLoss => fault_summary.node_loss_executors += 1,
+                            }
+                            requested_target = requested_target.saturating_sub(1);
+                            if faults.reacquire {
+                                grant(
+                                    &mut scratch.pending,
+                                    &mut grant_seq,
+                                    &self.cluster,
+                                    time,
+                                    1,
+                                    &mut requested_target,
+                                    pool_cap,
+                                );
+                                fault_summary.replacements_requested += 1;
+                            }
+                            scratch.revocations.push(RevokeEvent {
+                                time: revoke.time + faults.grace_period_secs,
+                                executor: revoke.executor,
+                                phase: RevokePhase::Reap,
+                                kind: revoke.kind,
+                            });
+                        }
+                        RevokePhase::Reap => {
+                            failure = reap_executor(
+                                scratch,
+                                &faults,
+                                &mut fault_summary,
+                                revoke.executor,
+                                time,
+                            );
+                            if failure.is_some() {
+                                break;
+                            }
+                        }
+                    }
+                }
+                if failure.is_some() {
+                    break;
+                }
+                // With re-acquisition disabled, total capacity loss leaves
+                // unfinished work that can never run: fail fast instead of
+                // ticking to the simulation bound.
+                if scratch.completions.is_empty()
+                    && scratch.pending.is_empty()
+                    && !scratch.executors.is_empty()
+                    && scratch.executors.iter().all(|e| e.removed)
+                {
+                    failure = Some(FailureReason::ResourcesExhausted);
+                    break;
+                }
             }
             record_skyline(&mut skyline, time, &scratch.executors);
 
@@ -501,6 +709,33 @@ impl Simulator {
                     }
                 }
 
+                // Lost tasks are re-scheduled first (FIFO by loss order):
+                // they sit on the critical path of recovery.
+                if fault_active {
+                    while !scratch.retry.is_empty() {
+                        let Some(exec_idx) = pop_free_slot(scratch, ec, time) else {
+                            break;
+                        };
+                        let retry = scratch.retry.remove(0);
+                        let exec = &mut scratch.executors[exec_idx];
+                        exec.busy_slots += 1;
+                        if exec.busy_slots < ec {
+                            scratch.slot_heap.push((ec - exec.busy_slots, exec_idx));
+                        }
+                        scratch.completions.push(CompletionEvent {
+                            end_time: time + retry.remaining,
+                            seq: completion_seq,
+                            executor: exec_idx,
+                            stage: retry.stage,
+                            task: retry.task,
+                            start_time: time,
+                            duration: retry.remaining,
+                            lost_at: retry.lost_at,
+                        });
+                        completion_seq += 1;
+                    }
+                }
+
                 let mut ready_pos = 0;
                 while ready_pos < scratch.ready.len() {
                     let stage_idx = scratch.ready[ready_pos];
@@ -523,8 +758,10 @@ impl Simulator {
                             seq: completion_seq,
                             executor: exec_idx,
                             stage: stage_idx,
+                            task: task_idx,
                             start_time: time,
                             duration,
+                            lost_at: f64::NEG_INFINITY,
                         });
                         completion_seq += 1;
                         if scratch.next_task[stage_idx] == stage_size {
@@ -548,13 +785,16 @@ impl Simulator {
                 .pending
                 .peek()
                 .map_or(f64::INFINITY, |g| g.allocated_at);
-            let next_event = next_completion.min(next_online).min(next_tick).min(
-                if time < cfg.driver_overhead_secs {
+            let next_revocation = scratch.revocations.peek().map_or(f64::INFINITY, |r| r.time);
+            let next_event = next_completion
+                .min(next_online)
+                .min(next_revocation)
+                .min(next_tick)
+                .min(if time < cfg.driver_overhead_secs {
                     cfg.driver_overhead_secs
                 } else {
                     f64::INFINITY
-                },
-            );
+                });
             if !next_event.is_finite() {
                 // No runnable work and nothing scheduled to change: bail out
                 // (defensive; cannot happen with ≥1 executor kept alive).
@@ -570,6 +810,10 @@ impl Simulator {
             {
                 let task = scratch.completions.pop().expect("peeked completion");
                 finished_tasks += 1;
+                if task.lost_at.is_finite() {
+                    // A retry finishing: recovery trailed the loss by this.
+                    fault_summary.recovery_secs += task.end_time - task.lost_at;
+                }
                 scratch.completed_tasks[task.stage] += 1;
                 if scratch.completed_tasks[task.stage] == scratch.stage_size(task.stage) {
                     scratch.stage_done[task.stage] = true;
@@ -637,6 +881,16 @@ impl Simulator {
             }
         });
 
+        let outcome = match failure {
+            Some(reason) => RunOutcome::Failed(reason),
+            // Hitting the simulation bound with unfinished work means the
+            // run deadlocked (possible only under pathological fault plans).
+            None if finished_tasks < total_tasks => {
+                RunOutcome::Failed(FailureReason::ResourcesExhausted)
+            }
+            None => RunOutcome::Completed,
+        };
+
         QueryRunResult {
             query_name: query_name.to_string(),
             elapsed_secs: elapsed,
@@ -645,6 +899,8 @@ impl Simulator {
             auc_executor_secs: auc,
             total_task_secs,
             task_log,
+            outcome,
+            faults: fault_summary,
         }
     }
 
@@ -662,12 +918,14 @@ impl Simulator {
         predictive_requested: &mut bool,
         pool_cap: usize,
     ) {
-        // Pending tasks of ready (or running) stages.
+        // Pending tasks of ready (or running) stages, plus any lost tasks
+        // waiting to be re-scheduled (always empty without fault injection).
         let backlog: usize = scratch
             .ready
             .iter()
             .map(|&idx| scratch.stage_size(idx) - scratch.next_task[idx])
-            .sum();
+            .sum::<usize>()
+            + scratch.retry.len();
 
         match self.policy {
             AllocationPolicy::Static { .. } => {}
@@ -825,6 +1083,106 @@ fn remove_idle(executors: &mut [ExecutorState], time: f64, idle_timeout: f64, ke
 fn record_skyline(skyline: &mut Skyline, time: f64, executors: &[ExecutorState]) {
     let count = executors.iter().filter(|e| !e.removed).count();
     skyline.record(time, count);
+}
+
+/// Draws executor `idx`'s revocation time (the earlier of its spot lifetime
+/// and its node's failure time) and enqueues the announcement if finite.
+/// Both draws come from index-keyed seed streams, so the outcome does not
+/// depend on scheduling order, and executors mapped onto the same node
+/// share one node-failure draw (they die together).
+fn schedule_revocation(
+    plan: &FaultPlan,
+    revocations: &mut BinaryHeap<RevokeEvent>,
+    idx: usize,
+    online_at: f64,
+    executors_per_node: usize,
+) {
+    let mut revoke_at = f64::INFINITY;
+    let mut kind = FaultKind::Preemption;
+    let lifetime = plan.executor_lifetime(idx);
+    if lifetime.is_finite() {
+        revoke_at = online_at + lifetime;
+    }
+    let node_loss_at = plan.node_loss_time(idx / executors_per_node);
+    // A node that failed before this executor came online cannot kill it
+    // (replacements land on healthy capacity).
+    if node_loss_at > online_at && node_loss_at < revoke_at {
+        revoke_at = node_loss_at;
+        kind = FaultKind::NodeLoss;
+    }
+    if revoke_at.is_finite() {
+        revocations.push(RevokeEvent {
+            time: revoke_at,
+            executor: idx,
+            phase: RevokePhase::Announce,
+            kind,
+        });
+    }
+}
+
+/// Reaps a revoked executor at the end of its grace window: every task
+/// still running on it is lost and queued for retry with the restart cost
+/// implied by the plan's checkpoint fraction. Returns a failure when a
+/// task exceeds its retry cap.
+fn reap_executor(
+    scratch: &mut SimScratch,
+    plan: &FaultPlan,
+    summary: &mut FaultSummary,
+    executor: usize,
+    time: f64,
+) -> Option<FailureReason> {
+    if !scratch
+        .completions
+        .iter()
+        .any(|c| c.executor == executor && c.end_time > time + 1e-9)
+    {
+        return None;
+    }
+    // Rebuilding the heap is O(n), but reaps with in-flight tasks are rare
+    // relative to scheduling events.
+    let drained = std::mem::take(&mut scratch.completions).into_vec();
+    let mut kept = Vec::with_capacity(drained.len());
+    let mut lost = Vec::new();
+    for event in drained {
+        if event.executor == executor && event.end_time > time + 1e-9 {
+            lost.push(event);
+        } else {
+            kept.push(event);
+        }
+    }
+    scratch.completions = BinaryHeap::from(kept);
+    // Lost tasks re-enter the retry queue in scheduling order.
+    lost.sort_by_key(|a| a.seq);
+    let mut failure = None;
+    for event in lost {
+        let exec = &mut scratch.executors[event.executor];
+        exec.busy_slots = exec.busy_slots.saturating_sub(1);
+        let elapsed = (time - event.start_time).max(0.0);
+        let preserved = plan.checkpoint_fraction * elapsed;
+        summary.tasks_lost += 1;
+        summary.work_lost_secs += elapsed - preserved;
+        let flat = scratch.stage_offsets[event.stage] + event.task;
+        scratch.task_retries[flat] += 1;
+        if scratch.task_retries[flat] > plan.max_task_retries {
+            failure.get_or_insert(FailureReason::RetriesExhausted {
+                stage: event.stage,
+                task: event.task,
+            });
+            continue;
+        }
+        scratch.retry.push(RetryTask {
+            stage: event.stage,
+            task: event.task,
+            remaining: (event.duration - preserved).max(0.0) + plan.restart_overhead_secs,
+            // Recovery is measured from the first loss of the task.
+            lost_at: if event.lost_at.is_finite() {
+                event.lost_at
+            } else {
+                time
+            },
+        });
+    }
+    failure
 }
 #[cfg(test)]
 mod tests {

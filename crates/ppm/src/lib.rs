@@ -20,6 +20,9 @@
 //!   (cheapest `n` meeting a deadline, executor-seconds cost of a point).
 //! * [`cores`] — the total-cores view `k = n × ec` (Section 3.3) and the
 //!   executor-size factorization that minimizes stranded node resources.
+//! * [`risk`] — expected-runtime-under-preemption adjustment: selection on
+//!   spot-priced capacity prices the risk that larger `n` means more
+//!   exposure to revocation.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -28,12 +31,14 @@ pub mod cores;
 pub mod curve;
 pub mod fit;
 pub mod model;
+pub mod risk;
 pub mod selection;
 
 pub use cores::{factorize_total_cores, interpolate_by_cores, FactorizationConstraints};
 pub use curve::PerfCurve;
 pub use fit::{fit_amdahl, fit_power_law, FitError};
 pub use model::{ppms_from_flat, AmdahlPpm, PowerLawPpm, Ppm, PpmKind};
+pub use risk::PreemptionRisk;
 pub use selection::{
     cheapest_config, cost_at, deadline_config, elbow_point, min_time_config, price_for_deadline,
     slowdown_config, SelectionObjective,

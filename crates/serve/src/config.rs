@@ -2,9 +2,11 @@
 
 use std::time::Duration;
 
+use ae_ppm::risk::PreemptionRisk;
 use ae_ppm::selection::SelectionObjective;
 use autoexecutor::config::AutoExecutorConfig;
 
+use crate::breaker::BreakerConfig;
 use crate::qos::QosConfig;
 
 /// Tuning knobs of a [`crate::ScoringRuntime`].
@@ -42,6 +44,17 @@ pub struct RuntimeConfig {
     /// Service-level semantics: per-level deadline budgets, drain weights,
     /// pricing targets, and the optional per-tenant fairness policy.
     pub qos: QosConfig,
+    /// Optional circuit breaker for degraded-mode serving: on repeated
+    /// model failures (or scoring-budget breaches) the runtime falls back
+    /// to a heuristic sizing rule instead of erroring every request, then
+    /// probes its way back (see [`crate::breaker`]). `None` (the default)
+    /// disables the breaker — model errors surface to callers unchanged.
+    pub breaker: Option<BreakerConfig>,
+    /// Optional preemption-risk model applied before selection (the same
+    /// adjustment as [`autoexecutor::config::AutoExecutorConfig::preemption_risk`]):
+    /// predicted curves become expected runtime under revocation. `None`
+    /// keeps scoring bit-identical to the risk-unaware path.
+    pub preemption_risk: Option<PreemptionRisk>,
 }
 
 impl RuntimeConfig {
@@ -60,6 +73,8 @@ impl RuntimeConfig {
             objective: config.objective,
             candidate_counts: config.candidate_counts(),
             qos: QosConfig::default(),
+            breaker: None,
+            preemption_risk: config.preemption_risk,
         }
     }
 
@@ -80,6 +95,10 @@ impl RuntimeConfig {
             // Default QoS, fairness disabled: single-level traffic drains
             // strictly FIFO and stays bit-identical to the sequential rule.
             qos: QosConfig::default(),
+            // No breaker: degraded-mode fallback would make outcomes depend
+            // on model availability and timing.
+            breaker: None,
+            preemption_risk: config.preemption_risk,
         }
     }
 
@@ -123,6 +142,18 @@ impl RuntimeConfig {
     /// weights, pricing targets, tenant fairness).
     pub fn with_qos(mut self, qos: QosConfig) -> Self {
         self.qos = qos;
+        self
+    }
+
+    /// Enables the degraded-mode circuit breaker.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// Sets the preemption-risk model applied before selection.
+    pub fn with_preemption_risk(mut self, risk: PreemptionRisk) -> Self {
+        self.preemption_risk = Some(risk);
         self
     }
 

@@ -48,16 +48,26 @@
 //!
 //! Service levels never change *answers* — scoring stays a pure function
 //! of features and model — only queueing delay, shedding, and price.
+//!
+//! For fault tolerance the runtime adds a **degraded-mode serving path**
+//! (see [`breaker`] and `docs/faults.md`): an optional circuit breaker
+//! trips on repeated model failures or scoring-budget breaches and routes
+//! requests to a heuristic sizing rule instead of erroring them, marking
+//! each such answer [`ScoreOutcome::degraded`] and counting it in
+//! [`RuntimeStats::degraded`]; half-open probes restore the model path
+//! once it recovers.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod breaker;
 pub mod config;
 pub mod qos;
 pub mod runtime;
 pub mod stats;
 pub mod tenant;
 
+pub use breaker::BreakerConfig;
 pub use config::RuntimeConfig;
 pub use qos::{price_quote, price_quote_parts, PriceQuote, QosConfig, ServiceLevel};
 pub use runtime::{ScoreOutcome, ScoreRequest, ScoreTicket, ScoringRuntime};

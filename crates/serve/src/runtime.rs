@@ -36,6 +36,7 @@ use autoexecutor::scoring;
 use autoexecutor::training::ParameterModel;
 use parking_lot::RwLock;
 
+use crate::breaker::{heuristic_request, Breaker};
 use crate::config::RuntimeConfig;
 use crate::qos::{self, PriceQuote, PriorityQueues, QueuedRequest, ServiceLevel};
 use crate::stats::{RuntimeStats, StatsInner};
@@ -128,6 +129,10 @@ pub struct ScoreOutcome {
     /// (queueing delay + batching + scoring; excludes client-side
     /// featurization).
     pub latency: Duration,
+    /// True when the answer came from the heuristic fallback because the
+    /// circuit breaker had the model path open (degraded mode). Always
+    /// false when [`crate::RuntimeConfig::breaker`] is `None`.
+    pub degraded: bool,
     /// Pricing inputs captured from the runtime's QoS config so
     /// [`quote`](Self::quote) can derive the price lazily.
     quote_targets: [f64; ServiceLevel::COUNT],
@@ -155,6 +160,7 @@ pub(crate) struct Scored {
     pub(crate) request: ResourceRequest,
     pub(crate) missed_deadline: bool,
     pub(crate) latency: Duration,
+    pub(crate) degraded: bool,
 }
 
 /// A one-shot completion slot the submitting thread blocks on.
@@ -182,6 +188,27 @@ impl Completion {
                 .unwrap_or_else(|poison| poison.into_inner());
         }
     }
+
+    /// Like [`wait`](Self::wait), but gives up after `timeout` and returns
+    /// `None` — the slot stays armed, so a later wait can still redeem it.
+    fn wait_timeout(&self, timeout: Duration) -> Option<Result<Scored>> {
+        let deadline = Instant::now() + timeout.min(MAX_DEADLINE_BUDGET);
+        let mut guard = lock(&self.slot);
+        loop {
+            if let Some(result) = guard.take() {
+                return Some(result);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, _timed_out) = self
+                .ready
+                .wait_timeout(guard, deadline - now)
+                .unwrap_or_else(|poison| poison.into_inner());
+            guard = next;
+        }
+    }
 }
 
 /// Builds the client-facing outcome, capturing the pricing inputs so the
@@ -192,6 +219,7 @@ fn make_outcome(shared: &Shared, scored: Scored, level: ServiceLevel) -> ScoreOu
         level,
         missed_deadline: scored.missed_deadline,
         latency: scored.latency,
+        degraded: scored.degraded,
         quote_targets: shared.config.qos.slowdown_targets,
         quote_unit_price: shared.config.qos.unit_price,
     }
@@ -220,6 +248,20 @@ impl ScoreTicket {
     pub fn wait(self) -> Result<ScoreOutcome> {
         let scored = self.done.wait()?;
         Ok(make_outcome(&self.shared, scored, self.level))
+    }
+
+    /// Like [`wait`](Self::wait), but gives up after `timeout`: the outer
+    /// `Err` hands the (still-live) ticket back so the caller can retry,
+    /// do other work, or drop it. The request itself is unaffected — it
+    /// will still be scored, and a later `wait` still redeems the result.
+    pub fn wait_timeout(
+        self,
+        timeout: Duration,
+    ) -> std::result::Result<Result<ScoreOutcome>, ScoreTicket> {
+        match self.done.wait_timeout(timeout) {
+            Some(result) => Ok(result.map(|scored| make_outcome(&self.shared, scored, self.level))),
+            None => Err(self),
+        }
     }
 }
 
@@ -267,6 +309,9 @@ struct Shared {
     /// new model **once** here — never per batch — and every drain-loop
     /// batch runs the compiled batch-major kernel.
     model: RwLock<Option<(Arc<PortableModel>, Arc<ParameterModel>)>>,
+    /// The degraded-mode circuit breaker (present only when the config
+    /// enables it; see [`crate::breaker`]).
+    breaker: Option<Breaker>,
     stats: StatsInner,
 }
 
@@ -295,78 +340,185 @@ impl Shared {
         Ok(decoded)
     }
 
-    fn score_one(&self, features: &[f64]) -> Result<ResourceRequest> {
+    /// The raw model path for one request: resolve, predict, select (with
+    /// the configured risk adjustment). No breaker involvement.
+    fn model_score_one(&self, features: &[f64]) -> Result<ResourceRequest> {
         let model = self.resolve_model()?;
-        scoring::score_features(
+        scoring::score_features_with_risk(
             &model,
             features,
             self.config.objective,
             &self.config.candidate_counts,
+            self.config.preemption_risk.as_ref(),
         )
         .map(|scored| scored.request)
         .map_err(|e| ServeError::Scoring(e.to_string()))
     }
 
+    /// The heuristic fallback for one request (degraded mode).
+    fn fallback_one(&self, features: &[f64]) -> Result<ResourceRequest> {
+        heuristic_request(
+            features,
+            self.config.objective,
+            &self.config.candidate_counts,
+        )
+    }
+
+    /// Records a breaker failure, counting the trip if this one opened it.
+    fn breaker_failure(&self, breaker: &Breaker) {
+        if breaker.record_failure(Instant::now()) {
+            self.stats.record_breaker_trip();
+        }
+    }
+
+    /// Scores one request through the breaker-guarded model path. The
+    /// returned flag marks a degraded (fallback-served) answer. Without a
+    /// breaker this is exactly the model path.
+    fn score_one(&self, features: &[f64]) -> Result<(ResourceRequest, bool)> {
+        let Some(breaker) = &self.breaker else {
+            return self.model_score_one(features).map(|r| (r, false));
+        };
+        if !breaker.allow_model(Instant::now()) {
+            return self.fallback_one(features).map(|r| (r, true));
+        }
+        let begin = Instant::now();
+        match self.model_score_one(features) {
+            Ok(request) => {
+                if breaker.over_budget(begin.elapsed()) {
+                    // The answer is correct, only late: use it, but let the
+                    // slowness count toward tripping the breaker.
+                    self.breaker_failure(breaker);
+                } else {
+                    breaker.record_success();
+                }
+                Ok((request, false))
+            }
+            Err(_) => {
+                self.breaker_failure(breaker);
+                self.fallback_one(features).map(|r| (r, true))
+            }
+        }
+    }
+
     /// Fulfills one batched request, recording its level's deadline
-    /// hit/miss at fulfillment time.
-    fn fulfill(&self, queued: &QueuedRequest, result: Result<ResourceRequest>, now: Instant) {
+    /// hit/miss (and degraded service) at fulfillment time.
+    fn fulfill(
+        &self,
+        queued: &QueuedRequest,
+        result: Result<ResourceRequest>,
+        degraded: bool,
+        now: Instant,
+    ) {
         match result {
             Ok(request) => {
                 let missed = now > queued.deadline;
                 self.stats.record_level_completed(queued.level, missed);
+                if degraded {
+                    self.stats.record_degraded();
+                }
                 queued.done.fulfill(Ok(Scored {
                     request,
                     missed_deadline: missed,
                     latency: now.saturating_duration_since(queued.admitted_at),
+                    degraded,
                 }));
             }
             Err(e) => queued.done.fulfill(Err(e)),
         }
     }
 
-    /// Scores one drained batch and fulfills every completion.
+    /// The raw model path for a multi-request batch: resolve once, lay the
+    /// rows out in `matrix`, run the batched kernel.
+    fn model_score_batch(
+        &self,
+        matrix: &mut FeatureMatrix,
+        batch: &[QueuedRequest],
+    ) -> Result<Vec<ResourceRequest>> {
+        let model = self.resolve_model()?;
+        matrix.clear();
+        for request in batch {
+            matrix
+                .push_row(&request.features)
+                .expect("featurize_plan emits fixed-width rows");
+        }
+        scoring::score_feature_batch_with_risk(
+            &model,
+            matrix,
+            self.config.objective,
+            &self.config.candidate_counts,
+            self.config.preemption_risk.as_ref(),
+        )
+        .map_err(|e| ServeError::Scoring(e.to_string()))
+    }
+
+    /// Serves a whole batch from the heuristic fallback (degraded mode).
+    /// The heuristic fails only on an empty candidate range, which is
+    /// uniform across rows, so the batch is counted failed iff every row is.
+    fn fallback_batch(&self, batch: &[QueuedRequest]) {
+        let results: Vec<Result<ResourceRequest>> = batch
+            .iter()
+            .map(|request| self.fallback_one(&request.features))
+            .collect();
+        let failed = results.iter().all(|r| r.is_err());
+        self.stats.record_batch(batch.len(), failed);
+        let now = Instant::now();
+        for (request, result) in batch.iter().zip(results) {
+            self.fulfill(request, result, true, now);
+        }
+    }
+
+    /// Fails a whole batch with one error.
+    fn fail_batch(&self, batch: &[QueuedRequest], error: ServeError) {
+        self.stats.record_batch(batch.len(), true);
+        for request in batch {
+            request.done.fulfill(Err(error.clone()));
+        }
+    }
+
+    /// Scores one drained batch and fulfills every completion. The breaker
+    /// (when configured) gates the whole batch: one model call, one
+    /// success/failure observation.
     fn process_batch(&self, matrix: &mut FeatureMatrix, batch: Vec<QueuedRequest>) {
         debug_assert!(!batch.is_empty());
         if batch.len() == 1 {
             let result = self.score_one(&batch[0].features);
             self.stats.record_batch(1, result.is_err());
-            self.fulfill(&batch[0], result, Instant::now());
+            match result {
+                Ok((request, degraded)) => {
+                    self.fulfill(&batch[0], Ok(request), degraded, Instant::now())
+                }
+                Err(e) => self.fulfill(&batch[0], Err(e), false, Instant::now()),
+            }
             return;
         }
-        let model = match self.resolve_model() {
-            Ok(model) => model,
-            Err(e) => {
-                self.stats.record_batch(batch.len(), true);
-                for request in &batch {
-                    request.done.fulfill(Err(e.clone()));
-                }
+        if let Some(breaker) = &self.breaker {
+            if !breaker.allow_model(Instant::now()) {
+                self.fallback_batch(&batch);
                 return;
             }
-        };
-        matrix.clear();
-        for request in &batch {
-            matrix
-                .push_row(&request.features)
-                .expect("featurize_plan emits fixed-width rows");
         }
-        match scoring::score_feature_batch(
-            &model,
-            matrix,
-            self.config.objective,
-            &self.config.candidate_counts,
-        ) {
+        let begin = Instant::now();
+        match self.model_score_batch(matrix, &batch) {
             Ok(requests) => {
+                if let Some(breaker) = &self.breaker {
+                    if breaker.over_budget(begin.elapsed()) {
+                        self.breaker_failure(breaker);
+                    } else {
+                        breaker.record_success();
+                    }
+                }
                 self.stats.record_batch(batch.len(), false);
                 let now = Instant::now();
                 for (request, outcome) in batch.iter().zip(requests) {
-                    self.fulfill(request, Ok(outcome), now);
+                    self.fulfill(request, Ok(outcome), false, now);
                 }
             }
             Err(e) => {
-                self.stats.record_batch(batch.len(), true);
-                let err = ServeError::Scoring(e.to_string());
-                for request in &batch {
-                    request.done.fulfill(Err(err.clone()));
+                if let Some(breaker) = &self.breaker {
+                    self.breaker_failure(breaker);
+                    self.fallback_batch(&batch);
+                } else {
+                    self.fail_batch(&batch, e);
                 }
             }
         }
@@ -473,6 +625,7 @@ impl ScoringRuntime {
             shutdown: AtomicBool::new(false),
             governor: config.qos.fairness.map(TenantGovernor::new),
             model: RwLock::new(None),
+            breaker: config.breaker.clone().map(Breaker::new),
             stats: StatsInner::new(config.max_batch),
             config,
         });
@@ -747,17 +900,21 @@ impl ScoringRuntime {
         let result = self.shared.score_one(&features);
         self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
         match result {
-            Ok(request) => {
+            Ok((request, degraded)) => {
                 self.shared.stats.record_inline();
                 let now = Instant::now();
                 let missed = now > deadline;
                 self.shared.stats.record_level_completed(level, missed);
+                if degraded {
+                    self.shared.stats.record_degraded();
+                }
                 Ok(make_outcome(
                     &self.shared,
                     Scored {
                         request,
                         missed_deadline: missed,
                         latency: now.saturating_duration_since(begin),
+                        degraded,
                     },
                     level,
                 ))

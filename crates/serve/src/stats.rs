@@ -20,6 +20,8 @@ pub(crate) struct StatsInner {
     level_shed: [AtomicU64; ServiceLevel::COUNT],
     demoted: AtomicU64,
     throttled: AtomicU64,
+    degraded: AtomicU64,
+    breaker_trips: AtomicU64,
     /// `histogram[i]` counts worker batches of size `i + 1`; sizes beyond
     /// the vector (after a config change) land in the last bucket.
     histogram: StdMutex<Vec<u64>>,
@@ -84,6 +86,17 @@ impl StatsInner {
         self.throttled.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One request answered by the heuristic fallback (degraded mode).
+    pub(crate) fn record_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The circuit breaker tripped open (threshold reached or a half-open
+    /// probe failed).
+    pub(crate) fn record_breaker_trip(&self) {
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> RuntimeStats {
         fn load(counters: &[AtomicU64; ServiceLevel::COUNT]) -> [u64; ServiceLevel::COUNT] {
             std::array::from_fn(|i| counters[i].load(Ordering::Relaxed))
@@ -104,6 +117,8 @@ impl StatsInner {
             }),
             demoted: self.demoted.load(Ordering::Relaxed),
             throttled: self.throttled.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
             batch_size_histogram: self
                 .histogram
                 .lock()
@@ -155,6 +170,13 @@ pub struct RuntimeStats {
     pub demoted: u64,
     /// Requests rejected outright by the tenant governor.
     pub throttled: u64,
+    /// Requests answered by the heuristic fallback while the circuit
+    /// breaker bypassed the model path (degraded mode). These also count
+    /// in `completed` — degraded requests still succeed.
+    pub degraded: u64,
+    /// Times the circuit breaker tripped open (including failed half-open
+    /// probes).
+    pub breaker_trips: u64,
     /// `batch_size_histogram[i]` = number of worker batches of size `i + 1`.
     pub batch_size_histogram: Vec<u64>,
 }
@@ -187,6 +209,8 @@ impl RuntimeStats {
         delta.errors -= before.errors;
         delta.demoted -= before.demoted;
         delta.throttled -= before.throttled;
+        delta.degraded -= before.degraded;
+        delta.breaker_trips -= before.breaker_trips;
         for (level, earlier) in delta.levels.iter_mut().zip(&before.levels) {
             level.completed -= earlier.completed;
             level.deadline_misses -= earlier.deadline_misses;

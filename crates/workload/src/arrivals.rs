@@ -230,6 +230,33 @@ impl ClosedLoop {
     }
 }
 
+/// Deterministic per-`(query, repeat)` fault-plan seeds for sweeps that
+/// inject faults (`ae-engine`'s `FaultPlan`) across a suite.
+///
+/// Each cell of a `queries × repeats` grid gets its own independent seed
+/// stream derived from one base seed, so fault draws never depend on sweep
+/// order, repeat count, or which queries are included — the same
+/// properties the arrival processes above guarantee for their streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSeeds {
+    /// Base seed all per-cell streams derive from.
+    pub base: u64,
+}
+
+impl FaultSeeds {
+    /// Creates the seed family.
+    pub fn new(base: u64) -> Self {
+        Self { base }
+    }
+
+    /// The fault-plan seed of one `(query_index, repeat)` cell. Streams
+    /// are disjoint for any suite of up to 2^32 queries and 2^32 repeats.
+    pub fn seed_for(&self, query_index: usize, repeat: usize) -> u64 {
+        let stream = ((query_index as u64) << 32) | (repeat as u64 & 0xFFFF_FFFF);
+        derive_stream_seed(self.base, stream)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +334,19 @@ mod tests {
     #[should_panic(expected = "positive weight")]
     fn all_zero_mix_is_rejected() {
         WeightedMix::new(vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn fault_seeds_are_deterministic_and_disjoint() {
+        let seeds = FaultSeeds::new(0xFA);
+        assert_eq!(seeds.seed_for(3, 1), seeds.seed_for(3, 1));
+        let mut all = std::collections::HashSet::new();
+        for q in 0..8 {
+            for r in 0..4 {
+                assert!(all.insert(seeds.seed_for(q, r)), "cell ({q},{r}) collides");
+            }
+        }
+        assert_ne!(seeds.seed_for(0, 1), FaultSeeds::new(0xFB).seed_for(0, 1));
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod generator;
 pub mod production;
 pub mod templates;
 
-pub use arrivals::{Arrival, ClosedLoop, OpenLoop, TaggedArrival, WeightedMix};
+pub use arrivals::{Arrival, ClosedLoop, FaultSeeds, OpenLoop, TaggedArrival, WeightedMix};
 pub use families::skew::SKEW_QUERY_COUNT;
 pub use families::tpcds::{template_for, tpcds_query_names, tpcds_templates, TPCDS_QUERY_COUNT};
 pub use families::tpch::TPCH_QUERY_COUNT;

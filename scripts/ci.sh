@@ -11,10 +11,14 @@
 # least the interpreted baseline's), a QoS smoke (tagged open-loop phases: finite
 # miss/shed rates, the Interactive deadline budget holding at moderate
 # load, Interactive p99 < BestEffort p99 under overload, and no tenant
-# starvation), and a cross-family
+# starvation), a cross-family
 # generalization smoke (train on the TPC-DS-like family, score the
 # TPC-H-like and skew-adversarial ones, assert the accuracy matrix is
-# complete and finite). Pass --full to also run the full bench suite (slow).
+# complete and finite), and a fault smoke (zero-fault injection is
+# bit-identical to the fault-unaware scheduler, >= 99% of queries complete
+# via retry at moderate preemption, and the serving circuit breaker trips
+# to the heuristic fallback and recovers). Pass --full to also run the
+# full bench suite (slow).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,6 +52,9 @@ cargo run --offline --release -p ae-bench --bin bench_qos -- --smoke
 
 echo "==> generalization smoke (train tpcds, score tpch + skew; asserts a full finite matrix)"
 cargo run --offline --release -p ae-bench --bin bench_generalization -- --smoke --json "$(mktemp -t generalization-smoke.XXXXXX.json)"
+
+echo "==> fault smoke (zero-fault pin bit-identical, >= 99% completion via retry at moderate preemption, breaker trips to the heuristic fallback and recovers)"
+cargo run --offline --release -p ae-bench --bin bench_faults -- --smoke --json "$(mktemp -t faults-smoke.XXXXXX.json)"
 
 if [[ "${1:-}" == "--full" ]]; then
     echo "==> full bench suite"
