@@ -47,9 +47,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ae_engine::plan::QueryPlan;
+use ae_obs::{AtomicHistogram, Ladder, LatencyStats, ShardedHistogram};
 use ae_serve::{
-    LatencyRecorder, LatencySummary, LevelStats, QosConfig, RuntimeConfig, ScoreRequest,
-    ScoringRuntime, ServeError, ServiceLevel, TenantId, TenantPolicy,
+    LevelStats, QosConfig, RuntimeConfig, ScoreRequest, ScoringRuntime, ServeError, ServiceLevel,
+    TenantId, TenantPolicy,
 };
 use ae_workload::{
     ClosedLoop, OpenLoop, ScaleFactor, TaggedArrival, WeightedMix, WorkloadGenerator,
@@ -137,7 +138,7 @@ fn parse_args() -> Args {
 #[derive(Debug, Clone, Default)]
 struct LevelResult {
     offered: u64,
-    latency: LatencySummary,
+    latency: LatencyStats,
     stats: LevelStats,
 }
 
@@ -188,11 +189,11 @@ fn print_phase(phase: &PhaseResult) {
 /// *served* level (demotions count against `BestEffort`, not the requested
 /// level) unless the ticket belongs to the warm-up prefix, and ignores
 /// shed/shutdown results (the runtime's counters account them).
-fn redeem(recorders: &mut [LatencyRecorder; 3], record: bool, ticket: ae_serve::ScoreTicket) {
+fn redeem(histograms: &[ShardedHistogram; 3], record: bool, ticket: ae_serve::ScoreTicket) {
     match ticket.wait() {
         Ok(outcome) => {
             if record {
-                recorders[outcome.level.index()].record(outcome.latency);
+                histograms[outcome.level.index()].record_duration(outcome.latency);
             }
         }
         Err(ServeError::Shed) | Err(ServeError::ShutDown) => {}
@@ -217,26 +218,29 @@ fn redeem(recorders: &mut [LatencyRecorder; 3], record: bool, ticket: ae_serve::
 /// per-level percentiles describe. Latency is the runtime's own
 /// admission-to-fulfillment measurement in both modes.
 ///
-/// Returns per-level recorders, per-level offered counts, and the elapsed
-/// wall-clock.
+/// Returns per-level latency summaries, per-level offered counts, and the
+/// elapsed wall-clock. Latencies land in shared per-level lock-free
+/// [`ShardedHistogram`]s — no per-thread sample vectors to merge.
 fn drive_tagged_open_loop(
     threads: usize,
     schedule: Arc<Vec<TaggedArrival>>,
     plans: Arc<Vec<QueryPlan>>,
     runtime: Arc<ScoringRuntime>,
     blocking: bool,
-) -> ([LatencyRecorder; 3], [u64; 3], Duration) {
+) -> ([LatencyStats; 3], [u64; 3], Duration) {
     const OUTSTANDING_WINDOW: usize = 4096;
     let warmup = if blocking { 0 } else { schedule.len() / 4 };
     let start = Instant::now();
+    let histograms: Arc<[ShardedHistogram; 3]> = Arc::new(std::array::from_fn(|_| {
+        ShardedHistogram::new(Ladder::latency())
+    }));
     let handles: Vec<_> = (0..threads)
         .map(|t| {
             let schedule = Arc::clone(&schedule);
             let plans = Arc::clone(&plans);
             let runtime = Arc::clone(&runtime);
+            let histograms = Arc::clone(&histograms);
             std::thread::spawn(move || {
-                let mut recorders: [LatencyRecorder; 3] =
-                    std::array::from_fn(|_| LatencyRecorder::new());
                 let mut offered = [0u64; 3];
                 let mut outstanding: std::collections::VecDeque<(bool, ae_serve::ScoreTicket)> =
                     std::collections::VecDeque::new();
@@ -252,7 +256,9 @@ fn drive_tagged_open_loop(
                     offered[arrival.level_index] += 1;
                     if blocking {
                         match runtime.submit(request) {
-                            Ok(outcome) => recorders[outcome.level.index()].record(outcome.latency),
+                            Ok(outcome) => {
+                                histograms[outcome.level.index()].record_duration(outcome.latency)
+                            }
                             Err(ServeError::Shed) => {}
                             Err(other) => panic!("unexpected serving error: {other}"),
                         }
@@ -264,29 +270,26 @@ fn drive_tagged_open_loop(
                         }
                         if outstanding.len() >= OUTSTANDING_WINDOW {
                             let (record, ticket) = outstanding.pop_front().unwrap();
-                            redeem(&mut recorders, record, ticket);
+                            redeem(&histograms, record, ticket);
                         }
                     }
                 }
                 for (record, ticket) in outstanding {
-                    redeem(&mut recorders, record, ticket);
+                    redeem(&histograms, record, ticket);
                 }
-                (recorders, offered)
+                offered
             })
         })
         .collect();
-    let mut merged: [LatencyRecorder; 3] = std::array::from_fn(|_| LatencyRecorder::new());
     let mut offered = [0u64; 3];
     for handle in handles {
-        let (recorders, counts) = handle.join().unwrap();
-        for (into, from) in merged.iter_mut().zip(recorders) {
-            into.merge(from);
-        }
+        let counts = handle.join().unwrap();
         for (into, from) in offered.iter_mut().zip(counts) {
             *into += from;
         }
     }
-    (merged, offered, start.elapsed())
+    let latencies = std::array::from_fn(|i| histograms[i].snapshot().latency_stats());
+    (latencies, offered, start.elapsed())
 }
 
 /// Runs one open-loop phase and assembles per-level results from the
@@ -311,20 +314,20 @@ fn run_phase(
         &tenants,
     ));
     let before = runtime.stats();
-    let (recorders, offered, elapsed) = drive_tagged_open_loop(
+    let (latencies, offered, elapsed) = drive_tagged_open_loop(
         threads,
         schedule,
         Arc::clone(plans),
         Arc::clone(runtime),
         blocking,
     );
-    let delta = runtime.stats().delta_since(&before);
     let mut per_level: [LevelResult; 3] = Default::default();
-    for (i, recorder) in recorders.into_iter().enumerate() {
+    let delta = runtime.stats().delta_since(&before);
+    for (i, latency) in latencies.into_iter().enumerate() {
         let level = ServiceLevel::from_index(i).expect("per-level arrays use index order");
         per_level[i] = LevelResult {
             offered: offered[i],
-            latency: recorder.summarize(),
+            latency,
             stats: *delta.level(level),
         };
     }
@@ -412,7 +415,7 @@ fn run_fairness_phase(
     // unbounded wait (hanging the bench), an error, or huge latency — so
     // besides requiring every submit to return Ok at the requested level,
     // the smoke bounds the in-rate tenant's p99 below.
-    let mut light_recorder = LatencyRecorder::new();
+    let light_histogram = AtomicHistogram::new(Ladder::latency());
     let (mut light_offered, mut light_completed) = (0u64, 0u64);
     while light_offered < LIGHT_REQUESTS as u64 {
         light_offered += 1;
@@ -424,7 +427,7 @@ fn run_fairness_phase(
             )
             .expect("the in-rate tenant must never be starved");
         assert_eq!(outcome.level, ServiceLevel::Standard, "no demotion in-rate");
-        light_recorder.record(outcome.latency);
+        light_histogram.record_duration(outcome.latency);
         light_completed += 1;
         std::thread::sleep(Duration::from_millis(2));
     }
@@ -446,7 +449,7 @@ fn run_fairness_phase(
         shed: stats.shed(),
         light_offered,
         light_completed,
-        light_p99: light_recorder.summarize().p99,
+        light_p99: light_histogram.snapshot().latency_stats().p99,
     }
 }
 

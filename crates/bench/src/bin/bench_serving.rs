@@ -24,10 +24,13 @@
 //! cargo run --release -p ae-bench --bin bench_serving -- --smoke # CI gate
 //! cargo run --release -p ae-bench --bin bench_serving -- --json BENCH_serving.json
 //! cargo run --release -p ae-bench --bin bench_serving -- --family mixed
+//! cargo run --release -p ae-bench --bin bench_serving -- --obs  # with observability
 //! ```
 //!
 //! `--smoke` shortens every phase and exits non-zero unless the runtime
 //! sustained qps > 0 with zero dropped requests and zero errors.
+//! `--obs` attaches an `ae-obs` metrics registry and event sink to the
+//! runtime (the overhead A/B lives in `bench_obs`).
 //! `--family` selects which workload family's suite is trained on and
 //! replayed (`tpcds` by default, any registered family key, or `mixed` for
 //! a request stream spanning every builtin family).
@@ -37,7 +40,8 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ae_engine::plan::QueryPlan;
-use ae_serve::{LatencyRecorder, LatencySummary, RuntimeConfig, RuntimeStats, ScoringRuntime};
+use ae_obs::{Ladder, LatencyStats, MetricsRegistry, ShardedHistogram};
+use ae_serve::{ObsConfig, RuntimeConfig, RuntimeStats, ScoringRuntime};
 use ae_workload::{
     mixed_suite, ClosedLoop, FamilyRegistry, OpenLoop, QueryInstance, ScaleFactor,
     WorkloadGenerator,
@@ -52,6 +56,7 @@ struct Args {
     seconds: f64,
     family: String,
     json: Option<String>,
+    obs: bool,
 }
 
 fn parse_args() -> Args {
@@ -61,11 +66,13 @@ fn parse_args() -> Args {
         seconds: 4.0,
         family: "tpcds".to_string(),
         json: None,
+        obs: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => args.smoke = true,
+            "--obs" => args.obs = true,
             "--threads" => {
                 args.threads = it
                     .next()
@@ -117,7 +124,7 @@ struct ModeResult {
     detail: &'static str,
     requests: u64,
     elapsed: Duration,
-    latency: LatencySummary,
+    latency: LatencyStats,
     stats: Option<RuntimeStats>,
 }
 
@@ -151,44 +158,43 @@ fn print_mode(mode: &ModeResult) {
 }
 
 /// Runs `threads` client threads against `work` until the deadline; each
-/// call to `work` scores one request and its latency is recorded.
+/// call to `work` scores one request and its latency lands in a shared
+/// lock-free [`ShardedHistogram`] (no per-thread sample vectors to merge).
 fn drive_closed_loop(
     threads: usize,
     duration: Duration,
     plans: Arc<Vec<QueryPlan>>,
     sequences: Vec<Vec<usize>>,
     work: Arc<dyn Fn(&QueryPlan) + Send + Sync>,
-) -> (u64, Duration, LatencySummary) {
+) -> (u64, Duration, LatencyStats) {
     let start = Instant::now();
+    let histogram = Arc::new(ShardedHistogram::new(Ladder::latency()));
     let handles: Vec<_> = (0..threads)
         .map(|t| {
             let plans = Arc::clone(&plans);
             let sequence = sequences[t % sequences.len()].clone();
             let work = Arc::clone(&work);
+            let histogram = Arc::clone(&histogram);
             std::thread::spawn(move || {
-                let mut recorder = LatencyRecorder::with_capacity(4096);
                 let mut count = 0u64;
                 let mut i = 0usize;
                 while start.elapsed() < duration {
                     let plan = &plans[sequence[i % sequence.len()]];
                     let begin = Instant::now();
                     work(plan);
-                    recorder.record(begin.elapsed());
+                    histogram.record_duration(begin.elapsed());
                     count += 1;
                     i += 1;
                 }
-                (count, recorder)
+                count
             })
         })
         .collect();
     let mut total = 0u64;
-    let mut merged = LatencyRecorder::new();
     for handle in handles {
-        let (count, recorder) = handle.join().unwrap();
-        total += count;
-        merged.merge(recorder);
+        total += handle.join().unwrap();
     }
-    (total, start.elapsed(), merged.summarize())
+    (total, start.elapsed(), histogram.snapshot().latency_stats())
 }
 
 /// Replays an open-loop schedule: thread `t` handles every `threads`-th
@@ -198,15 +204,16 @@ fn drive_open_loop(
     schedule: Arc<Vec<ae_workload::Arrival>>,
     plans: Arc<Vec<QueryPlan>>,
     runtime: Arc<ScoringRuntime>,
-) -> (u64, Duration, LatencySummary) {
+) -> (u64, Duration, LatencyStats) {
     let start = Instant::now();
+    let histogram = Arc::new(ShardedHistogram::new(Ladder::latency()));
     let handles: Vec<_> = (0..threads)
         .map(|t| {
             let schedule = Arc::clone(&schedule);
             let plans = Arc::clone(&plans);
             let runtime = Arc::clone(&runtime);
+            let histogram = Arc::clone(&histogram);
             std::thread::spawn(move || {
-                let mut recorder = LatencyRecorder::with_capacity(schedule.len() / threads + 1);
                 let mut count = 0u64;
                 for arrival in schedule.iter().skip(t).step_by(threads) {
                     if let Some(wait) = arrival.at.checked_sub(start.elapsed()) {
@@ -216,21 +223,18 @@ fn drive_open_loop(
                     runtime
                         .score(&plans[arrival.query_index])
                         .expect("open-loop scoring");
-                    recorder.record(begin.elapsed());
+                    histogram.record_duration(begin.elapsed());
                     count += 1;
                 }
-                (count, recorder)
+                count
             })
         })
         .collect();
     let mut total = 0u64;
-    let mut merged = LatencyRecorder::new();
     for handle in handles {
-        let (count, recorder) = handle.join().unwrap();
-        total += count;
-        merged.merge(recorder);
+        total += handle.join().unwrap();
     }
-    (total, start.elapsed(), merged.summarize())
+    (total, start.elapsed(), histogram.snapshot().latency_stats())
 }
 
 fn write_json(path: &str, threads: usize, modes: &[ModeResult], speedup: f64) {
@@ -380,10 +384,16 @@ fn main() {
     print_mode(&cached);
 
     // --- Mode 3: the ae-serve runtime under closed-loop load. ---
+    let metrics = Arc::new(MetricsRegistry::new());
+    let mut runtime_config = RuntimeConfig::from_auto_executor(&config);
+    if args.obs {
+        runtime_config = runtime_config.with_observability(ObsConfig::new(Arc::clone(&metrics)));
+        println!("==> observability ENABLED (metrics registry + event sink attached)");
+    }
     let runtime = Arc::new(ScoringRuntime::new(
         Arc::clone(&registry),
         "serving",
-        RuntimeConfig::from_auto_executor(&config),
+        runtime_config,
     ));
     runtime.warm().expect("model warm-up");
     let closed = {
@@ -434,6 +444,17 @@ fn main() {
     print_mode(&open);
 
     let final_stats = runtime.stats();
+    if args.obs {
+        let obs = runtime.observability().expect("obs enabled");
+        let events = obs.events().snapshot();
+        let snap = metrics.snapshot();
+        println!(
+            "==> obs: {} events retained, {} registry metrics, completed counter {:?}",
+            events.len(),
+            snap.values().len(),
+            snap.counter("serve.completed"),
+        );
+    }
     let speedup = closed.qps() / naive.qps().max(1e-9);
     println!(
         "==> ae_serve_closed_loop vs naive_one_at_a_time: {speedup:.1}x sustained qps at {} client threads",

@@ -22,6 +22,9 @@
 //! * [`skyline`] — skyline representation and the `AUC` (executor-seconds)
 //!   metric.
 //! * [`session`] — multi-query interactive applications (Figure 7).
+//! * [`obs`] — opt-in observability: cross-run fault counters and typed
+//!   fault events on the simulated clock
+//!   ([`Simulator::run_observed`](scheduler::Simulator::run_observed)).
 //!
 //! The simulator's timing comes from task-level scheduling (critical paths,
 //! slot contention, ramp-up lag, noise), *not* from the closed-form PPM
@@ -34,6 +37,7 @@
 pub mod allocation;
 pub mod cluster;
 pub mod faults;
+pub mod obs;
 pub mod plan;
 pub mod scheduler;
 pub mod session;
@@ -43,6 +47,7 @@ pub mod stage;
 pub use allocation::{AllocationPolicy, DynamicAllocationConfig};
 pub use cluster::{AllocationLag, ClusterConfig, ExecutorSpec, NodeSpec};
 pub use faults::{FailureReason, FaultKind, FaultPlan, FaultSummary, RunOutcome};
+pub use obs::{EngineObs, FaultCounters};
 pub use plan::{OperatorKind, PlanNode, PlanStats, QueryPlan};
 pub use scheduler::{QueryRunResult, RunConfig, Simulator};
 pub use session::{ApplicationSession, QuerySubmission, SessionResult};

@@ -1,0 +1,226 @@
+//! Observability for the execution simulator: fault counters that
+//! survive across runs, and typed fault events on the simulated clock.
+//!
+//! A [`crate::FaultSummary`] is per-run and is dropped with its
+//! [`crate::QueryRunResult`]; collection loops that simulate thousands
+//! of runs lose the aggregate fault picture. [`EngineObs`] fixes both
+//! halves:
+//!
+//! * [`FaultCounters`] accumulate every summary field (and run
+//!   outcomes) monotonically across runs, either detached or registered
+//!   in an [`ae_obs::MetricsRegistry`] under a name prefix
+//!   (`engine.runs`, `engine.tasks_lost`, `engine.work_lost_us`, …).
+//!   Fractional seconds are exported as integer microseconds.
+//! * The [`EventSink`] records revocations, reaps, retries, straggler
+//!   draws, and run outcomes as typed events stamped with **simulated
+//!   time** (seconds scaled to nanoseconds), so the fault timeline of a
+//!   run can be exported and correlated with serving-side events.
+//!
+//! Pass an `EngineObs` to [`crate::Simulator::run_observed`]; the plain
+//! [`crate::Simulator::run`] / [`crate::Simulator::run_with_scratch`]
+//! paths stay uninstrumented and bit-identical to previous releases.
+
+use std::sync::Arc;
+
+use ae_obs::{Counter, EventSink, MetricsRegistry};
+
+use crate::faults::{FaultSummary, RunOutcome};
+
+/// Converts simulated seconds to the integer microseconds used by the
+/// exported counters (saturating, clamped at zero).
+fn secs_to_us(secs: f64) -> u64 {
+    if secs <= 0.0 {
+        return 0;
+    }
+    let us = secs * 1e6;
+    if us >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        us as u64
+    }
+}
+
+/// Monotonic fault accounting across simulated runs — the cross-run
+/// aggregate of [`FaultSummary`], plus run outcomes.
+#[derive(Debug, Clone)]
+pub struct FaultCounters {
+    /// Simulated runs recorded.
+    pub runs: Arc<Counter>,
+    /// Runs that ended in [`RunOutcome::Failed`].
+    pub runs_failed: Arc<Counter>,
+    /// Executors revoked by spot preemption.
+    pub preempted_executors: Arc<Counter>,
+    /// Executors revoked by node loss.
+    pub node_loss_executors: Arc<Counter>,
+    /// Task attempts lost to revocations.
+    pub tasks_lost: Arc<Counter>,
+    /// Replacement executors re-requested.
+    pub replacements_requested: Arc<Counter>,
+    /// Tasks slowed by the straggler injector.
+    pub stragglers: Arc<Counter>,
+    /// Task work discarded by losses, in core-microseconds.
+    pub work_lost_us: Arc<Counter>,
+    /// Loss-to-retry-completion time, in microseconds.
+    pub recovery_us: Arc<Counter>,
+}
+
+impl FaultCounters {
+    /// Counters not tied to any registry (read them through the fields).
+    pub fn detached() -> Self {
+        Self {
+            runs: Arc::new(Counter::new()),
+            runs_failed: Arc::new(Counter::new()),
+            preempted_executors: Arc::new(Counter::new()),
+            node_loss_executors: Arc::new(Counter::new()),
+            tasks_lost: Arc::new(Counter::new()),
+            replacements_requested: Arc::new(Counter::new()),
+            stragglers: Arc::new(Counter::new()),
+            work_lost_us: Arc::new(Counter::new()),
+            recovery_us: Arc::new(Counter::new()),
+        }
+    }
+
+    /// Counters registered in `registry` under `prefix` (e.g.
+    /// `"{prefix}.tasks_lost"`), so they appear in registry snapshots.
+    pub fn register(registry: &MetricsRegistry, prefix: &str) -> Self {
+        let c = |name: &str| registry.counter(&format!("{prefix}.{name}"));
+        Self {
+            runs: c("runs"),
+            runs_failed: c("runs_failed"),
+            preempted_executors: c("preempted_executors"),
+            node_loss_executors: c("node_loss_executors"),
+            tasks_lost: c("tasks_lost"),
+            replacements_requested: c("replacements_requested"),
+            stragglers: c("stragglers"),
+            work_lost_us: c("work_lost_us"),
+            recovery_us: c("recovery_us"),
+        }
+    }
+
+    /// Folds one run's summary (and outcome) into the aggregates.
+    pub fn record(&self, summary: &FaultSummary, outcome: &RunOutcome) {
+        self.runs.inc();
+        if !outcome.is_completed() {
+            self.runs_failed.inc();
+        }
+        self.preempted_executors
+            .add(summary.preempted_executors as u64);
+        self.node_loss_executors
+            .add(summary.node_loss_executors as u64);
+        self.tasks_lost.add(summary.tasks_lost as u64);
+        self.replacements_requested
+            .add(summary.replacements_requested as u64);
+        self.stragglers.add(summary.stragglers as u64);
+        self.work_lost_us.add(secs_to_us(summary.work_lost_secs));
+        self.recovery_us.add(secs_to_us(summary.recovery_secs));
+    }
+}
+
+/// Observability handles for [`crate::Simulator::run_observed`]: a typed
+/// event sink on the simulated clock plus cross-run fault counters.
+#[derive(Debug)]
+pub struct EngineObs {
+    events: EventSink,
+    counters: FaultCounters,
+}
+
+impl EngineObs {
+    /// Detached observability retaining at most `event_capacity` events.
+    pub fn new(event_capacity: usize) -> Self {
+        Self {
+            events: EventSink::new(event_capacity),
+            counters: FaultCounters::detached(),
+        }
+    }
+
+    /// Observability whose counters live in `registry` under `prefix`.
+    pub fn with_registry(registry: &MetricsRegistry, prefix: &str, event_capacity: usize) -> Self {
+        Self {
+            events: EventSink::new(event_capacity),
+            counters: FaultCounters::register(registry, prefix),
+        }
+    }
+
+    /// The event sink (events are stamped with simulated nanoseconds).
+    pub fn events(&self) -> &EventSink {
+        &self.events
+    }
+
+    /// The cross-run fault counters.
+    pub fn counters(&self) -> &FaultCounters {
+        &self.counters
+    }
+
+    /// Simulated seconds → the nanosecond timestamps events carry.
+    pub(crate) fn sim_ns(t_secs: f64) -> u64 {
+        if t_secs <= 0.0 {
+            return 0;
+        }
+        let ns = t_secs * 1e9;
+        if ns >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            ns as u64
+        }
+    }
+
+    /// Records `kind` at simulated time `t_secs`.
+    pub(crate) fn record_at_secs(&self, t_secs: f64, kind: ae_obs::EventKind) {
+        self.events.record_at(Self::sim_ns(t_secs), kind);
+    }
+
+    /// Folds a finished run into the counters.
+    pub(crate) fn record_run(&self, summary: &FaultSummary, outcome: &RunOutcome) {
+        self.counters.record(summary, outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FailureReason;
+
+    #[test]
+    fn counters_accumulate_across_runs() {
+        let obs = EngineObs::new(128);
+        let summary = FaultSummary {
+            preempted_executors: 2,
+            node_loss_executors: 1,
+            tasks_lost: 5,
+            replacements_requested: 3,
+            stragglers: 4,
+            work_lost_secs: 1.5,
+            recovery_secs: 2.25,
+        };
+        obs.record_run(&summary, &RunOutcome::Completed);
+        obs.record_run(
+            &summary,
+            &RunOutcome::Failed(FailureReason::ResourcesExhausted),
+        );
+        let c = obs.counters();
+        assert_eq!(c.runs.get(), 2);
+        assert_eq!(c.runs_failed.get(), 1);
+        assert_eq!(c.preempted_executors.get(), 4);
+        assert_eq!(c.tasks_lost.get(), 10);
+        assert_eq!(c.work_lost_us.get(), 3_000_000);
+        assert_eq!(c.recovery_us.get(), 4_500_000);
+    }
+
+    #[test]
+    fn registered_counters_appear_in_snapshots() {
+        let registry = MetricsRegistry::new();
+        let obs = EngineObs::with_registry(&registry, "engine", 16);
+        obs.record_run(&FaultSummary::default(), &RunOutcome::Completed);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("engine.runs"), Some(1));
+        assert_eq!(snap.counter("engine.tasks_lost"), Some(0));
+    }
+
+    #[test]
+    fn sim_time_scaling_is_saturating() {
+        assert_eq!(EngineObs::sim_ns(-1.0), 0);
+        assert_eq!(EngineObs::sim_ns(1.5), 1_500_000_000);
+        assert_eq!(EngineObs::sim_ns(f64::INFINITY), u64::MAX);
+        assert_eq!(secs_to_us(f64::NAN), 0);
+    }
+}

@@ -40,6 +40,7 @@
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 
+use ae_obs::{EventKind, FaultClass};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -47,6 +48,7 @@ use serde::{Deserialize, Serialize};
 use crate::allocation::AllocationPolicy;
 use crate::cluster::ClusterConfig;
 use crate::faults::{FailureReason, FaultKind, FaultPlan, FaultSummary, RunOutcome};
+use crate::obs::EngineObs;
 use crate::skyline::Skyline;
 use crate::stage::{StageDag, StageLog, TaskLog, TaskRecord};
 use crate::Result;
@@ -479,6 +481,32 @@ impl Simulator {
         cfg: &RunConfig,
         scratch: &mut SimScratch,
     ) -> QueryRunResult {
+        self.run_internal(query_name, dag, cfg, scratch, None)
+    }
+
+    /// Like [`Simulator::run`], but records fault events (stamped with
+    /// simulated time) and cross-run counters into `obs`.
+    ///
+    /// The run result is bit-identical to `run` with the same inputs —
+    /// observation never perturbs the event sequence. See [`crate::obs`].
+    pub fn run_observed(
+        &self,
+        query_name: &str,
+        dag: &StageDag,
+        cfg: &RunConfig,
+        obs: &EngineObs,
+    ) -> QueryRunResult {
+        self.run_internal(query_name, dag, cfg, &mut SimScratch::new(), Some(obs))
+    }
+
+    fn run_internal(
+        &self,
+        query_name: &str,
+        dag: &StageDag,
+        cfg: &RunConfig,
+        scratch: &mut SimScratch,
+        obs: Option<&EngineObs>,
+    ) -> QueryRunResult {
         let ec = self.cluster.executor.cores.max(1);
         let pool_cap = self.cluster.max_executors().max(1);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -511,13 +539,22 @@ impl Simulator {
         };
         for stage in dag.stages() {
             scratch.stage_offsets.push(scratch.noisy.len());
-            for task in &stage.tasks {
+            for (task_idx, task) in stage.tasks.iter().enumerate() {
                 let mut duration =
                     task.work_secs * ec_penalty * noise_factor(&mut rng, cfg.noise_cv);
                 if let Some(srng) = straggler_rng.as_mut() {
                     let factor = faults.straggler_factor(srng);
                     if factor > 1.0 {
                         fault_summary.stragglers += 1;
+                        // Straggler draws happen before the clock starts.
+                        obs_at(
+                            obs,
+                            0.0,
+                            EventKind::Straggler {
+                                stage: stage.id as u32,
+                                task: task_idx as u32,
+                            },
+                        );
                     }
                     duration *= factor;
                 }
@@ -625,6 +662,17 @@ impl Simulator {
                                 FaultKind::Preemption => fault_summary.preempted_executors += 1,
                                 FaultKind::NodeLoss => fault_summary.node_loss_executors += 1,
                             }
+                            obs_at(
+                                obs,
+                                time,
+                                EventKind::FaultRevocation {
+                                    kind: match revoke.kind {
+                                        FaultKind::Preemption => FaultClass::Preemption,
+                                        FaultKind::NodeLoss => FaultClass::NodeLoss,
+                                    },
+                                    executor: revoke.executor as u32,
+                                },
+                            );
                             requested_target = requested_target.saturating_sub(1);
                             if faults.reacquire {
                                 grant(
@@ -637,6 +685,13 @@ impl Simulator {
                                     pool_cap,
                                 );
                                 fault_summary.replacements_requested += 1;
+                                obs_at(
+                                    obs,
+                                    time,
+                                    EventKind::FaultReplacement {
+                                        executor: revoke.executor as u32,
+                                    },
+                                );
                             }
                             scratch.revocations.push(RevokeEvent {
                                 time: revoke.time + faults.grace_period_secs,
@@ -646,12 +701,21 @@ impl Simulator {
                             });
                         }
                         RevokePhase::Reap => {
+                            let lost_before = fault_summary.tasks_lost;
                             failure = reap_executor(
                                 scratch,
                                 &faults,
                                 &mut fault_summary,
                                 revoke.executor,
                                 time,
+                            );
+                            obs_at(
+                                obs,
+                                time,
+                                EventKind::FaultReap {
+                                    executor: revoke.executor as u32,
+                                    tasks_lost: fault_summary.tasks_lost - lost_before,
+                                },
                             );
                             if failure.is_some() {
                                 break;
@@ -717,6 +781,14 @@ impl Simulator {
                             break;
                         };
                         let retry = scratch.retry.remove(0);
+                        obs_at(
+                            obs,
+                            time,
+                            EventKind::FaultRetry {
+                                stage: retry.stage as u32,
+                                task: retry.task as u32,
+                            },
+                        );
                         let exec = &mut scratch.executors[exec_idx];
                         exec.busy_slots += 1;
                         if exec.busy_slots < ec {
@@ -890,6 +962,15 @@ impl Simulator {
             }
             None => RunOutcome::Completed,
         };
+        if let Some(obs) = obs {
+            obs.record_at_secs(
+                elapsed,
+                EventKind::RunOutcome {
+                    completed: outcome.is_completed(),
+                },
+            );
+            obs.record_run(&fault_summary, &outcome);
+        }
 
         QueryRunResult {
             query_name: query_name.to_string(),
@@ -1005,6 +1086,15 @@ fn pop_free_slot(scratch: &mut SimScratch, ec: usize, time: f64) -> Option<usize
         scratch.slot_heap.push((actual_free, exec_idx));
     }
     None
+}
+
+/// Records `kind` at simulated time `t_secs` when observability is on;
+/// a single untaken branch otherwise.
+#[inline]
+fn obs_at(obs: Option<&EngineObs>, t_secs: f64, kind: EventKind) {
+    if let Some(obs) = obs {
+        obs.record_at_secs(t_secs, kind);
+    }
 }
 
 /// Lognormal-ish multiplicative noise with coefficient of variation `cv`,

@@ -1,0 +1,153 @@
+//! Observed simulation runs: events agree with the run's own
+//! [`ae_engine::FaultSummary`], observation never changes results, and
+//! fault counters accumulate across runs.
+
+use ae_engine::{
+    AllocationPolicy, ClusterConfig, EngineObs, FaultPlan, RunConfig, RunOutcome, Simulator, Stage,
+    StageDag, Task,
+};
+use ae_obs::{EventKind, MetricsRegistry};
+
+fn reference_dag() -> StageDag {
+    StageDag::new(vec![
+        Stage {
+            id: 0,
+            tasks: vec![Task::new(5.0); 32],
+            parents: vec![],
+        },
+        Stage {
+            id: 1,
+            tasks: vec![Task::new(8.0); 4],
+            parents: vec![0],
+        },
+        Stage {
+            id: 2,
+            tasks: vec![Task::new(2.5); 16],
+            parents: vec![0],
+        },
+        Stage {
+            id: 3,
+            tasks: vec![Task::new(12.0); 2],
+            parents: vec![1, 2],
+        },
+    ])
+    .unwrap()
+}
+
+fn faulty_cfg(fault_seed: u64) -> RunConfig {
+    let plan = FaultPlan::preemptions(0.8, 2.0)
+        .with_node_loss(0.05)
+        .with_stragglers(0.1, 3.0)
+        .with_seed(fault_seed);
+    RunConfig::default().with_seed(3).with_faults(plan)
+}
+
+#[test]
+fn observed_run_is_bit_identical_and_events_match_summary() {
+    let dag = reference_dag();
+    let sim = Simulator::new(
+        ClusterConfig::paper_default(),
+        AllocationPolicy::static_allocation(16),
+    )
+    .unwrap();
+
+    // Pick a seed whose run completes with both revocations and losses.
+    let (cfg, plain) = (0..64u64)
+        .map(|s| {
+            let cfg = faulty_cfg(s);
+            let r = sim.run("q", &dag, &cfg);
+            (cfg, r)
+        })
+        .find(|(_, r)| {
+            r.outcome.is_completed() && r.faults.executors_revoked() > 0 && r.faults.tasks_lost > 0
+        })
+        .expect("some seed must revoke and lose tasks");
+
+    let obs = EngineObs::new(4096);
+    let observed = sim.run_observed("q", &dag, &cfg, &obs);
+
+    // Observation must never perturb the simulation.
+    assert_eq!(
+        plain.elapsed_secs.to_bits(),
+        observed.elapsed_secs.to_bits()
+    );
+    assert_eq!(
+        plain.auc_executor_secs.to_bits(),
+        observed.auc_executor_secs.to_bits()
+    );
+    assert_eq!(plain.faults, observed.faults);
+    assert_eq!(plain.outcome, observed.outcome);
+
+    // Event stream agrees with the run's own fault accounting.
+    let events = obs.events().snapshot();
+    let count = |pred: fn(&EventKind) -> bool| events.iter().filter(|e| pred(&e.kind)).count();
+    assert_eq!(
+        count(|k| matches!(k, EventKind::FaultRevocation { .. })) as u32,
+        observed.faults.executors_revoked()
+    );
+    assert_eq!(
+        count(|k| matches!(k, EventKind::FaultReplacement { .. })) as u32,
+        observed.faults.replacements_requested
+    );
+    assert_eq!(
+        count(|k| matches!(k, EventKind::Straggler { .. })) as u32,
+        observed.faults.stragglers
+    );
+    // Every lost task of a completed run is retried exactly once per loss.
+    assert_eq!(
+        count(|k| matches!(k, EventKind::FaultRetry { .. })) as u32,
+        observed.faults.tasks_lost
+    );
+    // Reaped losses sum to the same total.
+    let reaped: u32 = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::FaultReap { tasks_lost, .. } => Some(tasks_lost),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(reaped, observed.faults.tasks_lost);
+    assert_eq!(count(|k| matches!(k, EventKind::RunOutcome { .. })), 1);
+
+    // Timestamps carry simulated time: the outcome event lands at the
+    // run's elapsed time in nanoseconds, and the stream is time-ordered.
+    let outcome_ns = events
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::RunOutcome { .. }))
+        .unwrap()
+        .ts_ns;
+    assert_eq!(outcome_ns, (observed.elapsed_secs * 1e9) as u64);
+    assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+}
+
+#[test]
+fn fault_counters_survive_across_runs() {
+    let dag = reference_dag();
+    let sim = Simulator::new(
+        ClusterConfig::paper_default(),
+        AllocationPolicy::static_allocation(16),
+    )
+    .unwrap();
+    let registry = MetricsRegistry::new();
+    let obs = EngineObs::with_registry(&registry, "engine", 65_536);
+
+    let mut revoked = 0u64;
+    let mut failed = 0u64;
+    for seed in 0..8u64 {
+        let result = sim.run_observed("q", &dag, &faulty_cfg(seed), &obs);
+        revoked += u64::from(result.faults.executors_revoked());
+        if result.outcome != RunOutcome::Completed {
+            failed += 1;
+        }
+    }
+
+    // Per-run summaries are gone; the registry still has the aggregate.
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("engine.runs"), Some(8));
+    assert_eq!(snap.counter("engine.runs_failed"), Some(failed));
+    assert_eq!(
+        snap.counter("engine.preempted_executors").unwrap()
+            + snap.counter("engine.node_loss_executors").unwrap(),
+        revoked
+    );
+}

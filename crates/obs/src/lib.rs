@@ -1,0 +1,125 @@
+//! Unified observability for the AutoExecutor reproduction: lock-free
+//! metrics, structured event tracing, and deterministic serving-trace
+//! capture/replay.
+//!
+//! The paper's premise is choosing executor counts from *predicted*
+//! price-performance curves; this crate is how the system observes how
+//! those predictions fare against reality. It is deliberately a leaf
+//! crate with **zero dependencies** (not even the workspace shims) so the
+//! engine, the serving runtime, the PPM layer, and the bench harness can
+//! all instrument through it without cycles.
+//!
+//! Three subsystems:
+//!
+//! * **Metrics** ([`metrics`], [`hist`], [`drift`]) — atomic counters and
+//!   gauges, lock-free log-linear latency histograms with mergeable
+//!   snapshots (p50/p90/p99/max), observed-vs-predicted residual trackers
+//!   (the drift signal), all held in a sharded [`MetricsRegistry`]. Hot
+//!   paths touch only pre-registered `Arc` handles; the registry itself is
+//!   only locked at registration and snapshot time.
+//! * **Events** ([`events`]) — a bounded, thread-sharded [`EventSink`]
+//!   recording typed events (admission, shed, demotion, batch drain,
+//!   breaker transitions, fault revocations/reaps/retries, model swaps)
+//!   with monotonic timestamps and a JSON export. Overflow drops the
+//!   oldest events and counts the drops; recording never blocks on a
+//!   contended lock in steady state.
+//! * **Traces** ([`trace`], [`mod@replay`]) — a compact, versioned,
+//!   bit-exact serving-trace format (every request's envelope and
+//!   outcome) plus a replay evaluator that re-drives a captured trace
+//!   through an alternative scheduler/model/pricing configuration
+//!   *without re-simulation* and diffs SLO, accuracy, and revenue.
+//!
+//! Everything here is plain `std`: `AtomicU64`, short uncontended
+//! `Mutex` sections, and hand-rolled serialization (floats travel as
+//! `f64::to_bits` hex, so capture → serialize → parse → replay is
+//! bit-identical by construction).
+
+pub mod drift;
+pub mod events;
+pub mod hist;
+pub mod metrics;
+pub mod replay;
+pub mod trace;
+
+pub use drift::{DriftSignal, ResidualTracker};
+pub use events::{Event, EventKind, EventSink, FaultClass};
+pub use hist::{AtomicHistogram, HistogramSnapshot, Ladder, LatencyStats, ShardedHistogram};
+pub use metrics::{Counter, Gauge, MetricSource, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use replay::{
+    replay, LevelSlo, ReplayDiff, ReplayOutcome, ReplayPolicy, ReplayReport, ReplayRun, ReplayScore,
+};
+pub use trace::{
+    feature_digest, RequestStatus, ServingTrace, TraceError, TraceMeta, TraceQuery, TraceRecord,
+    TraceRecorder, TRACE_FORMAT_VERSION, TRACE_LEVELS,
+};
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of shards used by [`ShardedHistogram`], [`EventSink`], and
+/// [`TraceRecorder`]. Eight is enough that a handful of worker plus
+/// load-generator threads land on distinct shards with high probability.
+pub const DEFAULT_SHARDS: usize = 8;
+
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_SLOT: usize = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small dense per-thread index (0, 1, 2, … in first-use order), used to
+/// pick shards so that each thread keeps hitting the same uncontended
+/// shard. Unlike hashing `ThreadId`, consecutive threads never collide
+/// until there are more threads than shards.
+pub(crate) fn thread_slot() -> usize {
+    THREAD_SLOT.with(|slot| *slot)
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats `v` as a JSON number (Rust's `Display` for `f64` is
+/// shortest-roundtrip). Non-finite values become `null`, which JSON
+/// cannot represent as numbers.
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_slots_are_dense_and_stable() {
+        let here = thread_slot();
+        assert_eq!(here, thread_slot(), "slot must be stable per thread");
+        let other = std::thread::spawn(thread_slot).join().unwrap();
+        assert_ne!(here, other, "distinct threads get distinct slots");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+}

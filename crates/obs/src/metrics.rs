@@ -1,0 +1,343 @@
+//! The sharded metrics registry: named counters, gauges, histograms,
+//! and residual trackers.
+//!
+//! The registry exists so that *reading* telemetry is one call
+//! ([`MetricsRegistry::snapshot`]) while *writing* it costs nothing
+//! beyond the instrument itself: `counter()`/`histogram()`/`residual()`
+//! hand back `Arc` handles at registration time (cold), and hot paths
+//! only ever touch those handles — never the registry's locks. The name
+//! map is additionally sharded by a name hash so even concurrent
+//! registration bursts (e.g. many runtimes starting at once) do not
+//! serialize on one lock.
+//!
+//! Components that already keep their own atomic counters (like the
+//! serving runtime's `RuntimeStats`) plug in as a [`MetricSource`]: a
+//! callback collected at snapshot time, so existing hot paths gain
+//! observability without double-counting or extra writes.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::drift::{DriftSignal, ResidualTracker};
+use crate::hist::{HistogramSnapshot, Ladder, ShardedHistogram};
+use crate::{escape_json, json_f64};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter. All operations are `Relaxed`
+/// atomics: individually monotonic, cheap, and never a synchronization
+/// point.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` gauge (stored as bits in an `AtomicU64`).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Creates a gauge at 0.0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// One collected metric value in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonic counter.
+    Counter(u64),
+    /// A last-write-wins gauge.
+    Gauge(f64),
+    /// A full histogram snapshot.
+    Histogram(HistogramSnapshot),
+    /// A drift-signal summary.
+    Drift(DriftSignal),
+}
+
+/// A provider of externally-owned metrics, collected at snapshot time.
+/// Implementors must not block; they are called under no registry lock.
+pub trait MetricSource: Send + Sync {
+    /// Appends `(name, value)` pairs to `out`.
+    fn collect(&self, out: &mut Vec<(String, MetricValue)>);
+}
+
+#[derive(Clone)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<ShardedHistogram>),
+    Residual(Arc<ResidualTracker>),
+}
+
+const REGISTRY_SHARDS: usize = 8;
+
+/// The process-wide (or per-deployment) metric namespace. Cheap to share
+/// as an `Arc`; see the module docs for the locking contract.
+pub struct MetricsRegistry {
+    shards: [Mutex<BTreeMap<String, Instrument>>; REGISTRY_SHARDS],
+    sources: Mutex<Vec<Box<dyn MetricSource>>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let named: usize = self
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).len())
+            .sum();
+        f.debug_struct("MetricsRegistry")
+            .field("instruments", &named)
+            .finish()
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn name_shard(name: &str) -> usize {
+    // FNV-1a over the name bytes.
+    let mut hash = 0xcbf29ce484222325u64;
+    for &b in name.as_bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    (hash % REGISTRY_SHARDS as u64) as usize
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
+            sources: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn instrument<F: FnOnce() -> Instrument>(&self, name: &str, make: F) -> Instrument {
+        let mut shard = self.shards[name_shard(name)]
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        shard.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// Returns (registering on first use) the counter named `name`.
+    /// Re-registration under a different instrument kind panics — names
+    /// are typed.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.instrument(name, || Instrument::Counter(Arc::new(Counter::new()))) {
+            Instrument::Counter(c) => c,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Returns (registering on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.instrument(name, || Instrument::Gauge(Arc::new(Gauge::new()))) {
+            Instrument::Gauge(g) => g,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Returns (registering on first use) the sharded histogram named
+    /// `name` over `ladder`. The ladder only applies on first
+    /// registration; later callers get the existing instrument.
+    pub fn histogram(&self, name: &str, ladder: Ladder) -> Arc<ShardedHistogram> {
+        match self.instrument(name, || {
+            Instrument::Histogram(Arc::new(ShardedHistogram::new(ladder)))
+        }) {
+            Instrument::Histogram(h) => h,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Returns (registering on first use) the residual tracker named
+    /// `name` — the observed-vs-predicted drift signal.
+    pub fn residual(&self, name: &str) -> Arc<ResidualTracker> {
+        match self.instrument(name, || {
+            Instrument::Residual(Arc::new(ResidualTracker::new()))
+        }) {
+            Instrument::Residual(r) => r,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Registers an externally-owned metric provider, polled on every
+    /// [`snapshot`](Self::snapshot). Use a `Weak` inside the source when
+    /// the provider also holds this registry, to avoid a reference cycle.
+    pub fn register_source(&self, source: Box<dyn MetricSource>) {
+        self.sources
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .push(source);
+    }
+
+    /// Collects every registered instrument and source into a sorted,
+    /// immutable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut values: Vec<(String, MetricValue)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|poison| poison.into_inner());
+            for (name, instrument) in shard.iter() {
+                let value = match instrument {
+                    Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                    Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    Instrument::Residual(r) => MetricValue::Drift(r.signal()),
+                };
+                values.push((name.clone(), value));
+            }
+        }
+        // Collect sources outside the shard locks.
+        let sources = self
+            .sources
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        for source in sources.iter() {
+            source.collect(&mut values);
+        }
+        drop(sources);
+        values.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot { values }
+    }
+}
+
+/// A sorted point-in-time copy of every metric in a registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    values: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// All `(name, value)` pairs, sorted by name.
+    pub fn values(&self) -> &[(String, MetricValue)] {
+        &self.values
+    }
+
+    /// Looks up one metric by exact name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.values
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|idx| &self.values[idx].1)
+    }
+
+    /// Convenience: the value of a counter metric, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// JSON object keyed by metric name. Counters and gauges are bare
+    /// numbers; histograms and drift signals are nested objects.
+    pub fn to_json(&self) -> String {
+        let fields: Vec<String> = self
+            .values
+            .iter()
+            .map(|(name, value)| {
+                let rendered = match value {
+                    MetricValue::Counter(v) => format!("{v}"),
+                    MetricValue::Gauge(v) => json_f64(*v),
+                    MetricValue::Histogram(h) => h.to_json(),
+                    MetricValue::Drift(d) => d.to_json(),
+                };
+                format!("\"{}\":{}", escape_json(name), rendered)
+            })
+            .collect();
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_and_typed() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("requests");
+        let b = registry.counter("requests");
+        a.inc();
+        b.add(2);
+        assert_eq!(registry.snapshot().counter("requests"), Some(3));
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let registry = MetricsRegistry::new();
+        registry.counter("x");
+        registry.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let registry = MetricsRegistry::new();
+        registry.counter("z.last").inc();
+        registry.gauge("a.first").set(2.5);
+        registry.histogram("m.hist", Ladder::latency()).record(1000);
+        registry.residual("m.drift").record(1.1, 1.0);
+        let snap = registry.snapshot();
+        let names: Vec<&str> = snap.values().iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        assert_eq!(snap.counter("z.last"), Some(1));
+        assert!(matches!(snap.get("a.first"), Some(MetricValue::Gauge(v)) if *v == 2.5));
+        assert!(matches!(snap.get("m.hist"), Some(MetricValue::Histogram(h)) if h.count() == 1));
+        assert!(matches!(snap.get("m.drift"), Some(MetricValue::Drift(d)) if d.samples == 1));
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"z.last\":1"));
+    }
+
+    #[test]
+    fn sources_are_polled_at_snapshot_time() {
+        struct Fixed;
+        impl MetricSource for Fixed {
+            fn collect(&self, out: &mut Vec<(String, MetricValue)>) {
+                out.push(("ext.requests".into(), MetricValue::Counter(7)));
+            }
+        }
+        let registry = MetricsRegistry::new();
+        registry.register_source(Box::new(Fixed));
+        assert_eq!(registry.snapshot().counter("ext.requests"), Some(7));
+    }
+}

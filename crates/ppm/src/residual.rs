@@ -1,0 +1,206 @@
+//! Observed-vs-predicted runtime residuals as a model-drift signal.
+//!
+//! Serving returns a predicted performance curve with every answer; when
+//! the query later finishes, its *observed* runtime at the chosen
+//! executor count can be compared against that prediction. This module
+//! turns those pairs into the retrain/swap trigger the ROADMAP's
+//! model-zoo adaptation needs:
+//!
+//! * [`predicted_at`] reads a prediction for a specific executor count
+//!   out of a sampled `(n, t)` curve (exact point, or linear
+//!   interpolation between the bracketing samples).
+//! * [`ResidualMonitor`] feeds `(predicted, observed)` pairs into a
+//!   lock-free [`ae_obs::ResidualTracker`] and can publish the resulting
+//!   [`ae_obs::DriftSignal`] into an [`ae_obs::MetricsRegistry`] as
+//!   gauges (`{prefix}.mean_abs_rel`, `{prefix}.mean_rel_bias`,
+//!   `{prefix}.max_abs_rel`, `{prefix}.drifted`) plus a sample counter,
+//!   so a fleet dashboard sees drift without touching serving internals.
+//!
+//! The math is pure and synchronous; recording is a handful of relaxed
+//! atomics (see `ae_obs::drift`), safe to call from the serving hot path.
+
+use std::sync::Arc;
+
+use ae_obs::{DriftSignal, MetricSource, MetricValue, MetricsRegistry, ResidualTracker};
+
+/// Predicted runtime at `executors`, read from a sampled `(n, t)` curve.
+///
+/// Exact sample points are returned as-is; counts between two samples are
+/// linearly interpolated; counts outside the sampled domain return the
+/// nearest endpoint (curves are monotone, so clamping is conservative).
+/// Empty curves and non-finite samples yield `None`.
+pub fn predicted_at(curve: &[(usize, f64)], executors: usize) -> Option<f64> {
+    let (first, last) = (curve.first()?, curve.last()?);
+    let pick = |t: f64| t.is_finite().then_some(t);
+    if executors <= first.0 {
+        return pick(first.1);
+    }
+    if executors >= last.0 {
+        return pick(last.1);
+    }
+    match curve.binary_search_by_key(&executors, |&(n, _)| n) {
+        Ok(idx) => pick(curve[idx].1),
+        Err(idx) => {
+            let (n0, t0) = curve[idx - 1];
+            let (n1, t1) = curve[idx];
+            if n1 == n0 {
+                return pick(t1);
+            }
+            let frac = (executors - n0) as f64 / (n1 - n0) as f64;
+            pick(t0 + (t1 - t0) * frac)
+        }
+    }
+}
+
+/// Accumulates observed-vs-predicted residuals and exposes them as a
+/// drift signal, optionally published into a metrics registry.
+#[derive(Debug, Clone)]
+pub struct ResidualMonitor {
+    tracker: Arc<ResidualTracker>,
+    threshold: f64,
+}
+
+impl ResidualMonitor {
+    /// A monitor that reports drift once the mean absolute relative
+    /// residual exceeds `threshold` (e.g. `0.25` for 25%).
+    pub fn new(threshold: f64) -> Self {
+        Self {
+            tracker: Arc::new(ResidualTracker::new()),
+            threshold,
+        }
+    }
+
+    /// Records one completed query: the prediction is looked up on
+    /// `curve` at the executor count actually used. Pairs the curve
+    /// cannot price (empty curve, non-finite or non-positive observed)
+    /// are ignored.
+    pub fn observe_curve(&self, curve: &[(usize, f64)], executors: usize, observed_secs: f64) {
+        if let Some(predicted) = predicted_at(curve, executors) {
+            self.tracker.record(predicted, observed_secs);
+        }
+    }
+
+    /// Records an already-paired prediction and observation.
+    pub fn observe(&self, predicted_secs: f64, observed_secs: f64) {
+        self.tracker.record(predicted_secs, observed_secs);
+    }
+
+    /// Point-in-time drift summary.
+    pub fn signal(&self) -> DriftSignal {
+        self.tracker.signal()
+    }
+
+    /// True when the accumulated residuals cross the monitor's threshold.
+    pub fn drifted(&self) -> bool {
+        self.signal().drifted(self.threshold)
+    }
+
+    /// The configured drift threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Publishes this monitor into `registry` under `prefix`: on every
+    /// registry snapshot the current signal appears as
+    /// `{prefix}.samples` (counter), `{prefix}.mean_abs_rel`,
+    /// `{prefix}.mean_rel_bias`, `{prefix}.max_abs_rel`, and
+    /// `{prefix}.drifted` (gauges; `drifted` is 0.0/1.0). The registry
+    /// holds its own tracker handle, so the signal outlives the monitor.
+    pub fn register(&self, registry: &MetricsRegistry, prefix: &str) {
+        registry.register_source(Box::new(DriftSource {
+            prefix: prefix.to_string(),
+            tracker: Arc::clone(&self.tracker),
+            threshold: self.threshold,
+        }));
+    }
+}
+
+struct DriftSource {
+    prefix: String,
+    tracker: Arc<ResidualTracker>,
+    threshold: f64,
+}
+
+impl MetricSource for DriftSource {
+    fn collect(&self, out: &mut Vec<(String, MetricValue)>) {
+        let signal = self.tracker.signal();
+        let p = &self.prefix;
+        out.push((format!("{p}.samples"), MetricValue::Counter(signal.samples)));
+        out.push((
+            format!("{p}.mean_abs_rel"),
+            MetricValue::Gauge(signal.mean_abs_rel),
+        ));
+        out.push((
+            format!("{p}.mean_rel_bias"),
+            MetricValue::Gauge(signal.mean_rel_bias),
+        ));
+        out.push((
+            format!("{p}.max_abs_rel"),
+            MetricValue::Gauge(signal.max_abs_rel),
+        ));
+        out.push((
+            format!("{p}.drifted"),
+            MetricValue::Gauge(if signal.drifted(self.threshold) {
+                1.0
+            } else {
+                0.0
+            }),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CURVE: &[(usize, f64)] = &[(2, 100.0), (4, 60.0), (8, 40.0)];
+
+    #[test]
+    fn curve_lookup_interpolates_and_clamps() {
+        assert_eq!(predicted_at(CURVE, 4), Some(60.0));
+        assert_eq!(predicted_at(CURVE, 3), Some(80.0)); // midpoint 2..4
+        assert_eq!(predicted_at(CURVE, 1), Some(100.0)); // clamp low
+        assert_eq!(predicted_at(CURVE, 64), Some(40.0)); // clamp high
+        assert_eq!(predicted_at(&[], 4), None);
+        assert_eq!(predicted_at(&[(1, f64::NAN)], 1), None);
+    }
+
+    #[test]
+    fn monitor_detects_one_sided_drift() {
+        let monitor = ResidualMonitor::new(0.25);
+        // Model predicts 60 s at n=4; reality takes twice as long.
+        for _ in 0..10 {
+            monitor.observe_curve(CURVE, 4, 120.0);
+        }
+        let signal = monitor.signal();
+        assert_eq!(signal.samples, 10);
+        assert!((signal.mean_rel_bias - (-0.5)).abs() < 1e-12);
+        assert!(monitor.drifted());
+
+        let calm = ResidualMonitor::new(0.25);
+        calm.observe_curve(CURVE, 4, 61.0);
+        assert!(!calm.drifted());
+    }
+
+    #[test]
+    fn registered_signal_appears_in_snapshots() {
+        let registry = MetricsRegistry::new();
+        let monitor = ResidualMonitor::new(0.1);
+        monitor.register(&registry, "ppm.drift");
+        monitor.observe(50.0, 100.0);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("ppm.drift.samples"), Some(1));
+        match snap.get("ppm.drift.mean_abs_rel") {
+            Some(MetricValue::Gauge(v)) => assert!((v - 0.5).abs() < 1e-12),
+            other => panic!("missing gauge: {other:?}"),
+        }
+        match snap.get("ppm.drift.drifted") {
+            Some(MetricValue::Gauge(v)) => assert_eq!(*v, 1.0),
+            other => panic!("missing gauge: {other:?}"),
+        }
+        // The signal survives the monitor itself.
+        drop(monitor);
+        assert_eq!(snap.counter("ppm.drift.samples"), Some(1));
+        assert_eq!(registry.snapshot().counter("ppm.drift.samples"), Some(1));
+    }
+}

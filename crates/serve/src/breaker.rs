@@ -134,13 +134,18 @@ impl Breaker {
     }
 
     /// A model-path call succeeded (within budget): the breaker closes and
-    /// the failure count resets.
-    pub(crate) fn record_success(&self) {
+    /// the failure count resets. Returns `true` when this success
+    /// *recovered* the breaker — it was not already closed (a half-open
+    /// probe succeeded, or a success raced a trip) — so callers can emit
+    /// a recovery event exactly once per outage.
+    pub(crate) fn record_success(&self) -> bool {
         let mut state = self
             .state
             .lock()
             .unwrap_or_else(|poison| poison.into_inner());
+        let recovered = !matches!(*state, State::Closed { .. });
         *state = State::Closed { failures: 0 };
+        recovered
     }
 
     /// A model-path call failed (or blew the watchdog budget). Returns
@@ -259,7 +264,7 @@ mod tests {
         // Past cooldown: exactly one probe is admitted.
         assert!(breaker.allow_model(after));
         assert!(!breaker.allow_model(after), "second caller is not a probe");
-        breaker.record_success();
+        assert!(breaker.record_success(), "probe success is a recovery");
         assert!(breaker.allow_model(after), "probe success closes");
     }
 
@@ -283,7 +288,10 @@ mod tests {
         let breaker = Breaker::new(BreakerConfig::default().with_failure_threshold(2));
         let t0 = now();
         assert!(!breaker.record_failure(t0));
-        breaker.record_success();
+        assert!(
+            !breaker.record_success(),
+            "closed-state success is not a recovery"
+        );
         assert!(
             !breaker.record_failure(t0),
             "count must restart after a success"

@@ -7,6 +7,7 @@ use ae_ppm::selection::SelectionObjective;
 use autoexecutor::config::AutoExecutorConfig;
 
 use crate::breaker::BreakerConfig;
+use crate::obs::ObsConfig;
 use crate::qos::QosConfig;
 
 /// Tuning knobs of a [`crate::ScoringRuntime`].
@@ -55,6 +56,12 @@ pub struct RuntimeConfig {
     /// predicted curves become expected runtime under revocation. `None`
     /// keeps scoring bit-identical to the risk-unaware path.
     pub preemption_risk: Option<PreemptionRisk>,
+    /// Optional observability (see [`crate::obs`]): a metrics registry to
+    /// publish counters/latency histograms into plus a bounded typed
+    /// event sink. `None` (the default) makes every instrumentation site
+    /// a single untaken branch — outcomes and stats are bit-identical
+    /// either way (pinned by `tests/obs.rs`).
+    pub observability: Option<ObsConfig>,
 }
 
 impl RuntimeConfig {
@@ -75,6 +82,7 @@ impl RuntimeConfig {
             qos: QosConfig::default(),
             breaker: None,
             preemption_risk: config.preemption_risk,
+            observability: None,
         }
     }
 
@@ -99,6 +107,9 @@ impl RuntimeConfig {
             // on model availability and timing.
             breaker: None,
             preemption_risk: config.preemption_risk,
+            // Observability stays opt-in even here: it never changes
+            // outcomes, only records them.
+            observability: None,
         }
     }
 
@@ -154,6 +165,13 @@ impl RuntimeConfig {
     /// Sets the preemption-risk model applied before selection.
     pub fn with_preemption_risk(mut self, risk: PreemptionRisk) -> Self {
         self.preemption_risk = Some(risk);
+        self
+    }
+
+    /// Enables observability: metric registration, the stats source, the
+    /// per-level latency histograms, and the typed event sink.
+    pub fn with_observability(mut self, obs: ObsConfig) -> Self {
+        self.observability = Some(obs);
         self
     }
 

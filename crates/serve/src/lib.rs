@@ -56,12 +56,23 @@
 //! each such answer [`ScoreOutcome::degraded`] and counting it in
 //! [`RuntimeStats::degraded`]; half-open probes restore the model path
 //! once it recovers.
+//!
+//! **Observability** (see [`obs`] and `docs/observability.md`) is opt-in
+//! via [`RuntimeConfig::with_observability`](config::RuntimeConfig::with_observability):
+//! the runtime then publishes its counters, per-level latency
+//! histograms, and the batch-size distribution into an
+//! [`ae_obs::MetricsRegistry`] and records typed [`ae_obs::Event`]s
+//! (admission, shed, demotion, batch drains, breaker transitions, model
+//! swaps) into a bounded sink. Disabled, every instrumentation site is a
+//! single untaken branch and outcomes are bit-identical (pinned by
+//! `tests/obs.rs`).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod breaker;
 pub mod config;
+pub mod obs;
 pub mod qos;
 pub mod runtime;
 pub mod stats;
@@ -69,9 +80,10 @@ pub mod tenant;
 
 pub use breaker::BreakerConfig;
 pub use config::RuntimeConfig;
+pub use obs::{ObsConfig, RuntimeObs};
 pub use qos::{price_quote, price_quote_parts, PriceQuote, QosConfig, ServiceLevel};
 pub use runtime::{ScoreOutcome, ScoreRequest, ScoreTicket, ScoringRuntime};
-pub use stats::{LatencyRecorder, LatencySummary, LevelStats, RuntimeStats};
+pub use stats::{LatencyRecorder, LatencySummary, LevelStats, RuntimeStats, StatsSnapshot};
 pub use tenant::{TenantId, TenantPolicy, ThrottleAction};
 
 /// Errors surfaced by the serving runtime.

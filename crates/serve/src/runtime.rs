@@ -22,13 +22,14 @@
 //! *answers*.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ae_engine::plan::QueryPlan;
 use ae_ml::matrix::FeatureMatrix;
 use ae_ml::portable::PortableModel;
+use ae_obs::{EventKind, MetricSource, MetricValue};
 use autoexecutor::features::{featurize_plan, full_feature_names};
 use autoexecutor::optimizer::ResourceRequest;
 use autoexecutor::registry::ModelRegistry;
@@ -38,6 +39,7 @@ use parking_lot::RwLock;
 
 use crate::breaker::{heuristic_request, Breaker};
 use crate::config::RuntimeConfig;
+use crate::obs::RuntimeObs;
 use crate::qos::{self, PriceQuote, PriorityQueues, QueuedRequest, ServiceLevel};
 use crate::stats::{RuntimeStats, StatsInner};
 use crate::tenant::{Admission, TenantGovernor, TenantId};
@@ -313,9 +315,21 @@ struct Shared {
     /// enables it; see [`crate::breaker`]).
     breaker: Option<Breaker>,
     stats: StatsInner,
+    /// Opt-in observability (event sink + latency histograms; see
+    /// [`crate::obs`]). `None` keeps every instrumentation site to one
+    /// untaken branch.
+    obs: Option<RuntimeObs>,
 }
 
 impl Shared {
+    /// Records a typed event when observability is enabled; a single
+    /// branch otherwise.
+    fn obs_event(&self, kind: EventKind) {
+        if let Some(obs) = &self.obs {
+            obs.events().record(kind);
+        }
+    }
+
     /// Returns the decoded parameter model, fetching/decoding it if the
     /// registry holds a model the cache has not seen (never holds a cache
     /// lock across registry access or deserialization).
@@ -336,7 +350,19 @@ impl Shared {
             ParameterModel::from_portable(&portable)
                 .map_err(|e| ServeError::Model(e.to_string()))?,
         );
-        *self.model.write() = Some((portable, Arc::clone(&decoded)));
+        let swapped = {
+            let mut cached = self.model.write();
+            // A swap replaces an existing decode; the first resolve is a
+            // cold load, not a swap.
+            let swapped = cached
+                .as_ref()
+                .is_some_and(|(handle, _)| !Arc::ptr_eq(handle, &portable));
+            *cached = Some((portable, Arc::clone(&decoded)));
+            swapped
+        };
+        if swapped {
+            self.obs_event(EventKind::ModelSwap);
+        }
         Ok(decoded)
     }
 
@@ -368,6 +394,15 @@ impl Shared {
     fn breaker_failure(&self, breaker: &Breaker) {
         if breaker.record_failure(Instant::now()) {
             self.stats.record_breaker_trip();
+            self.obs_event(EventKind::BreakerTrip);
+        }
+    }
+
+    /// Records a breaker success, emitting a recovery event when it
+    /// closed a non-closed breaker (half-open probe success).
+    fn breaker_success(&self, breaker: &Breaker) {
+        if breaker.record_success() {
+            self.obs_event(EventKind::BreakerRecovered);
         }
     }
 
@@ -389,7 +424,7 @@ impl Shared {
                     // slowness count toward tripping the breaker.
                     self.breaker_failure(breaker);
                 } else {
-                    breaker.record_success();
+                    self.breaker_success(breaker);
                 }
                 Ok((request, false))
             }
@@ -412,14 +447,18 @@ impl Shared {
         match result {
             Ok(request) => {
                 let missed = now > queued.deadline;
+                let latency = now.saturating_duration_since(queued.admitted_at);
                 self.stats.record_level_completed(queued.level, missed);
                 if degraded {
                     self.stats.record_degraded();
                 }
+                if let Some(obs) = &self.obs {
+                    obs.record_latency(queued.level, latency);
+                }
                 queued.done.fulfill(Ok(Scored {
                     request,
                     missed_deadline: missed,
-                    latency: now.saturating_duration_since(queued.admitted_at),
+                    latency,
                     degraded,
                 }));
             }
@@ -504,7 +543,7 @@ impl Shared {
                     if breaker.over_budget(begin.elapsed()) {
                         self.breaker_failure(breaker);
                     } else {
-                        breaker.record_success();
+                        self.breaker_success(breaker);
                     }
                 }
                 self.stats.record_batch(batch.len(), false);
@@ -522,6 +561,64 @@ impl Shared {
                 }
             }
         }
+    }
+}
+
+/// Publishes the runtime's own counters (and the batch-size histogram)
+/// into a metrics registry at snapshot time, so the hot-path atomics in
+/// [`StatsInner`] stay the single source of truth. Holds the runtime
+/// weakly: a snapshot taken after the runtime is dropped simply omits
+/// these metrics.
+struct StatsSource {
+    prefix: String,
+    shared: Weak<Shared>,
+}
+
+impl MetricSource for StatsSource {
+    fn collect(&self, out: &mut Vec<(String, MetricValue)>) {
+        let Some(shared) = self.shared.upgrade() else {
+            return;
+        };
+        let stats = shared.stats.snapshot();
+        let p = &self.prefix;
+        let counters = [
+            ("completed", stats.completed),
+            ("inline_scored", stats.inline_scored),
+            ("batches", stats.batches),
+            ("dropped", stats.dropped),
+            ("errors", stats.errors),
+            ("demoted", stats.demoted),
+            ("throttled", stats.throttled),
+            ("degraded", stats.degraded),
+            ("breaker_trips", stats.breaker_trips),
+        ];
+        for (name, value) in counters {
+            out.push((format!("{p}.{name}"), MetricValue::Counter(value)));
+        }
+        for level in ServiceLevel::ALL {
+            let counts = stats.level(level);
+            let n = level.name();
+            out.push((
+                format!("{p}.level.{n}.completed"),
+                MetricValue::Counter(counts.completed),
+            ));
+            out.push((
+                format!("{p}.level.{n}.deadline_misses"),
+                MetricValue::Counter(counts.deadline_misses),
+            ));
+            out.push((
+                format!("{p}.level.{n}.shed"),
+                MetricValue::Counter(counts.shed),
+            ));
+        }
+        out.push((
+            format!("{p}.batch_size"),
+            MetricValue::Histogram(shared.stats.batch_histogram()),
+        ));
+        out.push((
+            format!("{p}.queue_depth"),
+            MetricValue::Gauge(shared.pending.load(Ordering::Acquire) as f64),
+        ));
     }
 }
 
@@ -574,6 +671,13 @@ fn worker_loop(shared: Arc<Shared>) {
         };
         if !batch.is_empty() {
             let size = batch.len();
+            if shared.obs.is_some() {
+                let backlog = shared.pending.load(Ordering::Acquire);
+                shared.obs_event(EventKind::BatchDrain {
+                    size: size.min(u32::MAX as usize) as u32,
+                    backlog: backlog.min(u32::MAX as usize) as u32,
+                });
+            }
             shared.process_batch(&mut matrix, batch);
             shared.in_flight.fetch_sub(size, Ordering::AcqRel);
         }
@@ -627,8 +731,18 @@ impl ScoringRuntime {
             model: RwLock::new(None),
             breaker: config.breaker.clone().map(Breaker::new),
             stats: StatsInner::new(config.max_batch),
+            obs: config.observability.as_ref().map(RuntimeObs::new),
             config,
         });
+        if let Some(obs_cfg) = &shared.config.observability {
+            // The registry outlives the runtime in the common case; the
+            // Weak breaks the registry → source → Shared → ObsConfig →
+            // registry cycle and makes the source vanish with the runtime.
+            obs_cfg.registry.register_source(Box::new(StatsSource {
+                prefix: obs_cfg.prefix.clone(),
+                shared: Arc::downgrade(&shared),
+            }));
+        }
         let workers: Vec<JoinHandle<()>> = (0..shared.config.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -704,12 +818,16 @@ impl ScoringRuntime {
                 Admission::Granted => {}
                 Admission::Demoted => {
                     if level != ServiceLevel::BestEffort {
+                        self.shared.obs_event(EventKind::Demotion {
+                            from_level: level.index() as u8,
+                        });
                         level = ServiceLevel::BestEffort;
                         self.shared.stats.record_demoted();
                     }
                 }
                 Admission::Rejected => {
                     self.shared.stats.record_throttled();
+                    self.shared.obs_event(EventKind::Throttle);
                     return Err(ServeError::Throttled(tenant));
                 }
             }
@@ -813,6 +931,9 @@ impl ScoringRuntime {
                 }
                 if !blocking {
                     self.shared.stats.record_dropped();
+                    self.shared.obs_event(EventKind::Dropped {
+                        level: level.index() as u8,
+                    });
                     return Err(ServeError::Saturated);
                 }
                 queues = self
@@ -826,6 +947,10 @@ impl ScoringRuntime {
         if let Some(victim) = shed_victim {
             self.shed(victim);
         }
+        self.shared.obs_event(EventKind::Admission {
+            level: level.index() as u8,
+            queued: true,
+        });
         self.shared.not_empty.notify_one();
         Ok(done)
     }
@@ -853,6 +978,9 @@ impl ScoringRuntime {
     /// Fails a shed victim (outside the queue lock) and records the shed.
     fn shed(&self, victim: QueuedRequest) {
         self.shared.stats.record_shed(victim.level);
+        self.shared.obs_event(EventKind::Shed {
+            level: victim.level.index() as u8,
+        });
         victim.done.fulfill(Err(ServeError::Shed));
     }
 
@@ -897,6 +1025,11 @@ impl ScoringRuntime {
         deadline: Instant,
     ) -> Result<ScoreOutcome> {
         let begin = Instant::now();
+        // No admission event here: the inline fast path makes no
+        // scheduling decision (no queue, no demotion, no shed), and at
+        // fast-path rates a per-request event record would be the single
+        // largest observability cost. Inline traffic is fully accounted
+        // by the latency histograms and the `inline_scored` counter.
         let result = self.shared.score_one(&features);
         self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
         match result {
@@ -904,16 +1037,20 @@ impl ScoringRuntime {
                 self.shared.stats.record_inline();
                 let now = Instant::now();
                 let missed = now > deadline;
+                let latency = now.saturating_duration_since(begin);
                 self.shared.stats.record_level_completed(level, missed);
                 if degraded {
                     self.shared.stats.record_degraded();
+                }
+                if let Some(obs) = &self.shared.obs {
+                    obs.record_latency(level, latency);
                 }
                 Ok(make_outcome(
                     &self.shared,
                     Scored {
                         request,
                         missed_deadline: missed,
-                        latency: now.saturating_duration_since(begin),
+                        latency,
                         degraded,
                     },
                     level,
@@ -929,6 +1066,13 @@ impl ScoringRuntime {
     /// A point-in-time snapshot of the runtime counters.
     pub fn stats(&self) -> RuntimeStats {
         self.shared.stats.snapshot()
+    }
+
+    /// The runtime's live observability handles (event sink, per-level
+    /// latency histograms), when [`crate::RuntimeConfig::observability`]
+    /// is set.
+    pub fn observability(&self) -> Option<&RuntimeObs> {
+        self.shared.obs.as_ref()
     }
 
     /// Requests currently queued (excludes batches being scored).
@@ -947,7 +1091,11 @@ impl ScoringRuntime {
     /// handle (e.g. through an `Arc`); subsequent calls are no-ops, and
     /// dropping the runtime shuts it down too.
     pub fn shutdown(&self) {
-        self.shared.shutdown.store(true, Ordering::Release);
+        if !self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            // First shutdown only: repeat calls are no-ops and must not
+            // repeat the event.
+            self.shared.obs_event(EventKind::Shutdown);
+        }
         let abandoned: Vec<QueuedRequest> = {
             let mut queues = lock(&self.shared.queues);
             let abandoned = queues.drain_all();

@@ -1,14 +1,27 @@
 //! Runtime counters, batch-size accounting, QoS per-level accounting, and
 //! latency summaries.
+//!
+//! # Memory-ordering contract
+//!
+//! Every counter is an `AtomicU64` updated with `Relaxed` ordering: each
+//! counter is individually monotonic and no update is ever lost, but a
+//! [`RuntimeStats`] snapshot is **not** a single linearization point — it
+//! may be torn *across* counters (e.g. observe a batch's `completed`
+//! increment but not yet its histogram bucket). Derived quantities are
+//! therefore computed saturating ([`RuntimeStats::batched`],
+//! [`RuntimeStats::delta_since`]) so a torn read can never underflow.
+//! Once the runtime is quiescent (all submitted requests resolved), a
+//! snapshot is exact.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex as StdMutex;
 use std::time::Duration;
+
+use ae_obs::{AtomicHistogram, HistogramSnapshot, Ladder};
 
 use crate::qos::ServiceLevel;
 
 /// Interior counters shared between workers and submitters.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct StatsInner {
     completed: AtomicU64,
     inline_scored: AtomicU64,
@@ -22,16 +35,28 @@ pub(crate) struct StatsInner {
     throttled: AtomicU64,
     degraded: AtomicU64,
     breaker_trips: AtomicU64,
-    /// `histogram[i]` counts worker batches of size `i + 1`; sizes beyond
-    /// the vector (after a config change) land in the last bucket.
-    histogram: StdMutex<Vec<u64>>,
+    /// Lock-free batch-size distribution over [`Ladder::batch_sizes`]:
+    /// bucket `i` counts worker batches of size `i + 1`; sizes beyond
+    /// `max_batch` (after a config change) clamp into the last bucket.
+    histogram: AtomicHistogram,
 }
 
 impl StatsInner {
     pub(crate) fn new(max_batch: usize) -> Self {
         Self {
-            histogram: StdMutex::new(vec![0; max_batch.max(1)]),
-            ..Default::default()
+            completed: AtomicU64::new(0),
+            inline_scored: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            level_completed: std::array::from_fn(|_| AtomicU64::new(0)),
+            level_misses: std::array::from_fn(|_| AtomicU64::new(0)),
+            level_shed: std::array::from_fn(|_| AtomicU64::new(0)),
+            demoted: AtomicU64::new(0),
+            throttled: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
+            histogram: AtomicHistogram::new(Ladder::batch_sizes(max_batch)),
         }
     }
 
@@ -47,12 +72,10 @@ impl StatsInner {
         } else {
             self.completed.fetch_add(size as u64, Ordering::Relaxed);
         }
-        let mut hist = self
-            .histogram
-            .lock()
-            .unwrap_or_else(|poison| poison.into_inner());
-        let bucket = size.clamp(1, hist.len()) - 1;
-        hist[bucket] += 1;
+        // Clamp before recording so the histogram's sum/mean/max agree
+        // with its (clamped) buckets — same semantics as the ladder index.
+        let cap = self.histogram.ladder().num_buckets();
+        self.histogram.record(size.clamp(1, cap) as u64);
     }
 
     pub(crate) fn record_error(&self) {
@@ -97,6 +120,13 @@ impl StatsInner {
         self.breaker_trips.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// The batch-size distribution as a mergeable [`HistogramSnapshot`]
+    /// (for metric export; [`RuntimeStats::batch_size_histogram`] carries
+    /// the same buckets as a plain vector).
+    pub(crate) fn batch_histogram(&self) -> HistogramSnapshot {
+        self.histogram.snapshot()
+    }
+
     pub(crate) fn snapshot(&self) -> RuntimeStats {
         fn load(counters: &[AtomicU64; ServiceLevel::COUNT]) -> [u64; ServiceLevel::COUNT] {
             std::array::from_fn(|i| counters[i].load(Ordering::Relaxed))
@@ -119,11 +149,7 @@ impl StatsInner {
             throttled: self.throttled.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
             breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
-            batch_size_histogram: self
-                .histogram
-                .lock()
-                .unwrap_or_else(|poison| poison.into_inner())
-                .clone(),
+            batch_size_histogram: self.histogram.snapshot().bucket_counts().to_vec(),
         }
     }
 }
@@ -151,6 +177,12 @@ impl LevelStats {
 }
 
 /// A point-in-time snapshot of the runtime's counters.
+///
+/// See the [module docs](crate::stats) for the memory-ordering contract:
+/// every field is individually monotonic, but a snapshot taken while
+/// requests are in flight may be torn across fields. All derived
+/// quantities on this type are saturating so that torn reads degrade to
+/// slight undercounts, never to underflow.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RuntimeStats {
     /// Successfully scored requests (inline + batched).
@@ -198,30 +230,39 @@ impl RuntimeStats {
     }
 
     /// Counter-wise difference against an earlier snapshot of the same
-    /// runtime — what happened *since* `before`. Histogram buckets beyond
-    /// `before`'s length (none in practice) are kept as-is.
+    /// runtime — what happened *since* `before`.
+    ///
+    /// Covers **every** field, including the per-level QoS arrays and the
+    /// batch-size histogram, and subtracts saturating: because snapshots
+    /// are taken without a global lock (see the module docs), a later
+    /// snapshot can transiently show a *lower* value on one counter than
+    /// an interleaved earlier one; such races clamp to 0 instead of
+    /// wrapping. Histogram buckets beyond `before`'s length (none in
+    /// practice) are kept as-is.
     pub fn delta_since(&self, before: &RuntimeStats) -> RuntimeStats {
         let mut delta = self.clone();
-        delta.completed -= before.completed;
-        delta.inline_scored -= before.inline_scored;
-        delta.batches -= before.batches;
-        delta.dropped -= before.dropped;
-        delta.errors -= before.errors;
-        delta.demoted -= before.demoted;
-        delta.throttled -= before.throttled;
-        delta.degraded -= before.degraded;
-        delta.breaker_trips -= before.breaker_trips;
+        delta.completed = delta.completed.saturating_sub(before.completed);
+        delta.inline_scored = delta.inline_scored.saturating_sub(before.inline_scored);
+        delta.batches = delta.batches.saturating_sub(before.batches);
+        delta.dropped = delta.dropped.saturating_sub(before.dropped);
+        delta.errors = delta.errors.saturating_sub(before.errors);
+        delta.demoted = delta.demoted.saturating_sub(before.demoted);
+        delta.throttled = delta.throttled.saturating_sub(before.throttled);
+        delta.degraded = delta.degraded.saturating_sub(before.degraded);
+        delta.breaker_trips = delta.breaker_trips.saturating_sub(before.breaker_trips);
         for (level, earlier) in delta.levels.iter_mut().zip(&before.levels) {
-            level.completed -= earlier.completed;
-            level.deadline_misses -= earlier.deadline_misses;
-            level.shed -= earlier.shed;
+            level.completed = level.completed.saturating_sub(earlier.completed);
+            level.deadline_misses = level
+                .deadline_misses
+                .saturating_sub(earlier.deadline_misses);
+            level.shed = level.shed.saturating_sub(earlier.shed);
         }
         for (bucket, earlier) in delta
             .batch_size_histogram
             .iter_mut()
             .zip(&before.batch_size_histogram)
         {
-            *bucket -= earlier;
+            *bucket = bucket.saturating_sub(*earlier);
         }
         delta
     }
@@ -241,6 +282,12 @@ impl RuntimeStats {
         requests as f64 / batches as f64
     }
 }
+
+/// The coherent point-in-time view of a runtime's counters, as returned
+/// by [`crate::ScoringRuntime::stats`]. Alias of [`RuntimeStats`]; see
+/// that type (and the [module docs](crate::stats)) for the consistency
+/// contract.
+pub type StatsSnapshot = RuntimeStats;
 
 /// Client-side latency collector: each load-generator thread records its
 /// per-request latencies, then recorders are merged and summarized into
@@ -405,6 +452,32 @@ mod tests {
         assert_eq!(delta.demoted, 0);
         assert_eq!(delta.completed, 2);
         assert_eq!(delta.batch_size_histogram, vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn delta_saturates_instead_of_wrapping() {
+        let inner = StatsInner::new(2);
+        inner.record_inline();
+        let later = inner.snapshot();
+        inner.record_inline();
+        let earlier = inner.snapshot();
+        // Model of a torn read: the "later" snapshot observed fewer
+        // increments than the baseline it is diffed against.
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.completed, 0);
+        assert_eq!(delta.inline_scored, 0);
+    }
+
+    #[test]
+    fn batch_histogram_snapshot_matches_vec() {
+        let inner = StatsInner::new(4);
+        inner.record_batch(2, false);
+        inner.record_batch(9, false); // clamped into the last bucket
+        let hist = inner.batch_histogram();
+        let stats = inner.snapshot();
+        assert_eq!(hist.bucket_counts(), stats.batch_size_histogram.as_slice());
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.max(), 4);
     }
 
     #[test]

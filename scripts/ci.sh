@@ -17,8 +17,11 @@
 # complete and finite), and a fault smoke (zero-fault injection is
 # bit-identical to the fault-unaware scheduler, >= 99% of queries complete
 # via retry at moderate preemption, and the serving circuit breaker trips
-# to the heuristic fallback and recovers). Pass --full to also run the
-# full bench suite (slow).
+# to the heuristic fallback and recovers), and an observability smoke
+# (serving-trace render/parse roundtrip bit-identical, capture→replay
+# determinism gate reports zero mismatches, and the measured overhead of
+# attaching metrics + event tracing to the runtime stays under the smoke
+# bound). Pass --full to also run the full bench suite (slow).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -55,6 +58,9 @@ cargo run --offline --release -p ae-bench --bin bench_generalization -- --smoke 
 
 echo "==> fault smoke (zero-fault pin bit-identical, >= 99% completion via retry at moderate preemption, breaker trips to the heuristic fallback and recovers)"
 cargo run --offline --release -p ae-bench --bin bench_faults -- --smoke --json "$(mktemp -t faults-smoke.XXXXXX.json)"
+
+echo "==> obs smoke (trace roundtrip bit-identical, capture→replay determinism gate clean, obs overhead under bound)"
+cargo run --offline --release -p ae-bench --bin bench_obs -- --smoke --json "$(mktemp -t obs-smoke.XXXXXX.json)"
 
 if [[ "${1:-}" == "--full" ]]; then
     echo "==> full bench suite"
