@@ -124,6 +124,16 @@ pub enum EventKind {
         /// True when every task completed; false for failed runs.
         completed: bool,
     },
+    /// The fleet steal coordinator migrated queued requests from an
+    /// overloaded shard to an underloaded one.
+    WorkSteal {
+        /// Shard index the requests were stolen from (the victim).
+        from_shard: u16,
+        /// Shard index the requests were injected into (the thief).
+        to_shard: u16,
+        /// Requests migrated in this steal operation.
+        count: u32,
+    },
     /// The serving runtime began shutdown.
     Shutdown,
 }
@@ -147,6 +157,7 @@ impl EventKind {
             EventKind::FaultReplacement { .. } => "fault_replacement",
             EventKind::Straggler { .. } => "straggler",
             EventKind::RunOutcome { .. } => "run_outcome",
+            EventKind::WorkSteal { .. } => "work_steal",
             EventKind::Shutdown => "shutdown",
         }
     }
@@ -177,6 +188,13 @@ impl EventKind {
             }
             EventKind::FaultReplacement { executor } => format!(",\"executor\":{executor}"),
             EventKind::RunOutcome { completed } => format!(",\"completed\":{completed}"),
+            EventKind::WorkSteal {
+                from_shard,
+                to_shard,
+                count,
+            } => {
+                format!(",\"from_shard\":{from_shard},\"to_shard\":{to_shard},\"count\":{count}")
+            }
             EventKind::Throttle
             | EventKind::BreakerTrip
             | EventKind::BreakerRecovered
@@ -430,5 +448,24 @@ mod tests {
         assert!(json.contains("\"fault\":\"node_loss\",\"executor\":4"));
         assert!(json.contains("\"executor\":4,\"tasks_lost\":3"));
         assert!(json.contains("\"stage\":1,\"task\":7"));
+    }
+
+    #[test]
+    fn work_steal_payload_renders() {
+        let sink = EventSink::new(16);
+        sink.record_at(
+            1,
+            EventKind::WorkSteal {
+                from_shard: 3,
+                to_shard: 0,
+                count: 12,
+            },
+        );
+        let events = sink.snapshot();
+        assert_eq!(events[0].kind.name(), "work_steal");
+        let json = EventSink::to_json(&events);
+        assert!(
+            json.contains("\"type\":\"work_steal\",\"from_shard\":3,\"to_shard\":0,\"count\":12")
+        );
     }
 }

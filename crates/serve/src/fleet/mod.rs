@@ -1,0 +1,29 @@
+//! Fleet-scale serving: shard-local runtimes behind a deterministic
+//! consistent-hash router, with bounded cross-shard work stealing.
+//!
+//! One [`ScoringRuntime`](crate::ScoringRuntime) tops out near the
+//! throughput of a single admission queue and batcher; the fleet layer
+//! (`docs/fleet.md`) scales past that by *sharding the whole runtime*,
+//! not just the workers:
+//!
+//! * [`ShardedRuntime`] owns N complete shard-local runtimes — each with
+//!   its own admission queues, micro-batcher, RCU model cache, breaker,
+//!   token buckets, stats, and observability namespace — so shards share
+//!   no hot state and a fleet maps 1:1 onto N independent nodes.
+//! * [`HashRing`] routes by tenant (or feature content) on a fixed
+//!   virtual-node ring: placement is a pure function of `(seed, shard
+//!   set, key)`, stable under unrelated shard removal.
+//! * [`StealPolicy`] bounds the one cross-shard interaction: when a
+//!   shard's backlog exceeds the imbalance threshold, the coordinator
+//!   migrates least-urgent `Standard`/`BestEffort` entries (never
+//!   `Interactive`) to the shallowest shard.
+//! * [`FleetStats`] aggregates per-shard counters exactly — every
+//!   request is counted by the one shard that scored it.
+
+pub mod ring;
+pub mod sharded;
+pub mod stats;
+
+pub use ring::HashRing;
+pub use sharded::{FleetConfig, ShardedRuntime, StealPolicy};
+pub use stats::FleetStats;

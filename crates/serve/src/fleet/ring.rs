@@ -1,0 +1,229 @@
+//! The deterministic consistent-hash router: a fixed virtual-node ring.
+//!
+//! Placement must be a pure function of `(ring seed, shard set, routing
+//! key)` — independent of thread count, arrival order, and wall-clock —
+//! so that the same tenant always lands on the same shard-local caches
+//! (model decode, token bucket, stats) and a replayed trace routes
+//! identically. The classic fixed-point construction delivers that:
+//!
+//! * Every shard owns [`HashRing::vnodes_per_shard`] **virtual nodes**,
+//!   points on the `u64` circle drawn from the shard's own salted seed
+//!   stream ([`rand::derive_stream_seed`] of `(seed, shard · replica)`),
+//!   so a shard's points never depend on which *other* shards exist.
+//! * A key routes to the shard owning the first point at or after the
+//!   key's hash, wrapping around at `u64::MAX` (successor lookup by
+//!   binary search on the sorted point list).
+//! * Removing a shard removes only that shard's points: keys on every
+//!   other shard keep their successor and **stay put** — the stability
+//!   property `tests/fleet_ring.rs` pins.
+
+use rand::{derive_stream_seed, split_mix64};
+
+use crate::tenant::TenantId;
+
+/// Salt folded into the ring seed so vnode points are decorrelated from
+/// other consumers of the same base seed (e.g. workload generators).
+const RING_STREAM_SALT: u64 = 0x52_49_4E_47_5F_41_45; // "RING_AE"
+
+/// Salt folded into tenant ids before hashing them onto the ring, so a
+/// small dense id space (tenant 0, 1, 2, …) still spreads uniformly.
+const TENANT_KEY_SALT: u64 = 0x54_45_4E_41_4E_54; // "TENANT"
+
+/// FNV-1a offset basis / prime, for hashing feature vectors of
+/// untenanted requests (content-stable, byte-order-fixed).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A fixed virtual-node consistent-hash ring over a set of shard ids.
+///
+/// Construction is deterministic: the same `(seed, vnodes_per_shard,
+/// shard ids)` always yields the same ring, and each shard's points are
+/// derived only from its own id — see the [module docs](self) for the
+/// stability contract.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, shard id)` sorted by point (ties broken by shard id, a
+    /// deterministic order even in the astronomically unlikely event of
+    /// a 64-bit point collision).
+    points: Vec<(u64, u16)>,
+    shard_ids: Vec<u16>,
+    vnodes_per_shard: usize,
+    seed: u64,
+}
+
+impl HashRing {
+    /// Builds a ring over shards `0..shards` (the [`super::ShardedRuntime`]
+    /// layout). `vnodes_per_shard` and `shards` are clamped to at least 1;
+    /// shard counts beyond `u16::MAX` are rejected by debug assertion and
+    /// clamped.
+    pub fn new(seed: u64, vnodes_per_shard: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, u16::MAX as usize);
+        let ids: Vec<u16> = (0..shards as u16).collect();
+        Self::with_shard_ids(seed, vnodes_per_shard, &ids)
+    }
+
+    /// Builds a ring over an explicit shard-id set (what the removal-
+    /// stability property tests exercise: `with_shard_ids` of a subset
+    /// must agree with the full ring on every key not owned by the
+    /// removed shards). Duplicate ids are ignored; an empty set is
+    /// treated as `[0]`.
+    pub fn with_shard_ids(seed: u64, vnodes_per_shard: usize, shard_ids: &[u16]) -> Self {
+        let vnodes_per_shard = vnodes_per_shard.max(1);
+        let mut ids: Vec<u16> = shard_ids.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.is_empty() {
+            ids.push(0);
+        }
+        let mut points = Vec::with_capacity(ids.len() * vnodes_per_shard);
+        for &shard in &ids {
+            for replica in 0..vnodes_per_shard as u64 {
+                // Each shard draws from its own salted stream: the stream
+                // index packs (shard, replica) so no two vnodes collide in
+                // their derivation, and adding/removing *other* shards
+                // cannot perturb this shard's points.
+                let stream = ((shard as u64) << 32) | replica;
+                let point = derive_stream_seed(seed ^ RING_STREAM_SALT, stream);
+                points.push((point, shard));
+            }
+        }
+        points.sort_unstable();
+        Self {
+            points,
+            shard_ids: ids,
+            vnodes_per_shard,
+            seed,
+        }
+    }
+
+    /// The sorted shard ids this ring routes over.
+    pub fn shard_ids(&self) -> &[u16] {
+        &self.shard_ids
+    }
+
+    /// Number of shards on the ring.
+    pub fn num_shards(&self) -> usize {
+        self.shard_ids.len()
+    }
+
+    /// Virtual nodes per shard.
+    pub fn vnodes_per_shard(&self) -> usize {
+        self.vnodes_per_shard
+    }
+
+    /// The seed the ring was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Routes a raw 64-bit key: the shard owning the first vnode point at
+    /// or after `key`, wrapping around the circle.
+    pub fn shard_for_key(&self, key: u64) -> u16 {
+        debug_assert!(!self.points.is_empty());
+        let index = self.points.partition_point(|&(point, _)| point < key);
+        let (_, shard) = if index == self.points.len() {
+            self.points[0] // wraparound: successor of the largest point
+        } else {
+            self.points[index]
+        };
+        shard
+    }
+
+    /// Routes a tenant: [`shard_for_key`](Self::shard_for_key) of
+    /// [`key_for_tenant`](Self::key_for_tenant).
+    pub fn shard_for_tenant(&self, tenant: TenantId) -> u16 {
+        self.shard_for_key(Self::key_for_tenant(tenant))
+    }
+
+    /// The ring key of a tenant: the tenant id pushed through one salted
+    /// SplitMix64 round, so dense id spaces spread uniformly over the
+    /// circle instead of clustering near zero.
+    pub fn key_for_tenant(tenant: TenantId) -> u64 {
+        let mut state = tenant.0 ^ TENANT_KEY_SALT;
+        split_mix64(&mut state)
+    }
+
+    /// The ring key of an untenanted request: FNV-1a over the feature
+    /// vector's IEEE-754 bit patterns (little-endian). Content-identical
+    /// requests always route together — placement stays a pure function
+    /// of the request, never of submission order — while distinct
+    /// workloads spread across shards.
+    pub fn key_for_features(features: &[f64]) -> u64 {
+        let mut hash = FNV_OFFSET;
+        for &value in features {
+            for byte in value.to_bits().to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_is_deterministic() {
+        let a = HashRing::new(7, 64, 4);
+        let b = HashRing::new(7, 64, 4);
+        assert_eq!(a.points, b.points);
+        for tenant in 0..500u64 {
+            assert_eq!(
+                a.shard_for_tenant(TenantId(tenant)),
+                b.shard_for_tenant(TenantId(tenant))
+            );
+        }
+        // A different seed draws a different ring (statistically certain
+        // over 256 vnode points).
+        let c = HashRing::new(8, 64, 4);
+        assert_ne!(a.points, c.points);
+    }
+
+    #[test]
+    fn every_shard_receives_traffic() {
+        let ring = HashRing::new(42, 64, 8);
+        let mut per_shard = [0usize; 8];
+        for tenant in 0..4096u64 {
+            per_shard[ring.shard_for_tenant(TenantId(tenant)) as usize] += 1;
+        }
+        for (shard, &count) in per_shard.iter().enumerate() {
+            assert!(count > 0, "shard {shard} received no tenants");
+        }
+    }
+
+    #[test]
+    fn wraparound_routes_to_the_smallest_point() {
+        let ring = HashRing::new(3, 8, 3);
+        let largest = ring.points.last().unwrap().0;
+        if largest < u64::MAX {
+            let first_shard = ring.points[0].1;
+            assert_eq!(ring.shard_for_key(largest.wrapping_add(1)), first_shard);
+        }
+        assert_eq!(ring.shard_for_key(0), ring.points[0].1);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_clamped() {
+        let ring = HashRing::new(1, 0, 0);
+        assert_eq!(ring.num_shards(), 1);
+        assert_eq!(ring.vnodes_per_shard(), 1);
+        assert_eq!(ring.shard_for_key(u64::MAX), 0);
+        let dup = HashRing::with_shard_ids(1, 4, &[2, 2, 5]);
+        assert_eq!(dup.shard_ids(), &[2, 5]);
+    }
+
+    #[test]
+    fn feature_keys_are_content_stable() {
+        let a = HashRing::key_for_features(&[1.0, -0.5, 3.25]);
+        let b = HashRing::key_for_features(&[1.0, -0.5, 3.25]);
+        assert_eq!(a, b);
+        assert_ne!(a, HashRing::key_for_features(&[1.0, -0.5, 3.26]));
+        // -0.0 and 0.0 have different bit patterns: keys follow the bits.
+        assert_ne!(
+            HashRing::key_for_features(&[0.0]),
+            HashRing::key_for_features(&[-0.0])
+        );
+    }
+}

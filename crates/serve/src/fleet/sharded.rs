@@ -1,0 +1,558 @@
+//! The sharded fleet runtime: N shard-local [`ScoringRuntime`]s behind a
+//! deterministic consistent-hash router, with bounded cross-shard work
+//! stealing.
+//!
+//! Request flow:
+//!
+//! ```text
+//!  client threads                    shards (config.shards)
+//!  ──────────────                    ─────────────────────────────
+//!  hash tenant (or features) ──────▶ shard-local ScoringRuntime:
+//!  onto the fixed vnode ring          own queues / workers / model
+//!                                     cache / breaker / stats / obs
+//!                steal coordinator (policy.interval):
+//!                deepest backlog ≥ ratio × shallowest?
+//!                → migrate EDF-tail Standard/BestEffort
+//!                  entries to the shallowest shard
+//! ```
+//!
+//! Three contracts, pinned by `tests/fleet_determinism.rs` and
+//! `tests/fleet_stress.rs`:
+//!
+//! * **Routing is deterministic**: placement is a pure function of
+//!   `(ring seed, shard count, tenant)` — never of thread interleaving,
+//!   load, or wall-clock (see [`HashRing`]).
+//! * **Sharding never changes answers**: scoring is a pure function of
+//!   features and model, so which shard (or thief) scores a request can
+//!   only change *when* it completes, never the
+//!   [`ResourceRequest`].
+//!   A 1-shard fleet in deterministic mode is bit-identical to a bare
+//!   [`ScoringRuntime`].
+//! * **Counters are exact**: every request is counted by exactly one
+//!   shard — the one that scored it — so [`FleetStats::aggregate`] totals
+//!   equal the sum of per-shard counters with no double-count on stolen
+//!   requests.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex as StdMutex, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ae_engine::plan::QueryPlan;
+use ae_obs::{EventKind, EventSink, MetricSource, MetricValue};
+use autoexecutor::config::AutoExecutorConfig;
+use autoexecutor::optimizer::ResourceRequest;
+use autoexecutor::registry::ModelRegistry;
+
+use super::ring::HashRing;
+use super::stats::FleetStats;
+use crate::config::RuntimeConfig;
+use crate::runtime::{lock, ScoreOutcome, ScoreRequest, ScoreTicket, ScoringRuntime};
+use crate::Result;
+
+/// Default virtual nodes per shard: enough that per-shard load shares
+/// concentrate near `1/N` for the fleet sizes the bench drives (≤ 8).
+const DEFAULT_VNODES_PER_SHARD: usize = 128;
+
+/// Default ring seed. Fixed so that two fleets built from the same config
+/// route identically without the caller threading a seed through.
+const DEFAULT_RING_SEED: u64 = 0x0AE5_E11F_1EE7;
+
+/// When and how much the fleet's steal coordinator rebalances.
+///
+/// Stealing is **bounded and priority-safe**: at most
+/// [`max_steal`](Self::max_steal) requests move per operation, only from
+/// the deepest backlog to the shallowest, only when the imbalance test
+/// fires, and only `Standard`/`BestEffort` entries from the EDF tail —
+/// never `Interactive` (see
+/// [`PriorityQueues::steal_least_urgent`](crate::qos)).
+#[derive(Debug, Clone)]
+pub struct StealPolicy {
+    /// Trigger threshold: steal only when the deepest shard's queue depth
+    /// is at least `imbalance_ratio × (shallowest depth + 1)`. Clamped to
+    /// at least 1.0 (values below would "rebalance" toward imbalance).
+    pub imbalance_ratio: f64,
+    /// Victim floor: never steal from a shard whose backlog is below this
+    /// many requests — shallow queues drain faster than a migration pays
+    /// off.
+    pub min_backlog: usize,
+    /// Upper bound on requests migrated per steal operation (clamped to
+    /// at least 1).
+    pub max_steal: usize,
+    /// Poll interval of the steal coordinator thread.
+    pub interval: Duration,
+}
+
+impl Default for StealPolicy {
+    fn default() -> Self {
+        Self {
+            imbalance_ratio: 2.0,
+            min_backlog: 32,
+            max_steal: 16,
+            interval: Duration::from_micros(100),
+        }
+    }
+}
+
+impl StealPolicy {
+    fn sanitized(mut self) -> Self {
+        if self.imbalance_ratio.is_nan() || self.imbalance_ratio < 1.0 {
+            self.imbalance_ratio = 1.0;
+        }
+        self.max_steal = self.max_steal.max(1);
+        self
+    }
+}
+
+/// Configuration of a [`ShardedRuntime`]: how many shards, how they are
+/// keyed onto the ring, whether (and how aggressively) to steal, and the
+/// per-shard [`RuntimeConfig`] template.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of shard-local runtimes (clamped to `1..=u16::MAX`).
+    pub shards: usize,
+    /// Virtual nodes per shard on the consistent-hash ring.
+    pub vnodes_per_shard: usize,
+    /// Seed of the vnode ring. Two fleets with equal
+    /// `(ring_seed, vnodes_per_shard, shards)` route every tenant
+    /// identically.
+    pub ring_seed: u64,
+    /// Cross-shard work stealing; `None` disables it (required for the
+    /// deterministic-mode contract — migration timing is load-dependent).
+    pub steal: Option<StealPolicy>,
+    /// Template for every shard's [`ScoringRuntime`]. When observability
+    /// is configured, each shard registers under
+    /// `{prefix}.shard{i}` and the fleet itself under `{prefix}.fleet`.
+    pub runtime: RuntimeConfig,
+}
+
+impl FleetConfig {
+    /// A fleet of `shards` runtimes built from the given per-shard
+    /// template, with default ring layout and default work stealing.
+    pub fn new(shards: usize, runtime: RuntimeConfig) -> Self {
+        Self {
+            shards,
+            vnodes_per_shard: DEFAULT_VNODES_PER_SHARD,
+            ring_seed: DEFAULT_RING_SEED,
+            steal: Some(StealPolicy::default()),
+            runtime,
+        }
+    }
+
+    /// Serving defaults per shard ([`RuntimeConfig::from_auto_executor`])
+    /// with default stealing.
+    pub fn from_auto_executor(shards: usize, config: &AutoExecutorConfig) -> Self {
+        Self::new(shards, RuntimeConfig::from_auto_executor(config))
+    }
+
+    /// Deterministic fleet: every shard in
+    /// [`RuntimeConfig::deterministic`] mode and **no work stealing**, so
+    /// completion sets, per-shard placement, and (for a 1-shard fleet)
+    /// the full observable behavior are reproducible. Scores are
+    /// bit-identical to the sequential rule at any shard count — routing
+    /// only decides *where* a request is scored, never its answer.
+    pub fn deterministic(shards: usize, config: &AutoExecutorConfig) -> Self {
+        Self {
+            shards,
+            vnodes_per_shard: DEFAULT_VNODES_PER_SHARD,
+            ring_seed: DEFAULT_RING_SEED,
+            steal: None,
+            runtime: RuntimeConfig::deterministic(config),
+        }
+    }
+
+    /// Overrides the vnode count per shard (clamped to at least 1).
+    pub fn with_vnodes_per_shard(mut self, vnodes: usize) -> Self {
+        self.vnodes_per_shard = vnodes.max(1);
+        self
+    }
+
+    /// Overrides the ring seed.
+    pub fn with_ring_seed(mut self, seed: u64) -> Self {
+        self.ring_seed = seed;
+        self
+    }
+
+    /// Enables stealing with the given policy.
+    pub fn with_steal(mut self, policy: StealPolicy) -> Self {
+        self.steal = Some(policy);
+        self
+    }
+
+    /// Disables work stealing.
+    pub fn without_steal(mut self) -> Self {
+        self.steal = None;
+        self
+    }
+
+    /// Replaces the per-shard runtime template.
+    pub fn with_runtime(mut self, runtime: RuntimeConfig) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    fn sanitized(mut self) -> Self {
+        self.shards = self.shards.clamp(1, u16::MAX as usize);
+        self.vnodes_per_shard = self.vnodes_per_shard.max(1);
+        self.steal = self.steal.map(StealPolicy::sanitized);
+        self
+    }
+}
+
+/// State shared between the fleet handle and the steal coordinator.
+struct FleetShared {
+    shards: Vec<ScoringRuntime>,
+    ring: HashRing,
+    steal_ops: AtomicU64,
+    stolen_requests: AtomicU64,
+    /// Fleet-level event sink (steal operations); present only when the
+    /// per-shard template enables observability.
+    events: Option<EventSink>,
+    stop_stealer: AtomicBool,
+}
+
+/// Publishes the fleet's own counters (steal accounting, shard count)
+/// under `{prefix}.fleet`; the per-shard counters are published by each
+/// shard's own stats source under `{prefix}.shard{i}`.
+struct FleetSource {
+    prefix: String,
+    shared: Weak<FleetShared>,
+}
+
+impl MetricSource for FleetSource {
+    fn collect(&self, out: &mut Vec<(String, MetricValue)>) {
+        let Some(shared) = self.shared.upgrade() else {
+            return;
+        };
+        let p = &self.prefix;
+        out.push((
+            format!("{p}.steal_ops"),
+            MetricValue::Counter(shared.steal_ops.load(Ordering::Relaxed)),
+        ));
+        out.push((
+            format!("{p}.stolen_requests"),
+            MetricValue::Counter(shared.stolen_requests.load(Ordering::Relaxed)),
+        ));
+        out.push((
+            format!("{p}.shards"),
+            MetricValue::Gauge(shared.shards.len() as f64),
+        ));
+    }
+}
+
+/// One pass of the steal coordinator: find the deepest and shallowest
+/// backlogs, apply the imbalance test, migrate a bounded batch of
+/// least-urgent non-`Interactive` entries. Returns the number of requests
+/// migrated (0 when balanced, bounded, or nothing sheddable).
+fn rebalance_once(shared: &FleetShared, policy: &StealPolicy) -> usize {
+    let depths: Vec<usize> = shared.shards.iter().map(|s| s.queue_depth()).collect();
+    let Some((victim, &max_depth)) = depths.iter().enumerate().max_by_key(|&(_, &d)| d) else {
+        return 0;
+    };
+    let Some((thief, &min_depth)) = depths.iter().enumerate().min_by_key(|&(_, &d)| d) else {
+        return 0;
+    };
+    if victim == thief || max_depth < policy.min_backlog {
+        return 0;
+    }
+    if (max_depth as f64) < policy.imbalance_ratio * (min_depth as f64 + 1.0) {
+        return 0;
+    }
+    // Bounded: per-op cap, half the gap (stealing more would overshoot
+    // and invite a steal back), and the thief's free queue room.
+    let budget = policy
+        .max_steal
+        .min((max_depth - min_depth) / 2)
+        .min(shared.shards[thief].free_queue_capacity());
+    if budget == 0 {
+        return 0;
+    }
+    let stolen = shared.shards[victim].steal_backlog(budget);
+    if stolen.is_empty() {
+        // The victim's whole backlog was Interactive: nothing migratable.
+        return 0;
+    }
+    let count = stolen.len();
+    let rejected = shared.shards[thief].inject_backlog(stolen);
+    if !rejected.is_empty() {
+        // The thief is shutting down: re-home the batch. If the victim is
+        // shutting down too, fail the stranded requests — exactly what
+        // shutdown does to its own queue.
+        let stranded = shared.shards[victim].inject_backlog(rejected);
+        if !stranded.is_empty() {
+            shared.shards[victim].abandon_backlog(stranded);
+        }
+        return 0;
+    }
+    shared.steal_ops.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stolen_requests
+        .fetch_add(count as u64, Ordering::Relaxed);
+    if let Some(events) = &shared.events {
+        events.record(EventKind::WorkSteal {
+            from_shard: victim as u16,
+            to_shard: thief as u16,
+            count: count.min(u32::MAX as usize) as u32,
+        });
+    }
+    count
+}
+
+fn stealer_loop(shared: Arc<FleetShared>, policy: StealPolicy) {
+    while !shared.stop_stealer.load(Ordering::Acquire) {
+        std::thread::sleep(policy.interval);
+        rebalance_once(&shared, &policy);
+    }
+}
+
+/// A fleet of shard-local [`ScoringRuntime`]s behind a deterministic
+/// consistent-hash router, with optional bounded work stealing. See the
+/// [module docs](self) for the architecture and contracts.
+///
+/// Construct with [`ShardedRuntime::new`]; submit from any thread with
+/// the same request vocabulary as a single runtime
+/// ([`submit`](Self::submit), [`try_submit`](Self::try_submit),
+/// [`submit_detached`](Self::submit_detached), …); inspect with
+/// [`stats`](Self::stats) (per-shard + aggregate); stop with
+/// [`shutdown`](Self::shutdown) (or drop the handle).
+pub struct ShardedRuntime {
+    shared: Arc<FleetShared>,
+    stealer: StdMutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ShardedRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedRuntime")
+            .field("shards", &self.shared.shards.len())
+            .field("queue_depths", &self.queue_depths())
+            .finish()
+    }
+}
+
+impl ShardedRuntime {
+    /// Builds the fleet: `config.shards` runtimes over one registry and
+    /// model name, a vnode ring keyed by `config.ring_seed`, and (unless
+    /// disabled) the steal coordinator thread.
+    ///
+    /// With observability configured in the per-shard template, shard `i`
+    /// registers its metrics under `{prefix}.shard{i}` and the fleet
+    /// registers its steal counters under `{prefix}.fleet` — all in the
+    /// same registry, no name collisions.
+    pub fn new(
+        registry: Arc<ModelRegistry>,
+        model_name: impl Into<String>,
+        config: FleetConfig,
+    ) -> Self {
+        let config = config.sanitized();
+        let model_name = model_name.into();
+        let base_obs = config.runtime.observability.clone();
+        let shards: Vec<ScoringRuntime> = (0..config.shards)
+            .map(|shard| {
+                let mut runtime_config = config.runtime.clone();
+                if let Some(obs) = &mut runtime_config.observability {
+                    obs.prefix = format!("{}.shard{shard}", obs.prefix);
+                }
+                ScoringRuntime::new(Arc::clone(&registry), model_name.clone(), runtime_config)
+            })
+            .collect();
+        let shared = Arc::new(FleetShared {
+            ring: HashRing::new(config.ring_seed, config.vnodes_per_shard, config.shards),
+            shards,
+            steal_ops: AtomicU64::new(0),
+            stolen_requests: AtomicU64::new(0),
+            events: base_obs
+                .as_ref()
+                .map(|obs| EventSink::new(obs.event_capacity)),
+            stop_stealer: AtomicBool::new(false),
+        });
+        if let Some(obs) = &base_obs {
+            obs.registry.register_source(Box::new(FleetSource {
+                prefix: format!("{}.fleet", obs.prefix),
+                shared: Arc::downgrade(&shared),
+            }));
+        }
+        let stealer = config.steal.filter(|_| config.shards > 1).map(|policy| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ae-serve-stealer".to_string())
+                .spawn(move || stealer_loop(shared, policy))
+                .expect("spawning the fleet steal coordinator")
+        });
+        Self {
+            shared,
+            stealer: StdMutex::new(stealer),
+        }
+    }
+
+    /// Pre-resolves the model on every shard (each shard holds its own
+    /// decoded-model cache), so no shard pays the cold-start decode on
+    /// its first request.
+    pub fn warm(&self) -> Result<()> {
+        for shard in &self.shared.shards {
+            shard.warm()?;
+        }
+        Ok(())
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Direct handle to one shard's runtime (tests and benchmarks; going
+    /// through the shard handle bypasses the router).
+    pub fn shard(&self, shard: usize) -> &ScoringRuntime {
+        &self.shared.shards[shard]
+    }
+
+    /// The fleet's consistent-hash ring.
+    pub fn ring(&self) -> &HashRing {
+        &self.shared.ring
+    }
+
+    /// The shard a request routes to: its tenant's ring position, or —
+    /// for untenanted requests — the ring position of its feature
+    /// content. Pure function of the request and the fleet config.
+    pub fn route(&self, request: &ScoreRequest) -> usize {
+        let key = match request.tenant() {
+            Some(tenant) => HashRing::key_for_tenant(tenant),
+            None => HashRing::key_for_features(request.features()),
+        };
+        self.shared.ring.shard_for_key(key) as usize
+    }
+
+    /// The shard a tenant routes to.
+    pub fn shard_for_tenant(&self, tenant: crate::tenant::TenantId) -> usize {
+        self.shared.ring.shard_for_tenant(tenant) as usize
+    }
+
+    /// Routes and submits with backpressure, blocking until the result is
+    /// ready (the fleet analogue of [`ScoringRuntime::submit`]).
+    pub fn submit(&self, request: ScoreRequest) -> Result<ScoreOutcome> {
+        let shard = self.route(&request);
+        self.shared.shards[shard].submit(request)
+    }
+
+    /// Routes and submits without backpressure (fail-fast
+    /// [`ServeError::Saturated`](crate::ServeError::Saturated) on a full
+    /// shard queue).
+    pub fn try_submit(&self, request: ScoreRequest) -> Result<ScoreOutcome> {
+        let shard = self.route(&request);
+        self.shared.shards[shard].try_submit(request)
+    }
+
+    /// Routes and admits a detached submission (with backpressure),
+    /// returning the shard's [`ScoreTicket`].
+    pub fn submit_detached(&self, request: ScoreRequest) -> Result<ScoreTicket> {
+        let shard = self.route(&request);
+        self.shared.shards[shard].submit_detached(request)
+    }
+
+    /// Routes and admits a detached submission fail-fast.
+    pub fn try_submit_detached(&self, request: ScoreRequest) -> Result<ScoreTicket> {
+        let shard = self.route(&request);
+        self.shared.shards[shard].try_submit_detached(request)
+    }
+
+    /// Scores a plan at the default envelope (standard level, no tenant),
+    /// routed by feature content.
+    pub fn score(&self, plan: &QueryPlan) -> Result<ResourceRequest> {
+        self.submit(ScoreRequest::from_plan(plan))
+            .map(|outcome| outcome.request)
+    }
+
+    /// [`score`](Self::score) for a caller that already featurized the
+    /// plan.
+    pub fn score_features(&self, features: Vec<f64>) -> Result<ResourceRequest> {
+        self.submit(ScoreRequest::from_features(features))
+            .map(|outcome| outcome.request)
+    }
+
+    /// Per-shard queue depths (queued-but-undrained requests).
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.shared.shards.iter().map(|s| s.queue_depth()).collect()
+    }
+
+    /// A point-in-time snapshot of every shard's counters plus the
+    /// fleet's steal accounting.
+    pub fn stats(&self) -> FleetStats {
+        FleetStats {
+            shards: self.shared.shards.iter().map(|s| s.stats()).collect(),
+            steal_ops: self.shared.steal_ops.load(Ordering::Relaxed),
+            stolen_requests: self.shared.stolen_requests.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The fleet-level event sink (work-steal operations), when the
+    /// per-shard template enables observability. Per-shard events stay in
+    /// each shard's own sink
+    /// ([`ScoringRuntime::observability`]).
+    pub fn events(&self) -> Option<&EventSink> {
+        self.shared.events.as_ref()
+    }
+
+    /// Stops the fleet: the steal coordinator first (so no migration
+    /// races the drain), then every shard — in-flight batches finish,
+    /// queued requests fail with
+    /// [`ServeError::ShutDown`](crate::ServeError::ShutDown), workers are
+    /// joined. Idempotent; dropping the handle shuts down too.
+    pub fn shutdown(&self) {
+        self.shared.stop_stealer.store(true, Ordering::Release);
+        if let Some(handle) = lock(&self.stealer).take() {
+            let _ = handle.join();
+        }
+        for shard in &self.shared.shards {
+            shard.shutdown();
+        }
+    }
+}
+
+impl Drop for ShardedRuntime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steal_policy_sanitizes() {
+        let policy = StealPolicy {
+            imbalance_ratio: 0.2,
+            min_backlog: 0,
+            max_steal: 0,
+            interval: Duration::ZERO,
+        }
+        .sanitized();
+        assert!(policy.imbalance_ratio >= 1.0);
+        assert_eq!(policy.max_steal, 1);
+        let nan = StealPolicy {
+            imbalance_ratio: f64::NAN,
+            ..StealPolicy::default()
+        }
+        .sanitized();
+        assert!(nan.imbalance_ratio >= 1.0);
+    }
+
+    #[test]
+    fn fleet_config_builders_and_clamps() {
+        let cfg = AutoExecutorConfig::default();
+        let fleet = FleetConfig::from_auto_executor(0, &cfg)
+            .with_vnodes_per_shard(0)
+            .with_ring_seed(99)
+            .without_steal();
+        assert!(fleet.steal.is_none());
+        assert_eq!(fleet.ring_seed, 99);
+        let fleet = fleet.sanitized();
+        assert_eq!(fleet.shards, 1);
+        assert_eq!(fleet.vnodes_per_shard, 1);
+        let det = FleetConfig::deterministic(4, &cfg);
+        assert!(det.steal.is_none());
+        assert_eq!(det.runtime.workers, 1);
+        let stealing = FleetConfig::new(2, RuntimeConfig::deterministic(&cfg))
+            .with_steal(StealPolicy::default());
+        assert!(stealing.steal.is_some());
+    }
+}

@@ -57,6 +57,16 @@
 //! [`RuntimeStats::degraded`]; half-open probes restore the model path
 //! once it recovers.
 //!
+//! Past one runtime's throughput ceiling sits the **fleet layer** (see
+//! [`fleet`] and `docs/fleet.md`): a [`ShardedRuntime`] owns N complete
+//! shard-local runtimes behind a deterministic consistent-hash router
+//! ([`HashRing`], keyed by [`TenantId`] or feature content), with
+//! bounded cross-shard work stealing that migrates least-urgent
+//! `Standard`/`BestEffort` backlog — never `Interactive` — from the
+//! deepest queue to the shallowest. A 1-shard fleet in deterministic
+//! mode is bit-identical to a bare [`ScoringRuntime`] (pinned by
+//! `tests/fleet_determinism.rs`).
+//!
 //! **Observability** (see [`obs`] and `docs/observability.md`) is opt-in
 //! via [`RuntimeConfig::with_observability`](config::RuntimeConfig::with_observability):
 //! the runtime then publishes its counters, per-level latency
@@ -72,6 +82,7 @@
 
 pub mod breaker;
 pub mod config;
+pub mod fleet;
 pub mod obs;
 pub mod qos;
 pub mod runtime;
@@ -80,6 +91,7 @@ pub mod tenant;
 
 pub use breaker::BreakerConfig;
 pub use config::RuntimeConfig;
+pub use fleet::{FleetConfig, FleetStats, HashRing, ShardedRuntime, StealPolicy};
 pub use obs::{ObsConfig, RuntimeObs};
 pub use qos::{price_quote, price_quote_parts, PriceQuote, QosConfig, ServiceLevel};
 pub use runtime::{ScoreOutcome, ScoreRequest, ScoreTicket, ScoringRuntime};

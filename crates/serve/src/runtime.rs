@@ -51,7 +51,7 @@ const MAX_DEADLINE_BUDGET: Duration = Duration::from_secs(365 * 24 * 3600);
 
 /// Locks a std mutex, recovering from poisoning (a panicking worker must
 /// not wedge every client).
-fn lock<T>(mutex: &StdMutex<T>) -> StdMutexGuard<'_, T> {
+pub(crate) fn lock<T>(mutex: &StdMutex<T>) -> StdMutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(|poison| poison.into_inner())
 }
 
@@ -111,6 +111,18 @@ impl ScoreRequest {
     /// The requested service level.
     pub fn level(&self) -> ServiceLevel {
         self.level
+    }
+
+    /// The tenant the request is attributed to, if any. The fleet router
+    /// keys consistent hashing on this.
+    pub fn tenant(&self) -> Option<TenantId> {
+        self.tenant
+    }
+
+    /// The featurized plan (the fleet router hashes untenanted requests
+    /// by feature content so placement stays deterministic).
+    pub(crate) fn features(&self) -> &[f64] {
+        &self.features
     }
 }
 
@@ -1061,6 +1073,82 @@ impl ScoringRuntime {
                 Err(e)
             }
         }
+    }
+
+    /// Crate-internal (fleet work stealing): removes up to `max` of the
+    /// least-urgent non-`Interactive` queued requests, transferring their
+    /// pending/in-flight accounting out of this runtime. The stolen
+    /// requests keep their admission timestamps, deadlines, and completion
+    /// slots — whichever runtime scores them fulfills (and counts) them,
+    /// so a stolen request is never double-counted.
+    pub(crate) fn steal_backlog(&self, max: usize) -> Vec<QueuedRequest> {
+        if max == 0 {
+            return Vec::new();
+        }
+        let stolen = {
+            let mut queues = lock(&self.shared.queues);
+            queues.steal_least_urgent(max)
+        };
+        if !stolen.is_empty() {
+            self.shared
+                .pending
+                .fetch_sub(stolen.len(), Ordering::AcqRel);
+            self.shared
+                .in_flight
+                .fetch_sub(stolen.len(), Ordering::AcqRel);
+            // Room opened up: unblock submitters waiting on a full queue.
+            self.shared.not_full.notify_all();
+        }
+        stolen
+    }
+
+    /// Crate-internal (fleet work stealing): admits stolen requests into
+    /// this runtime's queues, taking over their pending/in-flight
+    /// accounting. Returns the batch unchanged (nothing admitted) when
+    /// this runtime is shutting down — the caller must re-home or fail
+    /// those requests; their completion slots are still unfulfilled.
+    pub(crate) fn inject_backlog(&self, batch: Vec<QueuedRequest>) -> Vec<QueuedRequest> {
+        if batch.is_empty() {
+            return batch;
+        }
+        {
+            let mut queues = lock(&self.shared.queues);
+            // Checked under the queue lock: shutdown drains the queues
+            // under this same lock, so an injection serialized before the
+            // drain is drained (and failed) by it, and one serialized
+            // after is rejected here. Either way no completion is lost.
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return batch;
+            }
+            let count = batch.len();
+            for request in batch {
+                queues.push(request);
+            }
+            self.shared.pending.fetch_add(count, Ordering::AcqRel);
+            self.shared.in_flight.fetch_add(count, Ordering::AcqRel);
+        }
+        self.shared.not_empty.notify_all();
+        Vec::new()
+    }
+
+    /// Crate-internal (fleet work stealing): fails stranded stolen
+    /// requests (both runtimes shutting down) with
+    /// [`ServeError::ShutDown`], counting them as errors here — the same
+    /// accounting shutdown applies to its own abandoned queue.
+    pub(crate) fn abandon_backlog(&self, batch: Vec<QueuedRequest>) {
+        for request in batch {
+            self.shared.stats.record_error();
+            request.done.fulfill(Err(ServeError::ShutDown));
+        }
+    }
+
+    /// Crate-internal (fleet work stealing): admission-queue slots
+    /// currently free (capacity minus queued requests).
+    pub(crate) fn free_queue_capacity(&self) -> usize {
+        self.shared
+            .config
+            .queue_capacity
+            .saturating_sub(self.shared.pending.load(Ordering::Acquire))
     }
 
     /// A point-in-time snapshot of the runtime counters.

@@ -267,6 +267,42 @@ impl RuntimeStats {
         delta
     }
 
+    /// Adds another runtime's counters into this snapshot field-by-field
+    /// — the aggregation primitive behind
+    /// [`FleetStats`](crate::fleet::FleetStats). Every counter is summed,
+    /// including the per-level QoS arrays and `breaker_trips` (breakers
+    /// are per-runtime, so a fleet total is the sum of independent trip
+    /// counts); batch-size histograms are added bucket-wise, extending
+    /// this histogram when `other`'s is longer (shards may differ in
+    /// `max_batch`).
+    pub fn merge_from(&mut self, other: &RuntimeStats) {
+        self.completed += other.completed;
+        self.inline_scored += other.inline_scored;
+        self.batches += other.batches;
+        self.dropped += other.dropped;
+        self.errors += other.errors;
+        self.demoted += other.demoted;
+        self.throttled += other.throttled;
+        self.degraded += other.degraded;
+        self.breaker_trips += other.breaker_trips;
+        for (level, addend) in self.levels.iter_mut().zip(&other.levels) {
+            level.completed += addend.completed;
+            level.deadline_misses += addend.deadline_misses;
+            level.shed += addend.shed;
+        }
+        if self.batch_size_histogram.len() < other.batch_size_histogram.len() {
+            self.batch_size_histogram
+                .resize(other.batch_size_histogram.len(), 0);
+        }
+        for (bucket, addend) in self
+            .batch_size_histogram
+            .iter_mut()
+            .zip(&other.batch_size_histogram)
+        {
+            *bucket += addend;
+        }
+    }
+
     /// Mean worker-batch size (0.0 when no batches ran).
     pub fn mean_batch_size(&self) -> f64 {
         let batches: u64 = self.batch_size_histogram.iter().sum();
@@ -452,6 +488,49 @@ mod tests {
         assert_eq!(delta.demoted, 0);
         assert_eq!(delta.completed, 2);
         assert_eq!(delta.batch_size_histogram, vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn merge_from_sums_every_field() {
+        let a = StatsInner::new(4);
+        a.record_inline();
+        a.record_batch(3, false);
+        a.record_level_completed(ServiceLevel::Interactive, true);
+        a.record_level_completed(ServiceLevel::Standard, false);
+        a.record_shed(ServiceLevel::BestEffort);
+        a.record_demoted();
+        a.record_breaker_trip();
+        let b = StatsInner::new(8); // longer histogram than `a`
+        b.record_batch(6, false);
+        b.record_batch(2, true);
+        b.record_error();
+        b.record_dropped();
+        b.record_throttled();
+        b.record_degraded();
+        b.record_level_completed(ServiceLevel::Interactive, false);
+        let mut merged = a.snapshot();
+        merged.merge_from(&b.snapshot());
+        assert_eq!(merged.completed, 1 + 3 + 6);
+        assert_eq!(merged.inline_scored, 1);
+        assert_eq!(merged.batches, 3);
+        assert_eq!(merged.errors, 2 + 1);
+        assert_eq!(merged.dropped, 1);
+        assert_eq!(merged.demoted, 1);
+        assert_eq!(merged.throttled, 1);
+        assert_eq!(merged.degraded, 1);
+        assert_eq!(merged.breaker_trips, 1);
+        assert_eq!(merged.level(ServiceLevel::Interactive).completed, 2);
+        assert_eq!(merged.level(ServiceLevel::Interactive).deadline_misses, 1);
+        assert_eq!(merged.level(ServiceLevel::Standard).completed, 1);
+        assert_eq!(merged.level(ServiceLevel::BestEffort).shed, 1);
+        // Bucket-wise sum over the longer (8-bucket) shape: a recorded one
+        // 3-batch, b recorded one 6-batch and one 2-batch.
+        assert_eq!(merged.batch_size_histogram, vec![0, 1, 1, 0, 0, 1, 0, 0]);
+        // Merging is order-insensitive on the counter totals.
+        let mut flipped = b.snapshot();
+        flipped.merge_from(&a.snapshot());
+        assert_eq!(flipped.completed, merged.completed);
+        assert_eq!(flipped.batch_size_histogram, merged.batch_size_histogram);
     }
 
     #[test]

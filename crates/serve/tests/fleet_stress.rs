@@ -1,0 +1,352 @@
+//! Fleet stress battery:
+//!
+//! * flooding one shard's tenants triggers bounded work stealing that
+//!   migrates only `Standard`/`BestEffort` backlog — the per-shard QoS
+//!   invariants (Interactive isolation, nothing shed below saturation,
+//!   no lost or double-counted requests) hold throughout,
+//! * graceful shutdown drains all shards with **no lost tickets**: every
+//!   detached submission resolves to a score or `ShutDown`, and the two
+//!   client-side counts match the fleet's counters exactly, and
+//! * [`FleetStats`] aggregation is exact under concurrent multi-level
+//!   load: per-shard counters sum to the client-observed totals, and
+//!   `delta_since` isolates a traffic phase precisely.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ae_serve::{
+    FleetConfig, RuntimeConfig, ScoreRequest, ServeError, ServiceLevel, ShardedRuntime,
+    StealPolicy, TenantId,
+};
+use ae_workload::{QueryInstance, ScaleFactor, WorkloadGenerator};
+use autoexecutor::prelude::*;
+use autoexecutor::ModelRegistry;
+
+fn fixture(seed: u64) -> (Arc<ModelRegistry>, AutoExecutorConfig, Vec<f64>) {
+    let generator = WorkloadGenerator::new(ScaleFactor::SF10);
+    let training: Vec<QueryInstance> = ["q3", "q19", "q55", "q68", "q79", "q94"]
+        .iter()
+        .map(|n| generator.instance(n))
+        .collect();
+    let mut config = AutoExecutorConfig::default();
+    config.forest.n_estimators = 8;
+    config.forest.seed = seed;
+    config.training_run.noise_cv = 0.0;
+    let (_, model) = train_from_workload(&training, &config).unwrap();
+    let registry = Arc::new(ModelRegistry::in_memory());
+    registry
+        .register("ppm", model.to_portable("ppm").unwrap())
+        .unwrap();
+    let features = autoexecutor::featurize_plan(&generator.instance("q27").plan);
+    (registry, config, features)
+}
+
+/// Tenants of one shard: walks the id space until `count` tenants routing
+/// to `shard` are found.
+fn tenants_of_shard(fleet: &ShardedRuntime, shard: usize, count: usize) -> Vec<TenantId> {
+    let mut found = Vec::new();
+    let mut id = 0u64;
+    while found.len() < count {
+        if fleet.shard_for_tenant(TenantId(id)) == shard {
+            found.push(TenantId(id));
+        }
+        id += 1;
+        assert!(id < 1_000_000, "ring starved shard {shard}");
+    }
+    found
+}
+
+/// Floods a single shard's tenants at a rate its one worker cannot match
+/// and checks the steal path end to end: stealing happens, it is bounded
+/// by the policy, it never migrates `Interactive` work, and the fleet's
+/// books stay exact (every request completes exactly once, on exactly one
+/// shard).
+#[test]
+fn flooding_one_shard_steals_bounded_non_interactive_backlog() {
+    let (registry, config, features) = fixture(31);
+    const SHARDS: usize = 4;
+    const TOTAL: usize = 3000;
+    let policy = StealPolicy {
+        imbalance_ratio: 1.5,
+        min_backlog: 16,
+        max_steal: 32,
+        interval: Duration::from_micros(50),
+    };
+    let fleet = ShardedRuntime::new(
+        Arc::clone(&registry),
+        "ppm",
+        FleetConfig::new(
+            SHARDS,
+            RuntimeConfig::from_auto_executor(&config)
+                .with_workers(1)
+                .with_max_batch(4)
+                .with_batch_window(Duration::ZERO)
+                .with_inline_when_idle(false)
+                .with_queue_capacity(4096),
+        )
+        .with_steal(policy.clone()),
+    );
+    fleet.warm().unwrap();
+
+    // All traffic targets tenants of one shard, so only stealing can put
+    // work anywhere else.
+    let victim = fleet.shard_for_tenant(TenantId(0));
+    let tenants = tenants_of_shard(&fleet, victim, 8);
+
+    let mut tickets = Vec::with_capacity(TOTAL);
+    for i in 0..TOTAL {
+        // ~10% Interactive (must stay on the victim), the rest Standard
+        // (eligible for migration).
+        let level = if i % 10 == 0 {
+            ServiceLevel::Interactive
+        } else {
+            ServiceLevel::Standard
+        };
+        let request = ScoreRequest::from_features(features.clone())
+            .with_tenant(tenants[i % tenants.len()])
+            .with_level(level)
+            .with_deadline_budget(Duration::from_secs(60));
+        tickets.push(fleet.submit_detached(request).unwrap());
+    }
+    for ticket in tickets {
+        ticket.wait().unwrap();
+    }
+
+    let stats = fleet.stats();
+    let aggregate = stats.aggregate();
+
+    // Work actually migrated, within the policy's bounds.
+    assert!(stats.steal_ops > 0, "the flood never triggered a steal");
+    assert!(stats.stolen_requests > 0);
+    assert!(
+        stats.stolen_requests <= stats.steal_ops * policy.max_steal as u64,
+        "a steal operation exceeded max_steal"
+    );
+    let foreign_completed: u64 = (0..SHARDS)
+        .filter(|&s| s != victim)
+        .map(|s| stats.shard(s).completed)
+        .sum();
+    assert!(
+        foreign_completed > 0,
+        "stolen requests never completed off the victim shard"
+    );
+
+    // Interactive isolation: every Interactive request completed on the
+    // shard it was routed to — stealing never moves them.
+    for shard in 0..SHARDS {
+        if shard != victim {
+            assert_eq!(
+                stats
+                    .shard(shard)
+                    .level(ServiceLevel::Interactive)
+                    .completed,
+                0,
+                "an Interactive request was scored off its home shard {shard}"
+            );
+        }
+    }
+    assert_eq!(
+        stats
+            .shard(victim)
+            .level(ServiceLevel::Interactive)
+            .completed,
+        (TOTAL as u64).div_ceil(10)
+    );
+
+    // Exact books: every request completed exactly once somewhere, none
+    // double-counted on migration, none shed/dropped/errored (the queue
+    // never saturated and no tenant policy is set).
+    assert_eq!(aggregate.completed, TOTAL as u64);
+    assert_eq!(
+        (0..SHARDS).map(|s| stats.shard(s).completed).sum::<u64>(),
+        TOTAL as u64
+    );
+    assert_eq!(aggregate.errors, 0);
+    assert_eq!(aggregate.dropped, 0);
+    assert_eq!(aggregate.shed(), 0);
+    assert_eq!(aggregate.demoted, 0);
+    assert_eq!(aggregate.throttled, 0);
+    // Per-shard QoS invariant from qos_behavior.rs, now per shard: only
+    // BestEffort is ever shed, and below saturation nothing is.
+    for shard in 0..SHARDS {
+        let s = stats.shard(shard);
+        assert_eq!(s.level(ServiceLevel::Interactive).shed, 0);
+        assert_eq!(s.level(ServiceLevel::Standard).shed, 0);
+    }
+    fleet.shutdown();
+}
+
+/// Graceful shutdown with non-empty queues on every shard: no ticket is
+/// lost — each resolves to a score or to `ShutDown` — and the client-side
+/// tallies match the fleet counters exactly.
+#[test]
+fn shutdown_drains_all_shards_without_losing_tickets() {
+    let (registry, config, features) = fixture(32);
+    const SHARDS: usize = 2;
+    const TOTAL: usize = 400;
+    let fleet = ShardedRuntime::new(
+        Arc::clone(&registry),
+        "ppm",
+        FleetConfig::new(
+            SHARDS,
+            RuntimeConfig::from_auto_executor(&config)
+                .with_workers(1)
+                .with_max_batch(4)
+                .with_inline_when_idle(false)
+                .with_queue_capacity(4096),
+        ),
+    );
+    fleet.warm().unwrap();
+
+    // Spread across many tenants so both shards hold backlog when the
+    // shutdown lands.
+    let mut tickets = Vec::with_capacity(TOTAL);
+    for i in 0..TOTAL {
+        let request = ScoreRequest::from_features(features.clone())
+            .with_tenant(TenantId(i as u64))
+            .with_deadline_budget(Duration::from_secs(60));
+        tickets.push(fleet.submit_detached(request).unwrap());
+    }
+    fleet.shutdown();
+
+    let mut scored = 0u64;
+    let mut shut_down = 0u64;
+    for ticket in tickets {
+        match ticket.wait_timeout(Duration::from_secs(10)) {
+            Ok(Ok(_)) => scored += 1,
+            Ok(Err(ServeError::ShutDown)) => shut_down += 1,
+            Ok(Err(other)) => panic!("unexpected error after shutdown: {other}"),
+            Err(_) => panic!("a ticket was lost: unresolved after shutdown"),
+        }
+    }
+    assert_eq!(scored + shut_down, TOTAL as u64, "a ticket vanished");
+
+    let stats = fleet.stats();
+    let aggregate = stats.aggregate();
+    assert_eq!(
+        aggregate.completed, scored,
+        "completed != client-side scores"
+    );
+    assert_eq!(
+        aggregate.errors, shut_down,
+        "errors != client-side ShutDowns"
+    );
+    assert_eq!(aggregate.completed + aggregate.errors, TOTAL as u64);
+    assert!(
+        fleet.queue_depths().iter().all(|&d| d == 0),
+        "a shard still holds queued requests after shutdown"
+    );
+}
+
+/// `FleetStats` exactness under concurrent multi-level load with stealing
+/// enabled: per-shard counters sum to the client-observed totals (no
+/// double-count on stolen requests), per-level completions match what the
+/// clients submitted, and `delta_since` isolates a second traffic phase
+/// exactly.
+#[test]
+fn fleet_stats_sum_exactly_under_concurrent_load() {
+    let (registry, config, features) = fixture(33);
+    const SHARDS: usize = 4;
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 150;
+    let fleet = Arc::new(ShardedRuntime::new(
+        Arc::clone(&registry),
+        "ppm",
+        FleetConfig::new(
+            SHARDS,
+            RuntimeConfig::from_auto_executor(&config)
+                .with_workers(1)
+                .with_max_batch(8)
+                .with_queue_capacity(4096),
+        )
+        .with_steal(StealPolicy {
+            imbalance_ratio: 1.5,
+            min_backlog: 8,
+            max_steal: 16,
+            interval: Duration::from_micros(50),
+        }),
+    ));
+    fleet.warm().unwrap();
+
+    // One phase of concurrent blocking submissions; returns the per-level
+    // client-side completion counts. Blocking submits mean the fleet is
+    // quiescent once every thread has joined.
+    let run_phase = |phase: usize| -> [u64; 3] {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let fleet = Arc::clone(&fleet);
+                let features = features.clone();
+                std::thread::spawn(move || {
+                    let mut counts = [0u64; 3];
+                    for i in 0..PER_THREAD {
+                        let level = ServiceLevel::from_index((i + t) % 3).unwrap();
+                        let outcome = fleet
+                            .submit(
+                                ScoreRequest::from_features(features.clone())
+                                    .with_tenant(TenantId((phase * 100_000 + t * 1000 + i) as u64))
+                                    .with_level(level)
+                                    .with_deadline_budget(Duration::from_secs(60)),
+                            )
+                            .unwrap();
+                        counts[outcome.level.index()] += 1;
+                    }
+                    counts
+                })
+            })
+            .collect();
+        let mut totals = [0u64; 3];
+        for handle in handles {
+            let counts = handle.join().unwrap();
+            for (total, count) in totals.iter_mut().zip(counts) {
+                *total += count;
+            }
+        }
+        totals
+    };
+
+    let phase1 = run_phase(1);
+    let snapshot = fleet.stats();
+    let phase2 = run_phase(2);
+    let finish = fleet.stats();
+
+    let phase_total = (THREADS * PER_THREAD) as u64;
+    assert_eq!(phase1.iter().sum::<u64>(), phase_total);
+    assert_eq!(phase2.iter().sum::<u64>(), phase_total);
+
+    // Snapshot after phase 1: per-shard counters sum exactly to what the
+    // clients observed — no request lost or double-counted by stealing.
+    let agg1 = snapshot.aggregate();
+    assert_eq!(agg1.completed, phase_total);
+    assert_eq!(
+        (0..SHARDS)
+            .map(|s| snapshot.shard(s).completed)
+            .sum::<u64>(),
+        phase_total
+    );
+    for level in ServiceLevel::ALL {
+        assert_eq!(agg1.level(level).completed, phase1[level.index()]);
+    }
+    assert_eq!(agg1.errors, 0);
+    assert_eq!(agg1.dropped, 0);
+    assert_eq!(agg1.shed(), 0);
+
+    // The delta isolates phase 2 exactly, counter for counter.
+    let delta = finish.delta_since(&snapshot);
+    let agg_delta = delta.aggregate();
+    assert_eq!(agg_delta.completed, phase_total);
+    for level in ServiceLevel::ALL {
+        assert_eq!(agg_delta.level(level).completed, phase2[level.index()]);
+    }
+    assert_eq!(
+        (0..SHARDS).map(|s| delta.shard(s).completed).sum::<u64>(),
+        phase_total
+    );
+    // Steal accounting deltas never run backwards.
+    assert!(finish.steal_ops >= snapshot.steal_ops);
+    assert_eq!(delta.steal_ops, finish.steal_ops - snapshot.steal_ops);
+
+    let agg_final = finish.aggregate();
+    assert_eq!(agg_final.completed, 2 * phase_total);
+    assert_eq!(agg_final.errors, 0);
+    fleet.shutdown();
+}

@@ -21,7 +21,10 @@
 # (serving-trace render/parse roundtrip bit-identical, capture→replay
 # determinism gate reports zero mismatches, and the measured overhead of
 # attaching metrics + event tracing to the runtime stays under the smoke
-# bound). Pass --full to also run the full bench suite (slow).
+# bound), and a fleet smoke (sharded serving under the shard-=-node
+# measurement model: 4-shard aggregate qps at least 2x single-shard,
+# finite per-shard p99 skew, zero dropped/errored requests, and a live
+# work-steal drill). Pass --full to also run the full bench suite (slow).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -61,6 +64,9 @@ cargo run --offline --release -p ae-bench --bin bench_faults -- --smoke --json "
 
 echo "==> obs smoke (trace roundtrip bit-identical, capture→replay determinism gate clean, obs overhead under bound)"
 cargo run --offline --release -p ae-bench --bin bench_obs -- --smoke --json "$(mktemp -t obs-smoke.XXXXXX.json)"
+
+echo "==> fleet smoke (4-shard aggregate qps >= 2x single-shard, finite per-shard p99 skew, zero dropped/errors)"
+cargo run --offline --release -p ae-bench --bin bench_fleet -- --smoke
 
 if [[ "${1:-}" == "--full" ]]; then
     echo "==> full bench suite"
