@@ -136,6 +136,34 @@ pub enum EventKind {
     },
     /// The serving runtime began shutdown.
     Shutdown,
+    /// The fleet health monitor quarantined a shard: it was removed from
+    /// the routing ring and its non-interactive backlog was evacuated.
+    ShardQuarantine {
+        /// Index of the quarantined shard.
+        shard: u16,
+    },
+    /// A probationary shard passed its trickle-traffic checks and was
+    /// re-inserted into the routing ring.
+    ShardRecover {
+        /// Index of the recovered shard.
+        shard: u16,
+    },
+    /// A failed request was re-submitted to a different shard under the
+    /// fleet's cross-shard retry budget.
+    FailoverRetry {
+        /// Shard whose attempt failed.
+        from_shard: u16,
+        /// Shard the request was retried on.
+        to_shard: u16,
+    },
+    /// Quarantine evacuated a batch of queued requests from a shard into
+    /// survivors (never `Interactive` entries).
+    BacklogEvacuation {
+        /// Shard the backlog was evacuated from.
+        from_shard: u16,
+        /// Requests moved to surviving shards.
+        count: u32,
+    },
 }
 
 impl EventKind {
@@ -159,6 +187,10 @@ impl EventKind {
             EventKind::RunOutcome { .. } => "run_outcome",
             EventKind::WorkSteal { .. } => "work_steal",
             EventKind::Shutdown => "shutdown",
+            EventKind::ShardQuarantine { .. } => "shard_quarantine",
+            EventKind::ShardRecover { .. } => "shard_recover",
+            EventKind::FailoverRetry { .. } => "failover_retry",
+            EventKind::BacklogEvacuation { .. } => "backlog_evacuation",
         }
     }
 
@@ -194,6 +226,18 @@ impl EventKind {
                 count,
             } => {
                 format!(",\"from_shard\":{from_shard},\"to_shard\":{to_shard},\"count\":{count}")
+            }
+            EventKind::ShardQuarantine { shard } | EventKind::ShardRecover { shard } => {
+                format!(",\"shard\":{shard}")
+            }
+            EventKind::FailoverRetry {
+                from_shard,
+                to_shard,
+            } => {
+                format!(",\"from_shard\":{from_shard},\"to_shard\":{to_shard}")
+            }
+            EventKind::BacklogEvacuation { from_shard, count } => {
+                format!(",\"from_shard\":{from_shard},\"count\":{count}")
             }
             EventKind::Throttle
             | EventKind::BreakerTrip
@@ -448,6 +492,35 @@ mod tests {
         assert!(json.contains("\"fault\":\"node_loss\",\"executor\":4"));
         assert!(json.contains("\"executor\":4,\"tasks_lost\":3"));
         assert!(json.contains("\"stage\":1,\"task\":7"));
+    }
+
+    #[test]
+    fn resilience_payloads_render() {
+        let sink = EventSink::new(64);
+        sink.record_at(1, EventKind::ShardQuarantine { shard: 2 });
+        sink.record_at(
+            2,
+            EventKind::BacklogEvacuation {
+                from_shard: 2,
+                count: 37,
+            },
+        );
+        sink.record_at(
+            3,
+            EventKind::FailoverRetry {
+                from_shard: 2,
+                to_shard: 0,
+            },
+        );
+        sink.record_at(4, EventKind::ShardRecover { shard: 2 });
+        let events = sink.snapshot();
+        assert_eq!(events[0].kind.name(), "shard_quarantine");
+        assert_eq!(events[3].kind.name(), "shard_recover");
+        let json = EventSink::to_json(&events);
+        assert!(json.contains("\"type\":\"shard_quarantine\",\"shard\":2"));
+        assert!(json.contains("\"type\":\"backlog_evacuation\",\"from_shard\":2,\"count\":37"));
+        assert!(json.contains("\"type\":\"failover_retry\",\"from_shard\":2,\"to_shard\":0"));
+        assert!(json.contains("\"type\":\"shard_recover\",\"shard\":2"));
     }
 
     #[test]

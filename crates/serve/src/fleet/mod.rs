@@ -19,11 +19,19 @@
 //!   `Interactive`) to the shallowest shard.
 //! * [`FleetStats`] aggregates per-shard counters exactly — every
 //!   request is counted by the one shard that scored it.
+//! * [`resilience`] makes shard loss a steady-state condition: a
+//!   deterministic [`FleetFaultPlan`] injects crashes/stalls/outages, a
+//!   per-shard [`HealthState`] machine quarantines failing shards
+//!   (successor rerouting + backlog evacuation), a bounded retry budget
+//!   rescues failed in-flight requests, and probation re-admits
+//!   recovered shards on a trickle of real traffic.
 
+pub mod resilience;
 pub mod ring;
 pub mod sharded;
 pub mod stats;
 
+pub use resilience::{FleetFaultPlan, HealthPolicy, HealthState, InducedFault};
 pub use ring::HashRing;
 pub use sharded::{FleetConfig, ShardedRuntime, StealPolicy};
 pub use stats::FleetStats;

@@ -101,6 +101,21 @@ impl HashRing {
         &self.shard_ids
     }
 
+    /// The ring with `shard` removed — the failover/quarantine reroute:
+    /// every other shard's points are untouched (the removal-stability
+    /// contract), so only the removed shard's keys move, each to its
+    /// successor. Removing a non-member returns an identical ring;
+    /// removing the last member leaves the degenerate `[0]` ring.
+    pub fn without_shard(&self, shard: u16) -> HashRing {
+        let ids: Vec<u16> = self
+            .shard_ids
+            .iter()
+            .copied()
+            .filter(|&id| id != shard)
+            .collect();
+        Self::with_shard_ids(self.seed, self.vnodes_per_shard, &ids)
+    }
+
     /// Number of shards on the ring.
     pub fn num_shards(&self) -> usize {
         self.shard_ids.len()
@@ -212,6 +227,26 @@ mod tests {
         assert_eq!(ring.shard_for_key(u64::MAX), 0);
         let dup = HashRing::with_shard_ids(1, 4, &[2, 2, 5]);
         assert_eq!(dup.shard_ids(), &[2, 5]);
+    }
+
+    #[test]
+    fn without_shard_matches_explicit_subset_construction() {
+        let full = HashRing::new(11, 32, 5);
+        let removed = full.without_shard(3);
+        let explicit = HashRing::with_shard_ids(11, 32, &[0, 1, 2, 4]);
+        assert_eq!(removed.points, explicit.points);
+        // Surviving keys stay put; shard 3's keys move to live successors.
+        for tenant in 0..2000u64 {
+            let before = full.shard_for_tenant(TenantId(tenant));
+            let after = removed.shard_for_tenant(TenantId(tenant));
+            if before != 3 {
+                assert_eq!(before, after, "tenant {tenant} moved without cause");
+            } else {
+                assert_ne!(after, 3, "tenant {tenant} routed to the removed shard");
+            }
+        }
+        // Removing a non-member changes nothing.
+        assert_eq!(full.without_shard(9).points, full.points);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The sharded fleet runtime: N shard-local [`ScoringRuntime`]s behind a
 //! deterministic consistent-hash router, with bounded cross-shard work
-//! stealing.
+//! stealing and health-driven failover.
 //!
 //! Request flow:
 //!
@@ -8,47 +8,62 @@
 //!  client threads                    shards (config.shards)
 //!  ──────────────                    ─────────────────────────────
 //!  hash tenant (or features) ──────▶ shard-local ScoringRuntime:
-//!  onto the fixed vnode ring          own queues / workers / model
+//!  onto the current vnode ring        own queues / workers / model
 //!                                     cache / breaker / stats / obs
-//!                steal coordinator (policy.interval):
+//!                steal coordinator (policy.interval, backs off idle):
 //!                deepest backlog ≥ ratio × shallowest?
 //!                → migrate EDF-tail Standard/BestEffort
-//!                  entries to the shallowest shard
+//!                  entries to the shallowest routable shard
+//!                health monitor (policy.check_interval):
+//!                error rate / open breaker / drain stall
+//!                → Suspect → Quarantined (ring removal + backlog
+//!                  evacuation) → Probation (trickle) → Healthy
 //! ```
 //!
-//! Three contracts, pinned by `tests/fleet_determinism.rs` and
-//! `tests/fleet_stress.rs`:
+//! Contracts, pinned by `tests/fleet_determinism.rs`,
+//! `tests/fleet_stress.rs`, and `tests/fleet_resilience.rs`:
 //!
 //! * **Routing is deterministic**: placement is a pure function of
-//!   `(ring seed, shard count, tenant)` — never of thread interleaving,
-//!   load, or wall-clock (see [`HashRing`]).
+//!   `(ring seed, current ring membership, tenant)` — never of thread
+//!   interleaving, load, or wall-clock (see [`HashRing`]). With no
+//!   health policy the membership never changes, so routing reduces to
+//!   the PR-8 pure function of `(seed, shard count, tenant)`.
 //! * **Sharding never changes answers**: scoring is a pure function of
-//!   features and model, so which shard (or thief) scores a request can
-//!   only change *when* it completes, never the
-//!   [`ResourceRequest`].
-//!   A 1-shard fleet in deterministic mode is bit-identical to a bare
-//!   [`ScoringRuntime`].
+//!   features and model, so which shard (thief, evacuee host, or
+//!   failover target) scores a request can only change *when* it
+//!   completes, never the [`ResourceRequest`]. A 1-shard fleet in
+//!   deterministic mode is bit-identical to a bare [`ScoringRuntime`],
+//!   and a fleet with [`FleetFaultPlan::none`] and no health policy is
+//!   bit-identical to the fleet before resilience existed.
 //! * **Counters are exact**: every request is counted by exactly one
-//!   shard — the one that scored it — so [`FleetStats::aggregate`] totals
-//!   equal the sum of per-shard counters with no double-count on stolen
-//!   requests.
+//!   shard — the one that scored it — so [`FleetStats::aggregate`]
+//!   totals equal the sum of per-shard counters with no double-count on
+//!   stolen, evacuated, or retried requests. A rescued failover retry
+//!   leaves one error on the failed shard and one completion on the
+//!   target, so `aggregate().errors` equals client-visible errors plus
+//!   [`FleetStats::failover_retries`].
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex as StdMutex, Weak};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ae_engine::plan::QueryPlan;
 use ae_obs::{EventKind, EventSink, MetricSource, MetricValue};
 use autoexecutor::config::AutoExecutorConfig;
 use autoexecutor::optimizer::ResourceRequest;
 use autoexecutor::registry::ModelRegistry;
+use parking_lot::RwLock;
 
+use super::resilience::{
+    FaultEvent, FleetFaultPlan, HealthPolicy, HealthState, InducedFault, RetryBudget,
+};
 use super::ring::HashRing;
 use super::stats::FleetStats;
 use crate::config::RuntimeConfig;
+use crate::qos::{QueuedRequest, ServiceLevel};
 use crate::runtime::{lock, ScoreOutcome, ScoreRequest, ScoreTicket, ScoringRuntime};
-use crate::Result;
+use crate::{Result, ServeError};
 
 /// Default virtual nodes per shard: enough that per-shard load shares
 /// concentrate near `1/N` for the fleet sizes the bench drives (≤ 8).
@@ -58,13 +73,25 @@ const DEFAULT_VNODES_PER_SHARD: usize = 128;
 /// route identically without the caller threading a seed through.
 const DEFAULT_RING_SEED: u64 = 0x0AE5_E11F_1EE7;
 
+/// Idle-backoff floor for the steal coordinator: a zero configured
+/// interval still doubles from here instead of spinning.
+const STEAL_BACKOFF_FLOOR: Duration = Duration::from_micros(50);
+
+/// Idle-backoff ceiling for the steal coordinator (an idle fleet polls
+/// at ~100 Hz instead of 10 kHz).
+const STEAL_BACKOFF_CAP: Duration = Duration::from_millis(10);
+
+/// Background threads chunk their sleeps to this so shutdown never waits
+/// a full (possibly long) configured interval.
+const STOP_POLL: Duration = Duration::from_millis(2);
+
 /// When and how much the fleet's steal coordinator rebalances.
 ///
 /// Stealing is **bounded and priority-safe**: at most
 /// [`max_steal`](Self::max_steal) requests move per operation, only from
-/// the deepest backlog to the shallowest, only when the imbalance test
-/// fires, and only `Standard`/`BestEffort` entries from the EDF tail —
-/// never `Interactive` (see
+/// the deepest backlog to the shallowest routable shard, only when the
+/// imbalance test fires, and only `Standard`/`BestEffort` entries from
+/// the EDF tail — never `Interactive` (see
 /// [`PriorityQueues::steal_least_urgent`](crate::qos)).
 #[derive(Debug, Clone)]
 pub struct StealPolicy {
@@ -79,7 +106,9 @@ pub struct StealPolicy {
     /// Upper bound on requests migrated per steal operation (clamped to
     /// at least 1).
     pub max_steal: usize,
-    /// Poll interval of the steal coordinator thread.
+    /// Base poll interval of the steal coordinator thread. When a pass
+    /// moves nothing the interval doubles (capped near 10 ms); any
+    /// migrated work resets it.
     pub interval: Duration,
 }
 
@@ -104,9 +133,18 @@ impl StealPolicy {
     }
 }
 
+/// The steal coordinator's idle backoff: double the current delay (from
+/// a spin-safe floor) up to the larger of the configured base and
+/// [`STEAL_BACKOFF_CAP`]. Pure, so the schedule is unit-testable.
+fn next_backoff(current: Duration, base: Duration) -> Duration {
+    let cap = base.max(STEAL_BACKOFF_CAP);
+    (current.max(STEAL_BACKOFF_FLOOR) * 2).min(cap)
+}
+
 /// Configuration of a [`ShardedRuntime`]: how many shards, how they are
-/// keyed onto the ring, whether (and how aggressively) to steal, and the
-/// per-shard [`RuntimeConfig`] template.
+/// keyed onto the ring, whether (and how aggressively) to steal, the
+/// health/failover policy, the chaos plan, and the per-shard
+/// [`RuntimeConfig`] template.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
     /// Number of shard-local runtimes (clamped to `1..=u16::MAX`).
@@ -120,6 +158,13 @@ pub struct FleetConfig {
     /// Cross-shard work stealing; `None` disables it (required for the
     /// deterministic-mode contract — migration timing is load-dependent).
     pub steal: Option<StealPolicy>,
+    /// Health monitoring, quarantine/failover, and probationary recovery;
+    /// `None` (the default) spawns no monitor and leaves the fleet
+    /// behaviorally identical to PR 8 (see `docs/resilience.md`).
+    pub health: Option<HealthPolicy>,
+    /// Deterministic chaos schedule. [`FleetFaultPlan::none`] (the
+    /// default) is provably inert: no injector thread, no hot-path cost.
+    pub fault_plan: FleetFaultPlan,
     /// Template for every shard's [`ScoringRuntime`]. When observability
     /// is configured, each shard registers under
     /// `{prefix}.shard{i}` and the fleet itself under `{prefix}.fleet`.
@@ -128,13 +173,16 @@ pub struct FleetConfig {
 
 impl FleetConfig {
     /// A fleet of `shards` runtimes built from the given per-shard
-    /// template, with default ring layout and default work stealing.
+    /// template, with default ring layout, default work stealing, no
+    /// health policy, and no fault plan.
     pub fn new(shards: usize, runtime: RuntimeConfig) -> Self {
         Self {
             shards,
             vnodes_per_shard: DEFAULT_VNODES_PER_SHARD,
             ring_seed: DEFAULT_RING_SEED,
             steal: Some(StealPolicy::default()),
+            health: None,
+            fault_plan: FleetFaultPlan::none(),
             runtime,
         }
     }
@@ -146,17 +194,20 @@ impl FleetConfig {
     }
 
     /// Deterministic fleet: every shard in
-    /// [`RuntimeConfig::deterministic`] mode and **no work stealing**, so
-    /// completion sets, per-shard placement, and (for a 1-shard fleet)
-    /// the full observable behavior are reproducible. Scores are
-    /// bit-identical to the sequential rule at any shard count — routing
-    /// only decides *where* a request is scored, never its answer.
+    /// [`RuntimeConfig::deterministic`] mode, **no work stealing**, no
+    /// health policy, and no fault plan, so completion sets, per-shard
+    /// placement, and (for a 1-shard fleet) the full observable behavior
+    /// are reproducible. Scores are bit-identical to the sequential rule
+    /// at any shard count — routing only decides *where* a request is
+    /// scored, never its answer.
     pub fn deterministic(shards: usize, config: &AutoExecutorConfig) -> Self {
         Self {
             shards,
             vnodes_per_shard: DEFAULT_VNODES_PER_SHARD,
             ring_seed: DEFAULT_RING_SEED,
             steal: None,
+            health: None,
+            fault_plan: FleetFaultPlan::none(),
             runtime: RuntimeConfig::deterministic(config),
         }
     }
@@ -185,6 +236,20 @@ impl FleetConfig {
         self
     }
 
+    /// Enables health monitoring, quarantine/failover, and probationary
+    /// recovery with the given policy.
+    pub fn with_health(mut self, policy: HealthPolicy) -> Self {
+        self.health = Some(policy);
+        self
+    }
+
+    /// Installs a deterministic chaos schedule (see
+    /// [`FleetFaultPlan`]; invalid rates are clamped to zero).
+    pub fn with_fault_plan(mut self, plan: FleetFaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
     /// Replaces the per-shard runtime template.
     pub fn with_runtime(mut self, runtime: RuntimeConfig) -> Self {
         self.runtime = runtime;
@@ -195,25 +260,99 @@ impl FleetConfig {
         self.shards = self.shards.clamp(1, u16::MAX as usize);
         self.vnodes_per_shard = self.vnodes_per_shard.max(1);
         self.steal = self.steal.map(StealPolicy::sanitized);
+        self.health = self.health.map(HealthPolicy::sanitized);
+        self.fault_plan = self.fault_plan.sanitized();
         self
     }
 }
 
-/// State shared between the fleet handle and the steal coordinator.
+/// State shared between the fleet handle and its background threads
+/// (steal coordinator, health monitor, chaos injector).
 struct FleetShared {
     shards: Vec<ScoringRuntime>,
-    ring: HashRing,
+    /// The current routing ring: members are exactly the shards whose
+    /// [`HealthState::is_routable`]. Rebuilt (never mutated in place) on
+    /// quarantine and recovery; with no health policy it never changes.
+    ring: RwLock<HashRing>,
+    ring_seed: u64,
+    vnodes_per_shard: usize,
+    /// Per-shard [`HealthState`] words (written only by the monitor).
+    health: Vec<AtomicU8>,
+    /// The sanitized health policy, when monitoring is enabled.
+    health_policy: Option<HealthPolicy>,
+    /// The failover retry token bucket (present iff a health policy with
+    /// a non-zero budget is configured on a multi-shard fleet).
+    retry_budget: Option<RetryBudget>,
     steal_ops: AtomicU64,
     stolen_requests: AtomicU64,
-    /// Fleet-level event sink (steal operations); present only when the
-    /// per-shard template enables observability.
+    quarantines: AtomicU64,
+    recoveries: AtomicU64,
+    evacuated_requests: AtomicU64,
+    failover_retries: AtomicU64,
+    retries_denied: AtomicU64,
+    /// Round-robin counter for the probation trickle diversion.
+    probe_counter: AtomicU64,
+    /// Fast-path gate: true iff some shard is in [`HealthState::Probation`].
+    /// False in steady state, so submission pays one relaxed load.
+    probation_active: AtomicBool,
+    /// Fleet-level event sink (steals, quarantines, recoveries, retries,
+    /// evacuations); present only when the per-shard template enables
+    /// observability.
     events: Option<EventSink>,
-    stop_stealer: AtomicBool,
+    /// Stops every background thread (steal, monitor, injector).
+    stop_background: AtomicBool,
+    /// Set by the first [`ShardedRuntime::shutdown`] caller; failover
+    /// stops retrying so shutdown errors propagate unamplified.
+    shutting_down: AtomicBool,
 }
 
-/// Publishes the fleet's own counters (steal accounting, shard count)
-/// under `{prefix}.fleet`; the per-shard counters are published by each
-/// shard's own stats source under `{prefix}.shard{i}`.
+impl FleetShared {
+    fn record_event(&self, kind: EventKind) {
+        if let Some(events) = &self.events {
+            events.record(kind);
+        }
+    }
+
+    fn health_state(&self, shard: usize) -> HealthState {
+        HealthState::from_u8(self.health[shard].load(Ordering::Acquire))
+    }
+
+    fn set_health(&self, shard: usize, state: HealthState) {
+        self.health[shard].store(state as u8, Ordering::Release);
+    }
+
+    /// Shard indices currently eligible for routing and stealing.
+    fn routable_shards(&self) -> Vec<usize> {
+        (0..self.shards.len())
+            .filter(|&shard| self.health_state(shard).is_routable())
+            .collect()
+    }
+
+    /// Rebuilds the routing ring from the current routable membership.
+    /// Non-members' vnode points are untouched by construction, so every
+    /// surviving shard keeps its keys (the removal-stability contract).
+    fn rebuild_ring(&self) {
+        let members: Vec<u16> = self
+            .routable_shards()
+            .into_iter()
+            .map(|shard| shard as u16)
+            .collect();
+        let ring = HashRing::with_shard_ids(self.ring_seed, self.vnodes_per_shard, &members);
+        *self.ring.write() = ring;
+    }
+
+    /// Recomputes the probation fast-path gate.
+    fn refresh_probation_flag(&self) {
+        let any =
+            (0..self.shards.len()).any(|shard| self.health_state(shard) == HealthState::Probation);
+        self.probation_active.store(any, Ordering::Release);
+    }
+}
+
+/// Publishes the fleet's own counters (steal + resilience accounting,
+/// membership, per-shard health) under `{prefix}.fleet`; the per-shard
+/// runtime counters are published by each shard's own stats source under
+/// `{prefix}.shard{i}`.
 struct FleetSource {
     prefix: String,
     shared: Weak<FleetShared>,
@@ -225,31 +364,73 @@ impl MetricSource for FleetSource {
             return;
         };
         let p = &self.prefix;
-        out.push((
-            format!("{p}.steal_ops"),
-            MetricValue::Counter(shared.steal_ops.load(Ordering::Relaxed)),
-        ));
-        out.push((
-            format!("{p}.stolen_requests"),
-            MetricValue::Counter(shared.stolen_requests.load(Ordering::Relaxed)),
-        ));
+        let counters = [
+            ("steal_ops", &shared.steal_ops),
+            ("stolen_requests", &shared.stolen_requests),
+            ("quarantines", &shared.quarantines),
+            ("recoveries", &shared.recoveries),
+            ("evacuated_requests", &shared.evacuated_requests),
+            ("failover_retries", &shared.failover_retries),
+            ("retries_denied", &shared.retries_denied),
+        ];
+        for (name, counter) in counters {
+            out.push((
+                format!("{p}.{name}"),
+                MetricValue::Counter(counter.load(Ordering::Relaxed)),
+            ));
+        }
         out.push((
             format!("{p}.shards"),
             MetricValue::Gauge(shared.shards.len() as f64),
         ));
+        out.push((
+            format!("{p}.routable_shards"),
+            MetricValue::Gauge(shared.routable_shards().len() as f64),
+        ));
+        for shard in 0..shared.shards.len() {
+            out.push((
+                format!("{p}.health.shard{shard}"),
+                MetricValue::Gauge(f64::from(shared.health_state(shard) as u8)),
+            ));
+        }
     }
 }
 
-/// One pass of the steal coordinator: find the deepest and shallowest
-/// backlogs, apply the imbalance test, migrate a bounded batch of
-/// least-urgent non-`Interactive` entries. Returns the number of requests
-/// migrated (0 when balanced, bounded, or nothing sheddable).
+/// Sleeps up to `total`, waking early (within [`STOP_POLL`]) when `stop`
+/// is set — background threads must not pin shutdown to their interval.
+fn sleep_interruptible(stop: &AtomicBool, total: Duration) {
+    let deadline = Instant::now() + total;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        std::thread::sleep((deadline - now).min(STOP_POLL));
+    }
+}
+
+/// One pass of the steal coordinator over the routable shards: find the
+/// deepest and shallowest backlogs, apply the imbalance test, migrate a
+/// bounded batch of least-urgent non-`Interactive` entries. Returns the
+/// number of requests migrated (0 when balanced, bounded, or nothing
+/// sheddable). Quarantined/probation shards neither donate nor receive —
+/// stealing into a dead shard would re-strand evacuated work.
 fn rebalance_once(shared: &FleetShared, policy: &StealPolicy) -> usize {
-    let depths: Vec<usize> = shared.shards.iter().map(|s| s.queue_depth()).collect();
-    let Some((victim, &max_depth)) = depths.iter().enumerate().max_by_key(|&(_, &d)| d) else {
+    let routable = shared.routable_shards();
+    if routable.len() < 2 {
+        return 0;
+    }
+    let depths: Vec<(usize, usize)> = routable
+        .iter()
+        .map(|&shard| (shard, shared.shards[shard].queue_depth()))
+        .collect();
+    let Some(&(victim, max_depth)) = depths.iter().max_by_key(|&&(_, depth)| depth) else {
         return 0;
     };
-    let Some((thief, &min_depth)) = depths.iter().enumerate().min_by_key(|&(_, &d)| d) else {
+    let Some(&(thief, min_depth)) = depths.iter().min_by_key(|&&(_, depth)| depth) else {
         return 0;
     };
     if victim == thief || max_depth < policy.min_backlog {
@@ -259,17 +440,18 @@ fn rebalance_once(shared: &FleetShared, policy: &StealPolicy) -> usize {
         return 0;
     }
     // Bounded: per-op cap, half the gap (stealing more would overshoot
-    // and invite a steal back), and the thief's free queue room.
+    // and invite a steal back), the thief's free queue room, and the
+    // victim's actually-migratable (non-Interactive) backlog.
     let budget = policy
         .max_steal
         .min((max_depth - min_depth) / 2)
-        .min(shared.shards[thief].free_queue_capacity());
+        .min(shared.shards[thief].free_queue_capacity())
+        .min(shared.shards[victim].evacuable_backlog());
     if budget == 0 {
         return 0;
     }
     let stolen = shared.shards[victim].steal_backlog(budget);
     if stolen.is_empty() {
-        // The victim's whole backlog was Interactive: nothing migratable.
         return 0;
     }
     let count = stolen.len();
@@ -288,36 +470,309 @@ fn rebalance_once(shared: &FleetShared, policy: &StealPolicy) -> usize {
     shared
         .stolen_requests
         .fetch_add(count as u64, Ordering::Relaxed);
-    if let Some(events) = &shared.events {
-        events.record(EventKind::WorkSteal {
-            from_shard: victim as u16,
-            to_shard: thief as u16,
-            count: count.min(u32::MAX as usize) as u32,
-        });
-    }
+    shared.record_event(EventKind::WorkSteal {
+        from_shard: victim as u16,
+        to_shard: thief as u16,
+        count: count.min(u32::MAX as usize) as u32,
+    });
     count
 }
 
+/// Steal coordinator thread: poll at the policy interval while work
+/// moves, back off exponentially (to ~10 ms) while the fleet is
+/// balanced, reset on the first migrated request.
 fn stealer_loop(shared: Arc<FleetShared>, policy: StealPolicy) {
-    while !shared.stop_stealer.load(Ordering::Acquire) {
-        std::thread::sleep(policy.interval);
-        rebalance_once(&shared, &policy);
+    let mut delay = policy.interval;
+    loop {
+        sleep_interruptible(&shared.stop_background, delay);
+        if shared.stop_background.load(Ordering::Acquire) {
+            return;
+        }
+        let moved = rebalance_once(&shared, &policy);
+        delay = if moved > 0 {
+            policy.interval
+        } else {
+            next_backoff(delay, policy.interval)
+        };
+    }
+}
+
+/// Per-shard bookkeeping the health monitor keeps between checks.
+#[derive(Default)]
+struct ShardBook {
+    /// Cumulative counters at the previous check (window deltas).
+    completed: u64,
+    errors: u64,
+    /// Consecutive checks with queued work and zero progress.
+    stall_streak: u32,
+    /// When the shard entered quarantine.
+    quarantined_at: Option<Instant>,
+    /// Cumulative `(completed, errors)` at probation start.
+    probation_base: Option<(u64, u64)>,
+    /// Consecutive error-free probation checks.
+    clean_checks: u32,
+}
+
+/// Health monitor thread: one [`check_shard`] per shard per interval.
+fn monitor_loop(shared: Arc<FleetShared>, policy: HealthPolicy) {
+    let mut books: Vec<ShardBook> = shared
+        .shards
+        .iter()
+        .map(|shard| {
+            let stats = shard.stats();
+            ShardBook {
+                completed: stats.completed,
+                errors: stats.errors,
+                ..ShardBook::default()
+            }
+        })
+        .collect();
+    loop {
+        sleep_interruptible(&shared.stop_background, policy.check_interval);
+        if shared.stop_background.load(Ordering::Acquire) {
+            return;
+        }
+        for (shard, book) in books.iter_mut().enumerate() {
+            check_shard(&shared, &policy, shard, book);
+        }
+    }
+}
+
+/// One health check of one shard: advance the window deltas, then drive
+/// the `Healthy → Suspect → Quarantined → Probation` machine.
+fn check_shard(shared: &FleetShared, policy: &HealthPolicy, shard: usize, book: &mut ShardBook) {
+    let stats = shared.shards[shard].stats();
+    let window_completed = stats.completed.saturating_sub(book.completed);
+    let window_errors = stats.errors.saturating_sub(book.errors);
+    book.completed = stats.completed;
+    book.errors = stats.errors;
+    match shared.health_state(shard) {
+        state @ (HealthState::Healthy | HealthState::Suspect) => {
+            let events = window_completed + window_errors;
+            let mut bad = false;
+            // Error-rate signal, gated on a minimum event count so one
+            // unlucky request cannot condemn an idle shard.
+            if events >= policy.min_window_events.max(1)
+                && window_errors as f64 >= policy.error_rate_threshold * events as f64
+            {
+                bad = true;
+            }
+            // Breaker signal: an open breaker means the model path is
+            // down (read-only check; the half-open probe is preserved).
+            if shared.shards[shard].breaker_open() {
+                bad = true;
+            }
+            // Drain-stall watchdog: queued work, zero progress, for
+            // `stall_checks` consecutive checks (a wedged or straggling
+            // shard that produces neither completions nor errors).
+            if shared.shards[shard].queue_depth() >= policy.stall_depth.max(1)
+                && window_completed == 0
+                && window_errors == 0
+            {
+                book.stall_streak += 1;
+                if book.stall_streak >= policy.stall_checks {
+                    bad = true;
+                }
+            } else {
+                book.stall_streak = 0;
+            }
+            if bad {
+                if state == HealthState::Healthy {
+                    shared.set_health(shard, HealthState::Suspect);
+                } else {
+                    quarantine(shared, shard, book);
+                }
+            } else if state == HealthState::Suspect && events > 0 {
+                // A clean window with real traffic clears the suspicion.
+                shared.set_health(shard, HealthState::Healthy);
+            }
+        }
+        HealthState::Quarantined => {
+            let held_long_enough = match book.quarantined_at {
+                Some(at) => at.elapsed() >= policy.quarantine_hold,
+                None => true,
+            };
+            if held_long_enough {
+                shared.set_health(shard, HealthState::Probation);
+                book.probation_base = Some((stats.completed, stats.errors));
+                book.clean_checks = 0;
+                shared.refresh_probation_flag();
+            }
+        }
+        HealthState::Probation => {
+            let (base_completed, base_errors) =
+                book.probation_base.unwrap_or((book.completed, book.errors));
+            if stats.errors.saturating_sub(base_errors) > 0 {
+                // The trickle failed: back to quarantine (counted again),
+                // and evacuate whatever the trickle queued on it.
+                quarantine(shared, shard, book);
+            } else {
+                book.clean_checks += 1;
+                let proven = stats.completed.saturating_sub(base_completed)
+                    >= policy.probation_min_completions;
+                if proven && book.clean_checks >= policy.probation_checks {
+                    recover(shared, shard, book);
+                }
+            }
+        }
+    }
+}
+
+/// Quarantines a shard: off the ring (successor rerouting), backlog
+/// evacuated to survivors, hold timer started. Refuses to remove the
+/// last routable shard — a fleet with nowhere to route keeps serving
+/// (however badly) rather than blackholing everything.
+fn quarantine(shared: &FleetShared, shard: usize, book: &mut ShardBook) {
+    let was_probation = shared.health_state(shard) == HealthState::Probation;
+    if !was_probation && shared.routable_shards().len() <= 1 {
+        return;
+    }
+    shared.set_health(shard, HealthState::Quarantined);
+    if !was_probation {
+        // A probation shard is already off the ring.
+        shared.rebuild_ring();
+    }
+    shared.quarantines.fetch_add(1, Ordering::Relaxed);
+    book.quarantined_at = Some(Instant::now());
+    book.stall_streak = 0;
+    book.probation_base = None;
+    book.clean_checks = 0;
+    shared.record_event(EventKind::ShardQuarantine {
+        shard: shard as u16,
+    });
+    evacuate(shared, shard);
+    shared.refresh_probation_flag();
+}
+
+/// Re-admits a probation shard: back on the ring, counters reset.
+fn recover(shared: &FleetShared, shard: usize, book: &mut ShardBook) {
+    shared.set_health(shard, HealthState::Healthy);
+    shared.rebuild_ring();
+    shared.recoveries.fetch_add(1, Ordering::Relaxed);
+    book.quarantined_at = None;
+    book.probation_base = None;
+    book.clean_checks = 0;
+    book.stall_streak = 0;
+    shared.record_event(EventKind::ShardRecover {
+        shard: shard as u16,
+    });
+    shared.refresh_probation_flag();
+}
+
+/// Evacuates a quarantined shard's migratable backlog (`Standard` ∪
+/// `BestEffort`; `Interactive` always drains on its home shard) into the
+/// surviving routable shards, shallowest first, split evenly. Every
+/// ticket survives: a survivor rejects an injection only while shutting
+/// down, in which case the batch cascades to the next survivor, then
+/// re-homes to the victim (whose workers still run under quarantine),
+/// then — both ends shutting down — fails with `ShutDown` exactly like
+/// shutdown's own queue drain.
+fn evacuate(shared: &FleetShared, from: usize) {
+    let mut remaining: Vec<QueuedRequest> = shared.shards[from].steal_backlog(usize::MAX);
+    if remaining.is_empty() {
+        return;
+    }
+    let total = remaining.len();
+    let mut survivors: Vec<usize> = shared
+        .routable_shards()
+        .into_iter()
+        .filter(|&shard| shard != from)
+        .collect();
+    survivors.sort_by_key(|&shard| shared.shards[shard].queue_depth());
+    let count = survivors.len();
+    for (index, &target) in survivors.iter().enumerate() {
+        if remaining.is_empty() {
+            break;
+        }
+        let share = remaining.len().div_ceil(count - index);
+        let batch: Vec<QueuedRequest> = remaining.drain(..share).collect();
+        let rejected = shared.shards[target].inject_backlog(batch);
+        remaining.extend(rejected);
+    }
+    let moved = total - remaining.len();
+    if !remaining.is_empty() {
+        let stranded = shared.shards[from].inject_backlog(remaining);
+        if !stranded.is_empty() {
+            shared.shards[from].abandon_backlog(stranded);
+        }
+    }
+    if moved > 0 {
+        shared
+            .evacuated_requests
+            .fetch_add(moved as u64, Ordering::Relaxed);
+        shared.record_event(EventKind::BacklogEvacuation {
+            from_shard: from as u16,
+            count: moved.min(u32::MAX as usize) as u32,
+        });
+    }
+}
+
+/// Chaos injector thread: replays the deterministic fault schedule
+/// against the wall clock, applying each fault at its start offset and
+/// clearing it at its end. Spawned only when the plan is active.
+fn injector_loop(shared: Arc<FleetShared>, schedule: Vec<FaultEvent>) {
+    // Interleave applies and clears into one timeline. Overlapping
+    // windows of *different* kinds on one shard resolve last-writer-wins
+    // (the fault word holds one fault), which the deterministic schedule
+    // makes reproducible.
+    let mut actions: Vec<(Duration, usize, Option<InducedFault>)> = Vec::new();
+    for event in &schedule {
+        actions.push((event.at, event.shard, Some(event.fault)));
+        actions.push((event.until, event.shard, None));
+    }
+    actions.sort_by_key(|&(at, shard, fault)| (at, fault.is_some(), shard));
+    let start = Instant::now();
+    for (at, shard, fault) in actions {
+        loop {
+            if shared.stop_background.load(Ordering::Acquire) {
+                return;
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= at {
+                break;
+            }
+            std::thread::sleep((at - elapsed).min(STOP_POLL));
+        }
+        shared.shards[shard].set_induced_fault(fault);
+    }
+}
+
+/// True for errors a cross-shard retry can plausibly rescue: the failed
+/// shard's model/scoring path is down, or that one shard is shutting
+/// down. Saturation, shedding, and throttling are *policy* outcomes —
+/// retrying them elsewhere would launder QoS decisions.
+fn retryable(error: &ServeError) -> bool {
+    matches!(
+        error,
+        ServeError::Model(_) | ServeError::Scoring(_) | ServeError::ShutDown
+    )
+}
+
+/// The ring key a request routes by: its tenant's position, or — for
+/// untenanted requests — the position of its feature content.
+fn routing_key(request: &ScoreRequest) -> u64 {
+    match request.tenant() {
+        Some(tenant) => HashRing::key_for_tenant(tenant),
+        None => HashRing::key_for_features(request.features()),
     }
 }
 
 /// A fleet of shard-local [`ScoringRuntime`]s behind a deterministic
-/// consistent-hash router, with optional bounded work stealing. See the
-/// [module docs](self) for the architecture and contracts.
+/// consistent-hash router, with optional bounded work stealing and
+/// health-driven failover. See the [module docs](self) for the
+/// architecture and contracts.
 ///
 /// Construct with [`ShardedRuntime::new`]; submit from any thread with
 /// the same request vocabulary as a single runtime
 /// ([`submit`](Self::submit), [`try_submit`](Self::try_submit),
 /// [`submit_detached`](Self::submit_detached), …); inspect with
-/// [`stats`](Self::stats) (per-shard + aggregate); stop with
+/// [`stats`](Self::stats) (per-shard + aggregate + health); stop with
 /// [`shutdown`](Self::shutdown) (or drop the handle).
 pub struct ShardedRuntime {
     shared: Arc<FleetShared>,
-    stealer: StdMutex<Option<JoinHandle<()>>>,
+    /// Background threads (steal coordinator, health monitor, chaos
+    /// injector), joined once by whichever shutdown call drains them.
+    background: StdMutex<Vec<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for ShardedRuntime {
@@ -325,18 +780,22 @@ impl std::fmt::Debug for ShardedRuntime {
         f.debug_struct("ShardedRuntime")
             .field("shards", &self.shared.shards.len())
             .field("queue_depths", &self.queue_depths())
+            .field("health", &self.health())
             .finish()
     }
 }
 
 impl ShardedRuntime {
     /// Builds the fleet: `config.shards` runtimes over one registry and
-    /// model name, a vnode ring keyed by `config.ring_seed`, and (unless
-    /// disabled) the steal coordinator thread.
+    /// model name, a vnode ring keyed by `config.ring_seed`, and the
+    /// configured background threads — the steal coordinator (unless
+    /// disabled), the health monitor (when a policy is set on a
+    /// multi-shard fleet), and the chaos injector (when the fault plan is
+    /// active).
     ///
     /// With observability configured in the per-shard template, shard `i`
     /// registers its metrics under `{prefix}.shard{i}` and the fleet
-    /// registers its steal counters under `{prefix}.fleet` — all in the
+    /// registers its own counters under `{prefix}.fleet` — all in the
     /// same registry, no name collisions.
     pub fn new(
         registry: Arc<ModelRegistry>,
@@ -355,15 +814,46 @@ impl ShardedRuntime {
                 ScoringRuntime::new(Arc::clone(&registry), model_name.clone(), runtime_config)
             })
             .collect();
+        // Health monitoring and failover need somewhere to fail over to.
+        let health_policy = config.health.filter(|_| config.shards > 1);
+        let retry_budget = health_policy
+            .as_ref()
+            .filter(|policy| policy.retry_budget > 0)
+            .map(|policy| {
+                RetryBudget::new(
+                    policy.retry_budget,
+                    policy.retry_refill_per_sec,
+                    Instant::now(),
+                )
+            });
         let shared = Arc::new(FleetShared {
-            ring: HashRing::new(config.ring_seed, config.vnodes_per_shard, config.shards),
+            ring: RwLock::new(HashRing::new(
+                config.ring_seed,
+                config.vnodes_per_shard,
+                config.shards,
+            )),
+            ring_seed: config.ring_seed,
+            vnodes_per_shard: config.vnodes_per_shard,
+            health: (0..config.shards)
+                .map(|_| AtomicU8::new(HealthState::Healthy as u8))
+                .collect(),
+            health_policy,
+            retry_budget,
             shards,
             steal_ops: AtomicU64::new(0),
             stolen_requests: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+            evacuated_requests: AtomicU64::new(0),
+            failover_retries: AtomicU64::new(0),
+            retries_denied: AtomicU64::new(0),
+            probe_counter: AtomicU64::new(0),
+            probation_active: AtomicBool::new(false),
             events: base_obs
                 .as_ref()
                 .map(|obs| EventSink::new(obs.event_capacity)),
-            stop_stealer: AtomicBool::new(false),
+            stop_background: AtomicBool::new(false),
+            shutting_down: AtomicBool::new(false),
         });
         if let Some(obs) = &base_obs {
             obs.registry.register_source(Box::new(FleetSource {
@@ -371,16 +861,38 @@ impl ShardedRuntime {
                 shared: Arc::downgrade(&shared),
             }));
         }
-        let stealer = config.steal.filter(|_| config.shards > 1).map(|policy| {
+        let mut background = Vec::new();
+        if let Some(policy) = config.steal.filter(|_| config.shards > 1) {
             let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("ae-serve-stealer".to_string())
-                .spawn(move || stealer_loop(shared, policy))
-                .expect("spawning the fleet steal coordinator")
-        });
+            background.push(
+                std::thread::Builder::new()
+                    .name("ae-serve-stealer".to_string())
+                    .spawn(move || stealer_loop(shared, policy))
+                    .expect("spawning the fleet steal coordinator"),
+            );
+        }
+        if let Some(policy) = shared.health_policy.clone() {
+            let shared_clone = Arc::clone(&shared);
+            background.push(
+                std::thread::Builder::new()
+                    .name("ae-serve-health".to_string())
+                    .spawn(move || monitor_loop(shared_clone, policy))
+                    .expect("spawning the fleet health monitor"),
+            );
+        }
+        if config.fault_plan.is_active() {
+            let schedule = config.fault_plan.schedule(config.shards);
+            let shared_clone = Arc::clone(&shared);
+            background.push(
+                std::thread::Builder::new()
+                    .name("ae-serve-chaos".to_string())
+                    .spawn(move || injector_loop(shared_clone, schedule))
+                    .expect("spawning the fleet chaos injector"),
+            );
+        }
         Self {
             shared,
-            stealer: StdMutex::new(stealer),
+            background: StdMutex::new(background),
         }
     }
 
@@ -405,52 +917,167 @@ impl ShardedRuntime {
         &self.shared.shards[shard]
     }
 
-    /// The fleet's consistent-hash ring.
-    pub fn ring(&self) -> &HashRing {
-        &self.shared.ring
+    /// A snapshot of the fleet's current consistent-hash ring (members
+    /// are the routable shards; without a health policy, all of them).
+    pub fn ring(&self) -> HashRing {
+        self.shared.ring.read().clone()
     }
 
-    /// The shard a request routes to: its tenant's ring position, or —
-    /// for untenanted requests — the ring position of its feature
-    /// content. Pure function of the request and the fleet config.
+    /// One shard's current health state.
+    pub fn shard_health(&self, shard: usize) -> HealthState {
+        self.shared.health_state(shard)
+    }
+
+    /// Every shard's current health state, indexed by shard id.
+    pub fn health(&self) -> Vec<HealthState> {
+        (0..self.shared.shards.len())
+            .map(|shard| self.shared.health_state(shard))
+            .collect()
+    }
+
+    /// Induces a chaos fault on one shard (the programmatic analogue of
+    /// a [`FleetFaultPlan`] window — tests and operational drills).
+    /// Takes effect on the shard's next batch; overwrites any prior
+    /// induced fault.
+    pub fn induce_shard_fault(&self, shard: usize, fault: InducedFault) {
+        self.shared.shards[shard].set_induced_fault(Some(fault));
+    }
+
+    /// Clears any induced chaos fault on one shard. Service recovers on
+    /// the next batch (modulo a still-open breaker cooling down); ring
+    /// re-admission is the health monitor's probation path, not this.
+    pub fn clear_shard_fault(&self, shard: usize) {
+        self.shared.shards[shard].set_induced_fault(None);
+    }
+
+    /// The currently induced chaos fault on one shard, if any.
+    pub fn shard_fault(&self, shard: usize) -> Option<InducedFault> {
+        self.shared.shards[shard].induced_fault()
+    }
+
+    /// The shard a request routes to: its tenant's position on the
+    /// current ring, or — for untenanted requests — the position of its
+    /// feature content. A pure function of the request and the current
+    /// ring membership (which only a health policy ever changes).
     pub fn route(&self, request: &ScoreRequest) -> usize {
-        let key = match request.tenant() {
-            Some(tenant) => HashRing::key_for_tenant(tenant),
-            None => HashRing::key_for_features(request.features()),
-        };
-        self.shared.ring.shard_for_key(key) as usize
+        self.shared.ring.read().shard_for_key(routing_key(request)) as usize
     }
 
-    /// The shard a tenant routes to.
+    /// The shard a tenant routes to on the current ring.
     pub fn shard_for_tenant(&self, tenant: crate::tenant::TenantId) -> usize {
-        self.shared.ring.shard_for_tenant(tenant) as usize
+        self.shared.ring.read().shard_for_tenant(tenant) as usize
+    }
+
+    /// [`route`](Self::route), plus the probation trickle: when some
+    /// shard is in [`HealthState::Probation`], every
+    /// `probation_stride`-th non-`Interactive` submission diverts to it
+    /// as the fleet-level half-open probe. `Interactive` traffic never
+    /// probes — its deadlines are too tight to gamble on a recovering
+    /// shard. One relaxed load in steady state.
+    fn route_for_submit(&self, request: &ScoreRequest) -> usize {
+        let shard = self.route(request);
+        if !self.shared.probation_active.load(Ordering::Acquire) {
+            return shard;
+        }
+        let Some(policy) = &self.shared.health_policy else {
+            return shard;
+        };
+        if request.level() == ServiceLevel::Interactive {
+            return shard;
+        }
+        let tick = self.shared.probe_counter.fetch_add(1, Ordering::Relaxed);
+        if !tick.is_multiple_of(policy.probation_stride) {
+            return shard;
+        }
+        (0..self.shared.shards.len())
+            .find(|&candidate| self.shared.health_state(candidate) == HealthState::Probation)
+            .unwrap_or(shard)
+    }
+
+    /// Routes a synchronous call with failover: on a retryable error
+    /// from the routed shard, re-submit once to a surviving ring member
+    /// (the key's successor with the failed shard removed), bounded by
+    /// the retry token bucket. Without a health policy this adds nothing
+    /// to the call — no clone, no extra branch beyond one `None` check.
+    fn call_with_failover<T>(
+        &self,
+        request: ScoreRequest,
+        call: impl Fn(&ScoringRuntime, ScoreRequest) -> Result<T>,
+    ) -> Result<T> {
+        let shard = self.route_for_submit(&request);
+        let Some(budget) = &self.shared.retry_budget else {
+            return call(&self.shared.shards[shard], request);
+        };
+        let retry = request.clone();
+        let error = match call(&self.shared.shards[shard], request) {
+            Ok(outcome) => return Ok(outcome),
+            Err(error) => error,
+        };
+        if !retryable(&error) || self.shared.shutting_down.load(Ordering::Acquire) {
+            return Err(error);
+        }
+        let Some(target) = self.failover_target(&retry, shard) else {
+            return Err(error);
+        };
+        if !budget.try_take(Instant::now()) {
+            self.shared.retries_denied.fetch_add(1, Ordering::Relaxed);
+            return Err(error);
+        }
+        self.shared.failover_retries.fetch_add(1, Ordering::Relaxed);
+        self.shared.record_event(EventKind::FailoverRetry {
+            from_shard: shard as u16,
+            to_shard: target as u16,
+        });
+        call(&self.shared.shards[target], retry)
+    }
+
+    /// The failover destination for a request whose routed shard failed:
+    /// the key's successor on the current ring with the failed shard
+    /// removed (deterministic — the same rerouting quarantining that
+    /// shard would cause). `None` when no other shard is routable.
+    fn failover_target(&self, request: &ScoreRequest, from: usize) -> Option<usize> {
+        let ring = self.shared.ring.read();
+        let key = routing_key(request);
+        let candidate = ring.shard_for_key(key) as usize;
+        if candidate != from {
+            // The ring already routes elsewhere (the shard was
+            // quarantined between routing and failure).
+            return Some(candidate);
+        }
+        if ring.num_shards() <= 1 {
+            return None;
+        }
+        Some(ring.without_shard(from as u16).shard_for_key(key) as usize)
     }
 
     /// Routes and submits with backpressure, blocking until the result is
-    /// ready (the fleet analogue of [`ScoringRuntime::submit`]).
+    /// ready (the fleet analogue of [`ScoringRuntime::submit`]). With a
+    /// health policy configured, a retryable failure is re-submitted once
+    /// to a surviving shard under the retry budget.
     pub fn submit(&self, request: ScoreRequest) -> Result<ScoreOutcome> {
-        let shard = self.route(&request);
-        self.shared.shards[shard].submit(request)
+        self.call_with_failover(request, |shard, request| shard.submit(request))
     }
 
     /// Routes and submits without backpressure (fail-fast
-    /// [`ServeError::Saturated`](crate::ServeError::Saturated) on a full
-    /// shard queue).
+    /// [`ServeError::Saturated`] on a full
+    /// shard queue — saturation is a policy outcome and is never retried
+    /// elsewhere).
     pub fn try_submit(&self, request: ScoreRequest) -> Result<ScoreOutcome> {
-        let shard = self.route(&request);
-        self.shared.shards[shard].try_submit(request)
+        self.call_with_failover(request, |shard, request| shard.try_submit(request))
     }
 
     /// Routes and admits a detached submission (with backpressure),
-    /// returning the shard's [`ScoreTicket`].
+    /// returning the shard's [`ScoreTicket`]. Detached tickets redeem on
+    /// their admitting shard; failover applies to the synchronous paths,
+    /// where the caller is still present to re-submit.
     pub fn submit_detached(&self, request: ScoreRequest) -> Result<ScoreTicket> {
-        let shard = self.route(&request);
+        let shard = self.route_for_submit(&request);
         self.shared.shards[shard].submit_detached(request)
     }
 
     /// Routes and admits a detached submission fail-fast.
     pub fn try_submit_detached(&self, request: ScoreRequest) -> Result<ScoreTicket> {
-        let shard = self.route(&request);
+        let shard = self.route_for_submit(&request);
         self.shared.shards[shard].try_submit_detached(request)
     }
 
@@ -474,31 +1101,42 @@ impl ShardedRuntime {
     }
 
     /// A point-in-time snapshot of every shard's counters plus the
-    /// fleet's steal accounting.
+    /// fleet's steal and resilience accounting.
     pub fn stats(&self) -> FleetStats {
         FleetStats {
             shards: self.shared.shards.iter().map(|s| s.stats()).collect(),
             steal_ops: self.shared.steal_ops.load(Ordering::Relaxed),
             stolen_requests: self.shared.stolen_requests.load(Ordering::Relaxed),
+            quarantines: self.shared.quarantines.load(Ordering::Relaxed),
+            recoveries: self.shared.recoveries.load(Ordering::Relaxed),
+            evacuated_requests: self.shared.evacuated_requests.load(Ordering::Relaxed),
+            failover_retries: self.shared.failover_retries.load(Ordering::Relaxed),
+            retries_denied: self.shared.retries_denied.load(Ordering::Relaxed),
+            health: self.health(),
         }
     }
 
-    /// The fleet-level event sink (work-steal operations), when the
-    /// per-shard template enables observability. Per-shard events stay in
-    /// each shard's own sink
-    /// ([`ScoringRuntime::observability`]).
+    /// The fleet-level event sink (work steals, quarantines, recoveries,
+    /// failover retries, evacuations), when the per-shard template
+    /// enables observability. Per-shard events stay in each shard's own
+    /// sink ([`ScoringRuntime::observability`]).
     pub fn events(&self) -> Option<&EventSink> {
         self.shared.events.as_ref()
     }
 
-    /// Stops the fleet: the steal coordinator first (so no migration
-    /// races the drain), then every shard — in-flight batches finish,
-    /// queued requests fail with
-    /// [`ServeError::ShutDown`](crate::ServeError::ShutDown), workers are
-    /// joined. Idempotent; dropping the handle shuts down too.
+    /// Stops the fleet: background threads first (so no steal, health
+    /// transition, or injected fault races the drain — an in-progress
+    /// evacuation completes before any shard begins draining), then
+    /// every shard — in-flight batches finish, queued requests fail with
+    /// [`ServeError::ShutDown`], workers are
+    /// joined. Idempotent and safe to call concurrently (each background
+    /// thread and worker is joined exactly once; stats are not
+    /// double-counted); dropping the handle shuts down too.
     pub fn shutdown(&self) {
-        self.shared.stop_stealer.store(true, Ordering::Release);
-        if let Some(handle) = lock(&self.stealer).take() {
+        self.shared.shutting_down.store(true, Ordering::Release);
+        self.shared.stop_background.store(true, Ordering::Release);
+        let handles: Vec<JoinHandle<()>> = lock(&self.background).drain(..).collect();
+        for handle in handles {
             let _ = handle.join();
         }
         for shard in &self.shared.shards {
@@ -550,9 +1188,53 @@ mod tests {
         assert_eq!(fleet.vnodes_per_shard, 1);
         let det = FleetConfig::deterministic(4, &cfg);
         assert!(det.steal.is_none());
+        assert!(det.health.is_none());
+        assert!(!det.fault_plan.is_active());
         assert_eq!(det.runtime.workers, 1);
         let stealing = FleetConfig::new(2, RuntimeConfig::deterministic(&cfg))
-            .with_steal(StealPolicy::default());
+            .with_steal(StealPolicy::default())
+            .with_health(HealthPolicy::default())
+            .with_fault_plan(FleetFaultPlan::none().with_crashes(1.0, Duration::from_millis(10)));
         assert!(stealing.steal.is_some());
+        assert!(stealing.health.is_some());
+        assert!(stealing.fault_plan.is_active());
+    }
+
+    #[test]
+    fn steal_backoff_doubles_to_cap_and_has_a_spin_floor() {
+        let base = Duration::from_micros(100);
+        // Doubling schedule from the base...
+        let mut delay = base;
+        let mut schedule = Vec::new();
+        for _ in 0..12 {
+            delay = next_backoff(delay, base);
+            schedule.push(delay);
+        }
+        assert_eq!(schedule[0], Duration::from_micros(200));
+        assert_eq!(schedule[1], Duration::from_micros(400));
+        // ...strictly growing until the cap, then pinned there.
+        for pair in schedule.windows(2) {
+            assert!(pair[1] >= pair[0]);
+        }
+        assert_eq!(*schedule.last().unwrap(), STEAL_BACKOFF_CAP);
+        // A zero interval cannot spin: the floor kicks the doubling off.
+        let from_zero = next_backoff(Duration::ZERO, Duration::ZERO);
+        assert!(from_zero >= STEAL_BACKOFF_FLOOR);
+        assert!(next_backoff(from_zero, Duration::ZERO) > from_zero);
+        // A base above the cap is honored as the cap.
+        let slow = Duration::from_millis(50);
+        assert_eq!(next_backoff(slow, slow), slow);
+    }
+
+    #[test]
+    fn retryable_errors_exclude_policy_outcomes() {
+        assert!(retryable(&ServeError::Model("down".into())));
+        assert!(retryable(&ServeError::Scoring("crash".into())));
+        assert!(retryable(&ServeError::ShutDown));
+        assert!(!retryable(&ServeError::Saturated));
+        assert!(!retryable(&ServeError::Shed));
+        assert!(!retryable(&ServeError::Throttled(crate::tenant::TenantId(
+            7
+        ))));
     }
 }

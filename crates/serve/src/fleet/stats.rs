@@ -8,6 +8,7 @@
 //! sum of per-shard counters, with stolen requests counted once, by the
 //! shard that scored them (`tests/fleet_stress.rs`).
 
+use super::resilience::HealthState;
 use crate::stats::RuntimeStats;
 
 /// A point-in-time snapshot of every shard's counters plus the fleet's
@@ -30,6 +31,27 @@ pub struct FleetStats {
     /// request's *completion* is counted by the shard that scored it, so
     /// this is a flow counter, not part of any completion total.
     pub stolen_requests: u64,
+    /// Shard quarantine transitions (a shard re-quarantined after a
+    /// failed probation counts again).
+    pub quarantines: u64,
+    /// Probationary re-admissions back onto the routing ring.
+    pub recoveries: u64,
+    /// Queued requests evacuated out of quarantined shards into
+    /// survivors. A flow counter like
+    /// [`stolen_requests`](Self::stolen_requests): each evacuee's
+    /// completion is counted once, by the shard that scored it.
+    pub evacuated_requests: u64,
+    /// Cross-shard failover retry *attempts* (each consumed one budget
+    /// token). A rescued retry leaves one error on the failed shard and
+    /// one completion on the target, so for a quiescent fleet
+    /// `aggregate().errors == client-visible errors + failover_retries`.
+    pub failover_retries: u64,
+    /// Retryable failures that could not be retried because the token
+    /// bucket was empty (the original error propagated to the client).
+    pub retries_denied: u64,
+    /// Every shard's health state at snapshot time, indexed by shard id.
+    /// All [`HealthState::Healthy`] when no health policy is configured.
+    pub health: Vec<HealthState>,
 }
 
 impl FleetStats {
@@ -81,6 +103,18 @@ impl FleetStats {
                 .collect(),
             steal_ops: self.steal_ops.saturating_sub(before.steal_ops),
             stolen_requests: self.stolen_requests.saturating_sub(before.stolen_requests),
+            quarantines: self.quarantines.saturating_sub(before.quarantines),
+            recoveries: self.recoveries.saturating_sub(before.recoveries),
+            evacuated_requests: self
+                .evacuated_requests
+                .saturating_sub(before.evacuated_requests),
+            failover_retries: self
+                .failover_retries
+                .saturating_sub(before.failover_retries),
+            retries_denied: self.retries_denied.saturating_sub(before.retries_denied),
+            // Health is a point-in-time state, not a counter: a delta
+            // carries the *current* (newer) states.
+            health: self.health.clone(),
         }
     }
 }
@@ -117,6 +151,7 @@ mod tests {
             shards: vec![shard_stats(10), shard_stats(20), shard_stats(31)],
             steal_ops: 2,
             stolen_requests: 9,
+            ..FleetStats::default()
         };
         let total = fleet.aggregate();
         assert_eq!(total.completed, 10 + 20 + 31);
@@ -144,17 +179,39 @@ mod tests {
             shards: vec![shard_stats(10), shard_stats(20)],
             steal_ops: 1,
             stolen_requests: 4,
+            quarantines: 1,
+            recoveries: 0,
+            evacuated_requests: 5,
+            failover_retries: 2,
+            retries_denied: 0,
+            health: vec![HealthState::Healthy, HealthState::Quarantined],
         };
         let after = FleetStats {
             shards: vec![shard_stats(15), shard_stats(20)],
             steal_ops: 3,
             stolen_requests: 10,
+            quarantines: 2,
+            recoveries: 1,
+            evacuated_requests: 12,
+            failover_retries: 5,
+            retries_denied: 1,
+            health: vec![HealthState::Healthy, HealthState::Probation],
         };
         let delta = after.delta_since(&before);
         assert_eq!(delta.shard(0).completed, 5);
         assert_eq!(delta.shard(1).completed, 0);
         assert_eq!(delta.steal_ops, 2);
         assert_eq!(delta.stolen_requests, 6);
+        assert_eq!(delta.quarantines, 1);
+        assert_eq!(delta.recoveries, 1);
+        assert_eq!(delta.evacuated_requests, 7);
+        assert_eq!(delta.failover_retries, 3);
+        assert_eq!(delta.retries_denied, 1);
+        // A delta carries the newer snapshot's point-in-time health.
+        assert_eq!(
+            delta.health,
+            vec![HealthState::Healthy, HealthState::Probation]
+        );
         // The aggregate of a delta equals the delta of the aggregates
         // (both are sums of the same per-shard differences).
         assert_eq!(

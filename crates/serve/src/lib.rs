@@ -67,6 +67,19 @@
 //! mode is bit-identical to a bare [`ScoringRuntime`] (pinned by
 //! `tests/fleet_determinism.rs`).
 //!
+//! The fleet is **resilient to shard loss** (see [`fleet::resilience`]
+//! and `docs/resilience.md`): a deterministic [`FleetFaultPlan`] injects
+//! shard crashes, stalls, and model outages on per-shard seed streams
+//! (mirroring the engine's `FaultPlan` contract); an opt-in
+//! [`HealthPolicy`] drives each shard through `Healthy → Suspect →
+//! Quarantined → Probation` — quarantining removes the shard from the
+//! ring (only its keys move, each to its successor), evacuates its
+//! `Standard`/`BestEffort` backlog into survivors with no ticket lost,
+//! and failed in-flight requests are re-submitted to a surviving shard
+//! under a bounded retry budget; probation re-admits a recovered shard
+//! on a trickle of real traffic before full ring re-insertion
+//! (`tests/fleet_resilience.rs`).
+//!
 //! **Observability** (see [`obs`] and `docs/observability.md`) is opt-in
 //! via [`RuntimeConfig::with_observability`](config::RuntimeConfig::with_observability):
 //! the runtime then publishes its counters, per-level latency
@@ -91,7 +104,10 @@ pub mod tenant;
 
 pub use breaker::BreakerConfig;
 pub use config::RuntimeConfig;
-pub use fleet::{FleetConfig, FleetStats, HashRing, ShardedRuntime, StealPolicy};
+pub use fleet::{
+    FleetConfig, FleetFaultPlan, FleetStats, HashRing, HealthPolicy, HealthState, InducedFault,
+    ShardedRuntime, StealPolicy,
+};
 pub use obs::{ObsConfig, RuntimeObs};
 pub use qos::{price_quote, price_quote_parts, PriceQuote, QosConfig, ServiceLevel};
 pub use runtime::{ScoreOutcome, ScoreRequest, ScoreTicket, ScoringRuntime};

@@ -354,6 +354,16 @@ impl PriorityQueues {
         self.len == 0
     }
 
+    /// Queued requests at `Standard` ∪ `BestEffort` — the migratable
+    /// backlog. [`steal_least_urgent`](Self::steal_least_urgent) moves
+    /// exactly these; `Interactive` never leaves its home shard, so the
+    /// steal coordinator and the quarantine evacuator size their work
+    /// from this count, not [`len`](Self::len).
+    pub(crate) fn evacuable_len(&self) -> usize {
+        self.heaps[ServiceLevel::Standard.index()].len()
+            + self.heaps[ServiceLevel::BestEffort.index()].len()
+    }
+
     /// Admits one request into its level's EDF heap.
     pub(crate) fn push(&mut self, request: QueuedRequest) {
         let level = request.level;

@@ -21,7 +21,7 @@
 //! (its queueing delay, and whether it survives saturation), never
 //! *answers*.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -39,6 +39,7 @@ use parking_lot::RwLock;
 
 use crate::breaker::{heuristic_request, Breaker};
 use crate::config::RuntimeConfig;
+use crate::fleet::resilience::{decode_fault, encode_fault, InducedFault};
 use crate::obs::RuntimeObs;
 use crate::qos::{self, PriceQuote, PriorityQueues, QueuedRequest, ServiceLevel};
 use crate::stats::{RuntimeStats, StatsInner};
@@ -326,6 +327,11 @@ struct Shared {
     /// The degraded-mode circuit breaker (present only when the config
     /// enables it; see [`crate::breaker`]).
     breaker: Option<Breaker>,
+    /// The chaos-injected fault word (see [`crate::fleet::resilience`]):
+    /// zero when no fault is induced, so the production hot path pays one
+    /// relaxed load per batch and stays bit-identical to a runtime built
+    /// before fault injection existed.
+    induced: AtomicU64,
     stats: StatsInner,
     /// Opt-in observability (event sink + latency histograms; see
     /// [`crate::obs`]). `None` keeps every instrumentation site to one
@@ -342,10 +348,23 @@ impl Shared {
         }
     }
 
+    /// The currently induced chaos fault, if any (one relaxed load).
+    fn induced(&self) -> Option<InducedFault> {
+        let word = self.induced.load(Ordering::Relaxed);
+        if word == 0 {
+            None
+        } else {
+            decode_fault(word)
+        }
+    }
+
     /// Returns the decoded parameter model, fetching/decoding it if the
     /// registry holds a model the cache has not seen (never holds a cache
     /// lock across registry access or deserialization).
     fn resolve_model(&self) -> Result<Arc<ParameterModel>> {
+        if matches!(self.induced(), Some(InducedFault::ModelOutage)) {
+            return Err(ServeError::Model("induced model outage".into()));
+        }
         let portable = self
             .registry
             .load(&self.model_name)
@@ -422,6 +441,11 @@ impl Shared {
     /// returned flag marks a degraded (fallback-served) answer. Without a
     /// breaker this is exactly the model path.
     fn score_one(&self, features: &[f64]) -> Result<(ResourceRequest, bool)> {
+        // An induced crash fails hard — past the breaker's fallback — so
+        // the fleet health monitor sees real errors, like a dead process.
+        if matches!(self.induced(), Some(InducedFault::Crash)) {
+            return Err(ServeError::Scoring("induced shard crash".into()));
+        }
         let Some(breaker) = &self.breaker else {
             return self.model_score_one(features).map(|r| (r, false));
         };
@@ -531,6 +555,19 @@ impl Shared {
     /// success/failure observation.
     fn process_batch(&self, matrix: &mut FeatureMatrix, batch: Vec<QueuedRequest>) {
         debug_assert!(!batch.is_empty());
+        match self.induced() {
+            // A crashed shard fails the whole batch hard (no fallback):
+            // that is what makes quarantine detectable and failover real.
+            Some(InducedFault::Crash) => {
+                self.fail_batch(&batch, ServeError::Scoring("induced shard crash".into()));
+                return;
+            }
+            // A stalled shard still answers correctly — late. The delay
+            // runs on the worker thread, so the queue backs up exactly
+            // like a straggler's would.
+            Some(InducedFault::Stall(delay)) if !delay.is_zero() => std::thread::sleep(delay),
+            _ => {}
+        }
         if batch.len() == 1 {
             let result = self.score_one(&batch[0].features);
             self.stats.record_batch(1, result.is_err());
@@ -742,6 +779,7 @@ impl ScoringRuntime {
             governor: config.qos.fairness.map(TenantGovernor::new),
             model: RwLock::new(None),
             breaker: config.breaker.clone().map(Breaker::new),
+            induced: AtomicU64::new(0),
             stats: StatsInner::new(config.max_batch),
             obs: config.observability.as_ref().map(RuntimeObs::new),
             config,
@@ -1140,6 +1178,37 @@ impl ScoringRuntime {
             self.shared.stats.record_error();
             request.done.fulfill(Err(ServeError::ShutDown));
         }
+    }
+
+    /// Crate-internal (fleet chaos): induces or clears a fault on this
+    /// runtime. Takes effect on the next batch/inline score; clearing
+    /// restores normal service (modulo a still-open breaker cooling down).
+    pub(crate) fn set_induced_fault(&self, fault: Option<InducedFault>) {
+        self.shared
+            .induced
+            .store(encode_fault(fault), Ordering::Relaxed);
+    }
+
+    /// Crate-internal (fleet chaos): the currently induced fault, if any.
+    pub(crate) fn induced_fault(&self) -> Option<InducedFault> {
+        decode_fault(self.shared.induced.load(Ordering::Relaxed))
+    }
+
+    /// Crate-internal (fleet health): true while this runtime's breaker
+    /// is open (degraded mode). Read-only — never consumes the half-open
+    /// probe. Always false without a configured breaker.
+    pub(crate) fn breaker_open(&self) -> bool {
+        self.shared
+            .breaker
+            .as_ref()
+            .is_some_and(|breaker| breaker.is_open(Instant::now()))
+    }
+
+    /// Crate-internal (fleet work stealing / evacuation): queued requests
+    /// the steal hooks may migrate (`Standard` ∪ `BestEffort`; never
+    /// `Interactive`).
+    pub(crate) fn evacuable_backlog(&self) -> usize {
+        lock(&self.shared.queues).evacuable_len()
     }
 
     /// Crate-internal (fleet work stealing): admission-queue slots

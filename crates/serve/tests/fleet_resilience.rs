@@ -1,0 +1,521 @@
+//! Fleet resilience suite:
+//!
+//! * a fleet with [`FleetFaultPlan::none`] is **bit-identical** to a fleet
+//!   built without a plan (scores *and* stats) at 1/2/4 shards,
+//! * a seeded chaos plan under 3-level concurrent load preserves the
+//!   accounting identities exactly: `aggregate().completed` equals the
+//!   client-visible Ok count and `aggregate().errors` equals client-visible
+//!   errors plus failover retry attempts — zero lost tickets,
+//! * an induced crash drives quarantine (successor rerouting off the
+//!   ring), failover rescues the in-flight failures, and probation
+//!   re-admits the shard once the fault clears,
+//! * quarantine evacuation moves `Standard` backlog to survivors but
+//!   **never** `Interactive`,
+//! * shutdown is idempotent and safe concurrently with quarantine and
+//!   evacuation: every ticket resolves, nothing double-counted.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ae_serve::{
+    FleetConfig, FleetFaultPlan, HealthPolicy, HealthState, InducedFault, RuntimeConfig,
+    ScoreRequest, ScoreTicket, ServiceLevel, ShardedRuntime, TenantId,
+};
+use ae_workload::{QueryInstance, ScaleFactor, WorkloadGenerator};
+use autoexecutor::prelude::*;
+use autoexecutor::ModelRegistry;
+
+fn fixture() -> (Arc<ModelRegistry>, AutoExecutorConfig, Vec<f64>) {
+    let generator = WorkloadGenerator::new(ScaleFactor::SF10);
+    let training: Vec<QueryInstance> = ["q3", "q19", "q55", "q68", "q79", "q94"]
+        .iter()
+        .map(|n| generator.instance(n))
+        .collect();
+    let mut config = AutoExecutorConfig::default();
+    config.forest.n_estimators = 8;
+    config.forest.seed = 11;
+    config.training_run.noise_cv = 0.0;
+    let (_, model) = train_from_workload(&training, &config).unwrap();
+    let registry = Arc::new(ModelRegistry::in_memory());
+    registry
+        .register("ppm", model.to_portable("ppm").unwrap())
+        .unwrap();
+    let features = autoexecutor::featurize_plan(&generator.instance("q27").plan);
+    (registry, config, features)
+}
+
+/// The per-shard template every resilience test uses: one worker, small
+/// batches, no inline shortcut (every request goes through the queues the
+/// failover machinery operates on), and a queue deep enough that neither
+/// saturation nor shedding can occur — those would be *policy* outcomes,
+/// not faults, and would perturb the accounting identities under test.
+fn shard_runtime(config: &AutoExecutorConfig) -> RuntimeConfig {
+    RuntimeConfig::from_auto_executor(config)
+        .with_workers(1)
+        .with_max_batch(4)
+        .with_batch_window(Duration::ZERO)
+        .with_inline_when_idle(false)
+        .with_queue_capacity(4096)
+}
+
+/// The first `count` tenant ids that route to `shard` on the fleet's
+/// *current* ring (call before any quarantine changes membership).
+fn tenants_for_shard(fleet: &ShardedRuntime, shard: usize, count: usize) -> Vec<TenantId> {
+    let mut out = Vec::new();
+    let mut id = 0u64;
+    while out.len() < count {
+        assert!(id < 1_000_000, "tenant search diverged");
+        if fleet.shard_for_tenant(TenantId(id)) == shard {
+            out.push(TenantId(id));
+        }
+        id += 1;
+    }
+    out
+}
+
+/// Redeems a detached ticket, panicking if it never resolves — the
+/// zero-lost-tickets assertion.
+fn redeem(ticket: ScoreTicket) -> ae_serve::Result<ae_serve::ScoreOutcome> {
+    match ticket.wait_timeout(Duration::from_secs(10)) {
+        Ok(result) => result,
+        Err(_) => panic!("ticket stranded past the redemption deadline"),
+    }
+}
+
+fn wait_until(deadline: Duration, mut condition: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if condition() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    condition()
+}
+
+/// The tentpole inertness pin: a deterministic fleet with an explicit
+/// [`FleetFaultPlan::none`] (even a seeded one — zero rates are what make
+/// a plan inert) is bit-identical to a fleet built without one, at every
+/// shard count: same scores, same per-shard counters, all-healthy, every
+/// resilience counter zero.
+#[test]
+fn none_plan_fleet_is_bit_identical_to_a_plain_fleet() {
+    let (registry, config, _) = fixture();
+    let generator = WorkloadGenerator::new(ScaleFactor::SF10);
+    let scoring: Vec<Vec<f64>> = ["q7", "q11", "q27", "q34", "q46", "q59", "q72", "q88"]
+        .iter()
+        .map(|n| autoexecutor::featurize_plan(&generator.instance(n).plan))
+        .collect();
+    for shards in [1usize, 2, 4] {
+        let plain = ShardedRuntime::new(
+            Arc::clone(&registry),
+            "ppm",
+            FleetConfig::deterministic(shards, &config),
+        );
+        let chaos_free = ShardedRuntime::new(
+            Arc::clone(&registry),
+            "ppm",
+            FleetConfig::deterministic(shards, &config)
+                .with_fault_plan(FleetFaultPlan::none().with_seed(0xC0FFEE)),
+        );
+        for (i, features) in scoring.iter().enumerate() {
+            let tenant = TenantId(i as u64 * 17);
+            let a = plain
+                .submit(ScoreRequest::from_features(features.clone()).with_tenant(tenant))
+                .unwrap();
+            let b = chaos_free
+                .submit(ScoreRequest::from_features(features.clone()).with_tenant(tenant))
+                .unwrap();
+            assert_eq!(
+                a.request.executors, b.request.executors,
+                "{shards} shards, query {i}: executors"
+            );
+            let a_bits: Vec<u64> = a
+                .request
+                .predicted_ppm
+                .parameters()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let b_bits: Vec<u64> = b
+                .request
+                .predicted_ppm
+                .parameters()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(a_bits, b_bits, "{shards} shards, query {i}: ppm parameters");
+            let a_curve: Vec<(usize, u64)> = a
+                .request
+                .predicted_curve
+                .iter()
+                .map(|&(n, t)| (n, t.to_bits()))
+                .collect();
+            let b_curve: Vec<(usize, u64)> = b
+                .request
+                .predicted_curve
+                .iter()
+                .map(|&(n, t)| (n, t.to_bits()))
+                .collect();
+            assert_eq!(a_curve, b_curve, "{shards} shards, query {i}: curve");
+            assert_eq!(a.level, b.level);
+        }
+        let a = plain.stats();
+        let b = chaos_free.stats();
+        assert_eq!(a, b, "{shards} shards: stats must match field for field");
+        assert_eq!(a.quarantines, 0);
+        assert_eq!(a.recoveries, 0);
+        assert_eq!(a.evacuated_requests, 0);
+        assert_eq!(a.failover_retries, 0);
+        assert_eq!(a.retries_denied, 0);
+        assert!(b.health.iter().all(|&h| h == HealthState::Healthy));
+        assert!(chaos_free.shard_fault(0).is_none());
+        plain.shutdown();
+        chaos_free.shutdown();
+    }
+}
+
+/// The seeded chaos pin: a reproducible kill/stall schedule under
+/// 3-level concurrent load, with health monitoring and failover active.
+/// Whatever the schedule does, the accounting identities are exact:
+/// every submission resolves, `completed` equals the client Ok count,
+/// and `errors` equals client-visible errors plus failover attempts —
+/// a rescued retry leaves one error on the failed shard and one
+/// completion on the target.
+#[test]
+fn seeded_chaos_accounting_is_exact_under_concurrent_load() {
+    let (registry, config, features) = fixture();
+    let plan = FleetFaultPlan::none()
+        .with_seed(42)
+        .with_crashes(20.0, Duration::from_millis(100))
+        .with_stalls(10.0, Duration::from_millis(60), Duration::from_millis(1))
+        .with_horizon(Duration::from_secs(5));
+    let policy = HealthPolicy::default()
+        .with_check_interval(Duration::from_millis(1))
+        .with_error_rate(0.5, 4)
+        .with_stall_watchdog(4, 3)
+        .with_quarantine_hold(Duration::from_millis(15))
+        .with_probation(2, 4, 2)
+        .with_retry_budget(100_000, 100_000.0);
+    let fleet = Arc::new(ShardedRuntime::new(
+        Arc::clone(&registry),
+        "ppm",
+        FleetConfig::new(4, shard_runtime(&config))
+            .with_health(policy)
+            .with_fault_plan(plan),
+    ));
+    fleet.warm().unwrap();
+
+    const THREADS: usize = 3;
+    const PER_THREAD: usize = 1200;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let fleet = Arc::clone(&fleet);
+            let features = features.clone();
+            std::thread::spawn(move || {
+                let mut ok = 0u64;
+                let mut err = 0u64;
+                for i in 0..PER_THREAD {
+                    let level = ServiceLevel::from_index((i + t) % 3).unwrap();
+                    let tenant = TenantId(((i * 7 + t * 131) % 64) as u64);
+                    let request = ScoreRequest::from_features(features.clone())
+                        .with_tenant(tenant)
+                        .with_level(level);
+                    match fleet.submit(request) {
+                        Ok(_) => ok += 1,
+                        Err(_) => err += 1,
+                    }
+                    // Pace the load so it overlaps several fault windows
+                    // instead of finishing before the first arrival.
+                    if i % 16 == 0 {
+                        std::thread::sleep(Duration::from_micros(300));
+                    }
+                }
+                (ok, err)
+            })
+        })
+        .collect();
+    let mut ok_total = 0u64;
+    let mut err_total = 0u64;
+    for handle in handles {
+        let (ok, err) = handle.join().unwrap();
+        ok_total += ok;
+        err_total += err;
+    }
+    assert_eq!(
+        ok_total + err_total,
+        (THREADS * PER_THREAD) as u64,
+        "every submission resolved exactly once"
+    );
+
+    // All submissions were synchronous, so the fleet is quiescent and the
+    // snapshot is exact.
+    let stats = fleet.stats();
+    let aggregate = stats.aggregate();
+    // Policy outcomes would break the identities; the deep queues must
+    // have prevented them entirely.
+    assert_eq!(aggregate.dropped, 0, "blocking submits cannot saturate");
+    for level in ServiceLevel::ALL {
+        assert_eq!(aggregate.level(level).shed, 0, "{level:?} was shed");
+    }
+    assert_eq!(
+        aggregate.completed, ok_total,
+        "every client Ok is exactly one shard completion"
+    );
+    assert_eq!(
+        aggregate.errors,
+        err_total + stats.failover_retries,
+        "shard errors = client errors + failover attempts (a rescued retry \
+         leaves one error behind)"
+    );
+    fleet.shutdown();
+}
+
+/// The full failure lifecycle on one shard: an induced crash is detected
+/// by the error-rate signal (failover rescuing every client call along
+/// the way), the shard is quarantined off the ring with successor
+/// rerouting, and — once the fault clears — the probation trickle proves
+/// recovery and re-admits it to full membership.
+#[test]
+fn crash_quarantine_failover_and_probationary_recovery() {
+    let (registry, config, features) = fixture();
+    let policy = HealthPolicy::default()
+        .with_check_interval(Duration::from_millis(1))
+        .with_error_rate(0.5, 2)
+        // Effectively disable the stall watchdog: this test's signal is
+        // the error rate, and a briefly descheduled healthy shard must
+        // not add a second quarantine.
+        .with_stall_watchdog(1024, 1000)
+        .with_quarantine_hold(Duration::from_millis(10))
+        .with_probation(2, 4, 2)
+        .with_retry_budget(100_000, 100_000.0);
+    let fleet = ShardedRuntime::new(
+        Arc::clone(&registry),
+        "ppm",
+        FleetConfig::new(2, shard_runtime(&config))
+            .without_steal()
+            .with_health(policy),
+    );
+    fleet.warm().unwrap();
+    let victim = fleet.shard_for_tenant(TenantId(0));
+    let survivor = 1 - victim;
+    let victim_tenants = tenants_for_shard(&fleet, victim, 8);
+    let survivor_tenants = tenants_for_shard(&fleet, survivor, 8);
+
+    fleet.induce_shard_fault(victim, InducedFault::Crash);
+    assert_eq!(fleet.shard_fault(victim), Some(InducedFault::Crash));
+    let mut ok = 0u64;
+    let mut i = 0usize;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while fleet.stats().quarantines == 0 {
+        assert!(Instant::now() < deadline, "shard was never quarantined");
+        let tenant = if i.is_multiple_of(2) {
+            victim_tenants[(i / 2) % 8]
+        } else {
+            survivor_tenants[(i / 2) % 8]
+        };
+        fleet
+            .submit(ScoreRequest::from_features(features.clone()).with_tenant(tenant))
+            .expect("failover must rescue every call while a survivor exists");
+        ok += 1;
+        i += 1;
+    }
+    // Quarantined (or already in probation — both are off the ring):
+    // traffic reroutes to the survivor.
+    assert!(!fleet.shard_health(victim).is_routable());
+    assert!(!fleet.ring().shard_ids().contains(&(victim as u16)));
+    assert_ne!(fleet.shard_for_tenant(victim_tenants[0]), victim);
+    assert_eq!(fleet.shard_health(survivor), HealthState::Healthy);
+
+    // Clear the fault and keep offering traffic: the probation trickle
+    // must prove the shard and re-admit it.
+    fleet.clear_shard_fault(victim);
+    assert_eq!(fleet.shard_fault(victim), None);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while fleet.stats().recoveries == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "probation never re-admitted the recovered shard"
+        );
+        let tenant = survivor_tenants[i % 8];
+        fleet
+            .submit(ScoreRequest::from_features(features.clone()).with_tenant(tenant))
+            .expect("post-clear traffic must succeed");
+        ok += 1;
+        i += 1;
+    }
+    assert_eq!(fleet.shard_health(victim), HealthState::Healthy);
+    assert!(fleet.ring().shard_ids().contains(&(victim as u16)));
+
+    let stats = fleet.stats();
+    assert!(stats.quarantines >= 1);
+    assert!(stats.recoveries >= 1);
+    assert!(
+        stats.failover_retries > 0,
+        "crashed-shard calls must have been retried cross-shard"
+    );
+    assert_eq!(stats.retries_denied, 0, "the budget was ample");
+    let aggregate = stats.aggregate();
+    assert_eq!(aggregate.completed, ok, "every client Ok counted once");
+    assert_eq!(
+        aggregate.errors, stats.failover_retries,
+        "no client-visible errors, so shard errors are exactly the \
+         rescued attempts"
+    );
+    fleet.shutdown();
+}
+
+/// Evacuation QoS invariant: when the drain-stall watchdog quarantines a
+/// wedged shard, its queued `Standard` backlog moves to the survivor —
+/// but `Interactive` requests are never evacuated; they drain (slowly)
+/// on their home shard. Every ticket completes.
+#[test]
+fn evacuation_moves_standard_backlog_but_never_interactive() {
+    let (registry, config, features) = fixture();
+    let policy = HealthPolicy::default()
+        .with_check_interval(Duration::from_millis(1))
+        // Error-rate signal effectively off: a stall produces no errors.
+        .with_error_rate(0.9, 1_000_000)
+        .with_stall_watchdog(1, 2)
+        // Stay quarantined for the whole test: recovery is not under test
+        // and the probation trickle would blur per-shard placement.
+        .with_quarantine_hold(Duration::from_secs(30))
+        .with_retry_budget(0, 0.0);
+    let fleet = ShardedRuntime::new(
+        Arc::clone(&registry),
+        "ppm",
+        FleetConfig::new(2, shard_runtime(&config))
+            .without_steal()
+            .with_health(policy),
+    );
+    fleet.warm().unwrap();
+    let victim = fleet.shard_for_tenant(TenantId(0));
+    let survivor = 1 - victim;
+    let victim_tenants = tenants_for_shard(&fleet, victim, 4);
+
+    fleet.induce_shard_fault(victim, InducedFault::Stall(Duration::from_millis(20)));
+    const INTERACTIVE: usize = 16;
+    const STANDARD: usize = 64;
+    let mut tickets = Vec::with_capacity(INTERACTIVE + STANDARD);
+    // Interactive first: all admitted to the victim well before the
+    // watchdog can fire, so none can route to the survivor afterwards.
+    for i in 0..INTERACTIVE {
+        let request = ScoreRequest::from_features(features.clone())
+            .with_tenant(victim_tenants[i % 4])
+            .with_level(ServiceLevel::Interactive);
+        tickets.push(fleet.submit_detached(request).unwrap());
+    }
+    for i in 0..STANDARD {
+        let request = ScoreRequest::from_features(features.clone())
+            .with_tenant(victim_tenants[i % 4])
+            .with_level(ServiceLevel::Standard);
+        tickets.push(fleet.submit_detached(request).unwrap());
+    }
+    assert!(
+        wait_until(Duration::from_secs(5), || fleet.stats().quarantines >= 1),
+        "the drain-stall watchdog never quarantined the wedged shard"
+    );
+    let mut completed = 0u64;
+    for ticket in tickets {
+        redeem(ticket).expect("a stall only delays; every ticket must complete");
+        completed += 1;
+    }
+    let stats = fleet.stats();
+    assert!(
+        stats.evacuated_requests > 0,
+        "quarantine must have evacuated the standard backlog"
+    );
+    assert_eq!(
+        stats
+            .shard(survivor)
+            .level(ServiceLevel::Interactive)
+            .completed,
+        0,
+        "Interactive must never be evacuated off its home shard"
+    );
+    assert_eq!(
+        stats
+            .shard(victim)
+            .level(ServiceLevel::Interactive)
+            .completed,
+        INTERACTIVE as u64,
+        "every Interactive request drained on the stalled home shard"
+    );
+    let aggregate = stats.aggregate();
+    assert_eq!(aggregate.completed, completed);
+    assert_eq!(aggregate.completed, (INTERACTIVE + STANDARD) as u64);
+    assert_eq!(aggregate.errors, 0);
+    fleet.clear_shard_fault(victim);
+    fleet.shutdown();
+}
+
+/// Shutdown satellite: concurrent and repeated `shutdown` calls racing
+/// an active health monitor (mid-quarantine, mid-evacuation) strand no
+/// ticket and double-count nothing — `completed + errors` equals the
+/// admitted total exactly, and a stopped fleet's snapshot is stable.
+#[test]
+fn shutdown_is_idempotent_and_safe_during_quarantine_and_evacuation() {
+    let (registry, config, features) = fixture();
+    let policy = HealthPolicy::default()
+        .with_check_interval(Duration::from_millis(1))
+        .with_error_rate(0.5, 2)
+        .with_quarantine_hold(Duration::from_millis(5))
+        .with_probation(2, 2, 1)
+        // No failover: every admitted ticket is counted by exactly the
+        // shard(s) that held it, so errors match the client tally 1:1.
+        .with_retry_budget(0, 0.0);
+    let fleet = Arc::new(ShardedRuntime::new(
+        Arc::clone(&registry),
+        "ppm",
+        FleetConfig::new(4, shard_runtime(&config)).with_health(policy),
+    ));
+    fleet.warm().unwrap();
+
+    const TOTAL: usize = 600;
+    let mut tickets = Vec::with_capacity(TOTAL);
+    for i in 0..TOTAL {
+        let request = ScoreRequest::from_features(features.clone())
+            .with_tenant(TenantId((i % 32) as u64))
+            .with_level(ServiceLevel::from_index(i % 3).unwrap());
+        tickets.push(fleet.submit_detached(request).unwrap());
+    }
+    fleet.induce_shard_fault(0, InducedFault::Crash);
+    fleet.induce_shard_fault(1, InducedFault::Stall(Duration::from_millis(5)));
+    // Let the monitor begin quarantining/evacuating, then race it.
+    std::thread::sleep(Duration::from_millis(4));
+    let handles: Vec<_> = (0..3)
+        .map(|_| {
+            let fleet = Arc::clone(&fleet);
+            std::thread::spawn(move || fleet.shutdown())
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    fleet.shutdown(); // and once more, for idempotence
+
+    let mut ok = 0u64;
+    let mut err = 0u64;
+    for ticket in tickets {
+        match redeem(ticket) {
+            Ok(_) => ok += 1,
+            Err(_) => err += 1,
+        }
+    }
+    assert_eq!(ok + err, TOTAL as u64, "every ticket resolved exactly once");
+    let stats = fleet.stats();
+    let aggregate = stats.aggregate();
+    assert_eq!(aggregate.completed, ok, "every Ok counted exactly once");
+    assert_eq!(aggregate.errors, err, "every failure counted exactly once");
+    assert_eq!(
+        aggregate.completed + aggregate.errors,
+        TOTAL as u64,
+        "no ticket lost or double-counted across shutdown, quarantine, \
+         and evacuation"
+    );
+    assert_eq!(
+        fleet.stats(),
+        stats,
+        "a stopped fleet's snapshot must be stable"
+    );
+}

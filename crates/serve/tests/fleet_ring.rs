@@ -69,6 +69,39 @@ proptest::proptest! {
         proptest::prop_assert!(moved > 0);
     }
 
+    /// Quarantine routing: `without_shard` (the failover reroute) is
+    /// deterministic — two independent removals agree key for key — and
+    /// hits only survivors: no key ever routes to the quarantined shard,
+    /// and keys that weren't on it stay exactly where they were.
+    #[test]
+    fn routing_with_one_shard_quarantined_is_deterministic_and_hits_only_survivors(
+        seed in 0u64..u64::MAX,
+        shards in 2usize..10,
+        quarantined in 0usize..10,
+    ) {
+        proptest::prop_assume!(quarantined < shards);
+        let quarantined = quarantined as u16;
+        let full = HashRing::new(seed, 64, shards);
+        let degraded = full.without_shard(quarantined);
+        let again = full.without_shard(quarantined);
+        proptest::prop_assert!(!degraded.shard_ids().contains(&quarantined));
+        proptest::prop_assert_eq!(degraded.num_shards(), shards - 1);
+        for tenant in 0..512u64 {
+            let tenant = TenantId(tenant);
+            let now = degraded.shard_for_tenant(tenant);
+            // Deterministic: an independent removal routes identically.
+            proptest::prop_assert_eq!(now, again.shard_for_tenant(tenant));
+            // Only survivors: never the quarantined shard.
+            proptest::prop_assert!(now != quarantined);
+            proptest::prop_assert!(degraded.shard_ids().contains(&now));
+            // Stability: keys not on the quarantined shard stay put.
+            let was = full.shard_for_tenant(tenant);
+            if was != quarantined {
+                proptest::prop_assert_eq!(was, now);
+            }
+        }
+    }
+
     /// Raw-key routing agrees with the successor rule everywhere on the
     /// ring, including wraparound: the chosen shard owns the first vnode
     /// point at or after the key.

@@ -24,7 +24,11 @@
 # bound), and a fleet smoke (sharded serving under the shard-=-node
 # measurement model: 4-shard aggregate qps at least 2x single-shard,
 # finite per-shard p99 skew, zero dropped/errored requests, and a live
-# work-steal drill). Pass --full to also run the full bench suite (slow).
+# work-steal drill), and a resilience smoke (one full shard failure
+# lifecycle per fleet size: zero lost tickets, surviving goodput >= 60%
+# of pre-kill through a 1-of-4 shard crash, and probationary recovery
+# re-admitting the revived shard). Pass --full to also run the full
+# bench suite (slow).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -67,6 +71,9 @@ cargo run --offline --release -p ae-bench --bin bench_obs -- --smoke --json "$(m
 
 echo "==> fleet smoke (4-shard aggregate qps >= 2x single-shard, finite per-shard p99 skew, zero dropped/errors)"
 cargo run --offline --release -p ae-bench --bin bench_fleet -- --smoke
+
+echo "==> resilience smoke (1-of-4 shard kill: zero lost tickets, >= 60% goodput retained, probation re-admits)"
+cargo run --offline --release -p ae-bench --bin bench_resilience -- --smoke
 
 if [[ "${1:-}" == "--full" ]]; then
     echo "==> full bench suite"
